@@ -1,0 +1,164 @@
+// calibre_cli — run any experiment of the library from the command line.
+//
+//   calibre_cli --method "Calibre (SimCLR)" --dataset cifar10
+//               --partition dirichlet --alpha 0.3 --clients 20 --novel 5
+//               --rounds 30 --samples 100 --save encoder.bin
+//
+// Flags (defaults in parentheses):
+//   --method            algorithm name from the registry ("Calibre (SimCLR)")
+//   --list-methods      print all registered algorithm names and exit
+//   --dataset           cifar10 | cifar100 | stl10            (cifar10)
+//   --partition         dirichlet | quantity | iid            (dirichlet)
+//   --alpha             Dirichlet concentration                (0.3)
+//   --classes-per-client  S for quantity non-IID               (2)
+//   --clients           participating clients                  (20)
+//   --novel             novel clients                          (5)
+//   --samples           train samples per client               (100)
+//   --test-samples      test samples per client                (80)
+//   --rounds            federated rounds                       (30)
+//   --clients-per-round sampled clients per round              (5)
+//   --local-epochs      local epochs per round                 (3)
+//   --dropout           per-round client dropout probability   (0)
+//   --seed              experiment seed                        (42)
+//   --threads           device worker threads (0 = auto)       (0)
+//   --save              write the trained global state to a file
+//   --load              skip training; load a state and only personalize
+//   --history           print per-round progress
+#include <iostream>
+
+#include "algos/registry.h"
+#include "common/flags.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "fl/fed_data.h"
+#include "fl/runner.h"
+#include "metrics/fairness.h"
+#include "metrics/report.h"
+#include "nn/checkpoint.h"
+
+using namespace calibre;
+
+int main(int argc, char** argv) {
+  const flags::Parser args(argc, argv);
+  if (args.has("list-methods")) {
+    for (const auto& name : algos::registered_algorithms()) {
+      std::cout << name << "\n";
+    }
+    return 0;
+  }
+
+  const std::string method = args.get("method", "Calibre (SimCLR)");
+  const std::string dataset = args.get("dataset", "cifar10");
+  const std::string partition_kind = args.get("partition", "dirichlet");
+  const int train_clients = args.get_int("clients", 20);
+  const int novel_clients = args.get_int("novel", 5);
+
+  const data::SyntheticDataset synth =
+      data::make_synthetic(data::preset_by_name(dataset));
+
+  data::PartitionConfig partition_config;
+  partition_config.num_clients = train_clients + novel_clients;
+  partition_config.samples_per_client = args.get_int("samples", 100);
+  partition_config.test_samples_per_client = args.get_int("test-samples", 80);
+  rng::Generator partition_gen(
+      static_cast<std::uint64_t>(args.get_int("seed", 42)) ^ 0xFACE);
+  data::Partition partition;
+  if (partition_kind == "dirichlet") {
+    partition = data::partition_dirichlet(synth.train, synth.test,
+                                          partition_config,
+                                          args.get_double("alpha", 0.3),
+                                          partition_gen);
+  } else if (partition_kind == "quantity") {
+    partition = data::partition_quantity(
+        synth.train, synth.test, partition_config,
+        args.get_int("classes-per-client", 2), partition_gen);
+  } else if (partition_kind == "iid") {
+    partition = data::partition_iid(synth.train, synth.test, partition_config,
+                                    partition_gen);
+  } else {
+    std::cerr << "unknown --partition: " << partition_kind << "\n";
+    return 2;
+  }
+  rng::Generator fed_gen(
+      static_cast<std::uint64_t>(args.get_int("seed", 42)) ^ 0xFEED);
+  const fl::FedDataset fed =
+      fl::build_fed_dataset(synth, partition, train_clients, fed_gen);
+
+  fl::FlConfig config;
+  config.encoder.input_dim = synth.train.input_dim();
+  config.num_classes = synth.train.num_classes;
+  config.rounds = args.get_int("rounds", 30);
+  config.clients_per_round = args.get_int("clients-per-round", 5);
+  config.local_epochs = args.get_int("local-epochs", 3);
+  config.client_dropout_rate =
+      static_cast<float>(args.get_double("dropout", 0.0));
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  config.threads = args.get_int("threads", 0);
+  config.num_train_clients = train_clients;
+  if (method.rfind("Script-", 0) == 0) config.rounds = 0;
+
+  const std::string save_path = args.get("save", "");
+  const std::string load_path = args.get("load", "");
+  const bool print_history = args.has("history");
+  for (const auto& name : args.unused()) {
+    std::cerr << "warning: unknown flag --" << name << "\n";
+  }
+
+  const auto algorithm = algos::make_algorithm(method, config);
+
+  fl::RunResult result;
+  if (!load_path.empty()) {
+    // Personalization-only mode on a previously trained state.
+    const nn::ModelState state = nn::load_state(load_path);
+    fl::FlConfig no_training = config;
+    no_training.rounds = 0;
+    const auto fresh = algos::make_algorithm(method, no_training);
+    // run_federated with 0 rounds personalizes on the *initialized* state,
+    // so personalize directly against the loaded one instead.
+    result.algorithm = fresh->name();
+    for (int c = 0; c < fed.num_train_clients(); ++c) {
+      fl::PersonalizationContext ctx;
+      ctx.client_id = c;
+      ctx.train = &fed.train[static_cast<std::size_t>(c)];
+      ctx.test = &fed.test[static_cast<std::size_t>(c)];
+      ctx.seed = fl::derive_seed(config.seed, 0xA11, static_cast<std::uint64_t>(c));
+      result.train_accuracies.push_back(fresh->personalize(state, ctx));
+    }
+  } else {
+    result = fl::run_federated(*algorithm, fed, novel_clients > 0);
+    if (!save_path.empty()) {
+      nn::save_state(save_path, result.final_state);
+      std::cout << "saved global state (" << result.final_state.size()
+                << " params) to " << save_path << "\n";
+    }
+  }
+
+  if (print_history) {
+    std::cout << "round  participants  dropped  mean_divergence  update_norm\n";
+    for (const fl::RoundStats& r : result.history) {
+      std::printf("%5d  %12d  %7d  %15.4f  %11.3f\n", r.round,
+                  r.participants, r.dropped, r.mean_divergence,
+                  r.mean_update_norm);
+    }
+  }
+
+  const auto stats = metrics::compute_stats(result.train_accuracies);
+  const auto fairness = metrics::compute_fairness(result.train_accuracies);
+  std::cout << "\n" << result.algorithm << " on " << dataset << " ("
+            << partition_kind << ")\n"
+            << "  participating accuracy: " << metrics::format_mean_std(stats)
+            << "  (variance " << fairness.variance << ")\n"
+            << "  fairness: jain " << fairness.jain_index << ", gini "
+            << fairness.gini << ", worst-10% "
+            << fairness.worst_decile_mean * 100 << "%\n";
+  if (!result.novel_accuracies.empty()) {
+    const auto novel = metrics::compute_stats(result.novel_accuracies);
+    std::cout << "  novel-client accuracy:  "
+              << metrics::format_mean_std(novel) << "\n";
+  }
+  if (result.traffic.messages > 0) {
+    std::cout << "  traffic: " << result.traffic.messages << " messages, "
+              << static_cast<double>(result.traffic.bytes) / 1e6 << " MB\n";
+  }
+  return 0;
+}

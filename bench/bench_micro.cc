@@ -1,0 +1,156 @@
+// Microbenchmarks of the substrate (google-benchmark): tensor matmul, the
+// autograd step, NT-Xent, the Calibre prototype losses, KMeans, model-state
+// serialization, and the comm router round-trip. These quantify the cost of
+// the building blocks every experiment binary is built from.
+#include <benchmark/benchmark.h>
+
+#include "autograd/ops.h"
+#include "cluster/kmeans.h"
+#include "comm/router.h"
+#include "core/prototype_loss.h"
+#include "fl/algorithm.h"
+#include "metrics/tsne.h"
+#include "nn/losses.h"
+#include "nn/networks.h"
+#include "nn/optim.h"
+#include "ssl/simclr.h"
+
+namespace {
+
+using namespace calibre;
+
+void BM_TensorMatmul(benchmark::State& state) {
+  const auto n = state.range(0);
+  rng::Generator gen(1);
+  const auto a = tensor::Tensor::randn(n, n, gen);
+  const auto b = tensor::Tensor::randn(n, n, gen);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_TensorMatmul)->Arg(32)->Arg(128);
+
+void BM_NtXentForwardBackward(benchmark::State& state) {
+  const auto batch = state.range(0);
+  rng::Generator gen(2);
+  const auto h = tensor::Tensor::randn(2 * batch, 32, gen);
+  for (auto _ : state) {
+    const ag::VarPtr leaf = ag::parameter(h);
+    const ag::VarPtr loss = nn::ntxent(leaf, 0.5f);
+    ag::backward(loss);
+    benchmark::DoNotOptimize(leaf->grad);
+  }
+}
+BENCHMARK(BM_NtXentForwardBackward)->Arg(32)->Arg(128);
+
+void BM_EncoderTrainStep(benchmark::State& state) {
+  rng::Generator gen(3);
+  nn::EncoderConfig config;
+  nn::MlpEncoder encoder(config, gen);
+  nn::Sgd optimizer(encoder.parameters(), {0.05f, 0.9f, 1e-4f});
+  const auto x = tensor::Tensor::randn(32, config.input_dim, gen);
+  const auto target = tensor::Tensor::randn(32, config.feature_dim, gen);
+  for (auto _ : state) {
+    optimizer.zero_grad();
+    ag::backward(ag::mse(encoder.forward(ag::constant(x)), target));
+    optimizer.step();
+  }
+}
+BENCHMARK(BM_EncoderTrainStep);
+
+void BM_SimClrLossStep(benchmark::State& state) {
+  nn::EncoderConfig encoder_config;
+  ssl::SslConfig ssl_config;
+  ssl::SimClr method(encoder_config, ssl_config, 4);
+  rng::Generator gen(5);
+  const auto v1 = tensor::Tensor::randn(32, encoder_config.input_dim, gen);
+  const auto v2 = tensor::Tensor::randn(32, encoder_config.input_dim, gen);
+  nn::Sgd optimizer(method.trainable_parameters(), {0.05f, 0.9f, 0.0f});
+  for (auto _ : state) {
+    optimizer.zero_grad();
+    ag::backward(method.forward(v1, v2).loss);
+    optimizer.step();
+  }
+}
+BENCHMARK(BM_SimClrLossStep);
+
+void BM_CalibrePrototypeLosses(benchmark::State& state) {
+  nn::EncoderConfig encoder_config;
+  ssl::SslConfig ssl_config;
+  ssl::SimClr method(encoder_config, ssl_config, 6);
+  rng::Generator gen(7);
+  const auto v1 = tensor::Tensor::randn(32, encoder_config.input_dim, gen);
+  const auto v2 = tensor::Tensor::randn(32, encoder_config.input_dim, gen);
+  const ssl::SslForward fwd = method.forward(v1, v2);
+  core::PrototypeLossConfig config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::compute_prototype_losses(fwd, config, gen));
+  }
+}
+BENCHMARK(BM_CalibrePrototypeLosses);
+
+void BM_KMeans(benchmark::State& state) {
+  rng::Generator gen(8);
+  const auto points = tensor::Tensor::randn(state.range(0), 64, gen);
+  cluster::KMeansConfig config;
+  config.k = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster::kmeans(points, config, gen));
+  }
+}
+BENCHMARK(BM_KMeans)->Arg(64)->Arg(512);
+
+void BM_ModelStateSerialize(benchmark::State& state) {
+  rng::Generator gen(9);
+  nn::EncoderConfig config;
+  nn::MlpEncoder encoder(config, gen);
+  const auto model_state =
+      nn::ModelState::from_parameters(encoder.parameters());
+  for (auto _ : state) {
+    const auto bytes = model_state.to_bytes();
+    benchmark::DoNotOptimize(nn::ModelState::from_bytes(bytes));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(model_state.size()) * 4);
+}
+BENCHMARK(BM_ModelStateSerialize);
+
+void BM_RouterRoundTrip(benchmark::State& state) {
+  comm::Router router(2);
+  router.register_endpoint(0, [&](const comm::Message& request) {
+    comm::Message response;
+    response.type = comm::MessageType::kTrainResponse;
+    response.sender = 0;
+    response.receiver = comm::kServerEndpoint;
+    response.payload = request.payload;
+    router.send(std::move(response));
+  });
+  std::vector<std::uint8_t> payload(64 * 1024, 0xAB);
+  for (auto _ : state) {
+    comm::Message request;
+    request.type = comm::MessageType::kTrainRequest;
+    request.receiver = 0;
+    request.payload = payload;
+    router.send(std::move(request));
+    benchmark::DoNotOptimize(router.server_mailbox().pop());
+  }
+  state.SetBytesProcessed(state.iterations() * 2 * 64 * 1024);
+}
+BENCHMARK(BM_RouterRoundTrip);
+
+void BM_Tsne(benchmark::State& state) {
+  rng::Generator gen(10);
+  const auto points = tensor::Tensor::randn(100, 32, gen);
+  metrics::TsneConfig config;
+  config.iterations = 50;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metrics::tsne(points, config, gen));
+  }
+}
+BENCHMARK(BM_Tsne);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,128 @@
+// Table I — ablation of the prototype regularizers L_n and L_p on the
+// quantity-based non-IID CIFAR-10-like setting (paper: (2,500); here
+// (2, CALIBRE_SAMPLES)). For Calibre built on SimCLR, SwAV and SMoG, the
+// four {L_n, L_p} combinations are run and reported as accuracy mean ± std,
+// next to the paper's reference numbers.
+//
+// Expected shapes (paper §V-F):
+//  * SimCLR: both regularizers help; L_n matters more than L_p; the full
+//    objective is best (paper: 54.67 -> 89.16).
+//  * SwAV / SMoG: their objectives already build prototypes, so adding L_n
+//    *hurts* while L_p alone helps slightly.
+//
+// Extension rows (design-choice ablations from DESIGN.md §6): divergence
+// aggregation off / proportional, alpha sweep, prototype-count sweep, and
+// the two L_n formulations.
+#include <iostream>
+
+#include "bench/harness.h"
+#include "common/env.h"
+
+using namespace calibre;
+
+namespace {
+
+struct PaperRef {
+  double mean;
+  double std;
+};
+
+// Paper Table I values, indexed [ssl][row] with rows: none, Lp, Ln, both.
+constexpr PaperRef kPaperTable1[3][4] = {
+    {{54.67, 14.32}, {73.58, 10.13}, {81.07, 12.92}, {89.16, 10.58}},  // SimCLR
+    {{85.03, 15.10}, {84.76, 12.50}, {79.31, 15.73}, {81.42, 11.93}},  // SwAV
+    {{86.19, 11.32}, {87.23, 10.90}, {77.31, 13.24}, {80.07, 11.20}},  // SMoG
+};
+
+}  // namespace
+
+int main() {
+  const bench::Scale scale = bench::resolve_scale();
+  const bench::Setting setting{"cifar10", "quantity", 2, 0.3};
+  const bench::Workbench workbench = bench::build_workbench(setting, scale);
+
+  std::cout << "Table I reproduction — " << setting.label() << ", "
+            << scale.train_clients << " clients, " << scale.rounds
+            << " rounds\n";
+
+  const ssl::Kind kinds[3] = {ssl::Kind::kSimClr, ssl::Kind::kSwav,
+                              ssl::Kind::kSmog};
+  const bool combos[4][2] = {
+      {false, false}, {false, true}, {true, false}, {true, true}};
+
+  std::vector<metrics::ResultRow> rows;
+  for (int k = 0; k < 3; ++k) {
+    for (int combo = 0; combo < 4; ++combo) {
+      core::CalibreConfig calibre_config;
+      calibre_config.prototype.use_ln = combos[combo][0];
+      calibre_config.prototype.use_lp = combos[combo][1];
+      const auto algorithm =
+          algos::make_calibre(kinds[k], workbench.config, calibre_config);
+      const fl::RunResult result = bench::run_algorithm(*algorithm, workbench);
+      rows.push_back(bench::to_row(result, kPaperTable1[k][combo].mean,
+                                   kPaperTable1[k][combo].std));
+      std::cout << "  " << result.algorithm << " done\n";
+    }
+  }
+  metrics::print_result_table(
+      std::cout, "Table I — L_n / L_p ablation ((2," +
+                     std::to_string(scale.samples_per_client) + ") CIFAR-10)",
+      rows);
+
+  if (env::get_flag("CALIBRE_SKIP_EXTENSIONS")) return 0;
+
+  // --- design-choice ablations (not in the paper's table) -------------------
+  std::vector<metrics::ResultRow> extension;
+  {
+    core::CalibreConfig base;  // full Calibre (SimCLR)
+    struct Variant {
+      std::string note;
+      core::CalibreConfig config;
+    };
+    std::vector<Variant> variants;
+    {
+      Variant v{"aggregation: plain FedAvg", base};
+      v.config.divergence_weighted_aggregation = false;
+      variants.push_back(v);
+    }
+    {
+      Variant v{"aggregation: proportional-divergence", base};
+      v.config.divergence_mode = core::DivergenceMode::kProportional;
+      variants.push_back(v);
+    }
+    for (const float alpha : {0.1f, 0.6f}) {
+      Variant v{"alpha = " + std::to_string(alpha).substr(0, 3), base};
+      v.config.alpha = alpha;
+      variants.push_back(v);
+    }
+    for (const int k : {4, 16}) {
+      Variant v{"K = " + std::to_string(k) + " prototypes", base};
+      v.config.prototype.num_prototypes = k;
+      variants.push_back(v);
+    }
+    {
+      Variant v{"L_n form: Alg.1 line 17 verbatim", base};
+      v.config.prototype.ln_form = core::LnForm::kPaper;
+      variants.push_back(v);
+    }
+    {
+      Variant v{"prototypes: local-dataset scope", base};
+      v.config.prototype.scope = core::PrototypeScope::kLocalDataset;
+      variants.push_back(v);
+    }
+    for (const Variant& variant : variants) {
+      const auto algorithm = algos::make_calibre(
+          ssl::Kind::kSimClr, workbench.config, variant.config);
+      const fl::RunResult result = bench::run_algorithm(*algorithm, workbench);
+      metrics::ResultRow row = bench::to_row(result);
+      row.note = variant.note;
+      extension.push_back(row);
+      std::cout << "  ablation: " << variant.note << " done\n";
+    }
+  }
+  metrics::print_result_table(std::cout,
+                              "Table I extension — Calibre (SimCLR) design "
+                              "ablations",
+                              extension);
+  return 0;
+}

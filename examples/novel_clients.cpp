@@ -1,0 +1,72 @@
+// Novel-client personalization (paper §V-D, Fig. 4 right column).
+//
+// Scenario: a hospital network trains a federated encoder across 20 member
+// institutions; later, institutions that never participated want personalized
+// models without joining a new training round. With Calibre they download
+// the trained encoder once and fit a linear head on their own data.
+//
+// This example trains Calibre (SimCLR) and FedBABU, then personalizes both
+// participating and novel clients, showing that the SSL-calibrated encoder
+// generalizes to unseen data distributions.
+#include <iostream>
+
+#include "algos/registry.h"
+#include "common/env.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "fl/fed_data.h"
+#include "fl/runner.h"
+#include "metrics/report.h"
+
+using namespace calibre;
+
+int main() {
+  const int train_clients = env::get_int("CALIBRE_TRAIN_CLIENTS", 20);
+  const int novel_clients = env::get_int("CALIBRE_NOVEL_CLIENTS", 10);
+
+  data::SyntheticConfig dataset_config = data::cifar10_like();
+  dataset_config.train_samples = 6000;
+  dataset_config.test_samples = 3000;
+  const data::SyntheticDataset synth = data::make_synthetic(dataset_config);
+
+  data::PartitionConfig partition_config;
+  partition_config.num_clients = train_clients + novel_clients;
+  partition_config.samples_per_client = 100;
+  partition_config.test_samples_per_client = 80;
+  rng::Generator partition_gen(21);
+  const data::Partition partition = data::partition_dirichlet(
+      synth.train, synth.test, partition_config, 0.3, partition_gen);
+  rng::Generator fed_gen(22);
+  const fl::FedDataset fed =
+      fl::build_fed_dataset(synth, partition, train_clients, fed_gen);
+
+  fl::FlConfig config;
+  config.encoder.input_dim = synth.train.input_dim();
+  config.num_classes = synth.train.num_classes;
+  config.rounds = env::get_int("CALIBRE_ROUNDS", 30);
+  config.clients_per_round = 5;
+  config.num_train_clients = train_clients;
+
+  std::cout << "Training with " << train_clients << " clients; "
+            << novel_clients << " novel clients join only for "
+            << "personalization.\n";
+
+  for (const std::string& name :
+       {std::string("Calibre (SimCLR)"), std::string("FedBABU")}) {
+    const auto algorithm = algos::make_algorithm(name, config);
+    const fl::RunResult result =
+        fl::run_federated(*algorithm, fed, /*personalize_novel=*/true);
+    const auto participating = metrics::compute_stats(result.train_accuracies);
+    const auto novel = metrics::compute_stats(result.novel_accuracies);
+    std::cout << "\n" << name << ":\n"
+              << "  participating clients: "
+              << metrics::format_mean_std(participating) << "\n"
+              << "  novel clients:         "
+              << metrics::format_mean_std(novel) << "\n"
+              << "  generalization gap:    "
+              << (participating.mean - novel.mean) * 100 << " points\n";
+  }
+  std::cout << "\nA small gap means the encoder learned client-agnostic "
+               "representations (the paper's novel-client claim).\n";
+  return 0;
+}

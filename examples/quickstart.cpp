@@ -1,0 +1,79 @@
+// Quickstart: train Calibre (SimCLR) on a non-IID synthetic CIFAR-10-like
+// federation and compare it against plain pFL-SimCLR and FedAvg-FT.
+//
+// Walks through the whole public API surface:
+//   1. generate a dataset            (data::make_synthetic)
+//   2. partition it non-IID          (data::partition_dirichlet)
+//   3. build the federated view      (fl::build_fed_dataset)
+//   4. construct algorithms          (algos::make_algorithm)
+//   5. run training + personalization (fl::run_federated)
+//   6. report fairness & accuracy    (metrics::compute_stats)
+#include <iostream>
+
+#include "algos/registry.h"
+#include "common/env.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "fl/fed_data.h"
+#include "fl/runner.h"
+#include "metrics/report.h"
+
+using namespace calibre;
+
+int main() {
+  // 1. A CIFAR-10-like synthetic dataset (see DESIGN.md for the substitution
+  //    rationale), scaled down so this example runs in seconds.
+  data::SyntheticConfig dataset_config = data::cifar10_like();
+  dataset_config.train_samples = 4000;
+  dataset_config.test_samples = 2000;
+  const data::SyntheticDataset synth = data::make_synthetic(dataset_config);
+
+  // 2. Distribution-based label non-IID: Dirichlet(0.3), the paper's
+  //    D-non-i.i.d. setting.
+  const int train_clients = env::get_int("CALIBRE_TRAIN_CLIENTS", 20);
+  const int novel_clients = env::get_int("CALIBRE_NOVEL_CLIENTS", 5);
+  data::PartitionConfig partition_config;
+  partition_config.num_clients = train_clients + novel_clients;
+  partition_config.samples_per_client = 100;
+  partition_config.test_samples_per_client = 60;
+  rng::Generator partition_gen(7);
+  const data::Partition partition = data::partition_dirichlet(
+      synth.train, synth.test, partition_config, 0.3, partition_gen);
+
+  // 3. Materialise per-client shards (participating + novel clients).
+  rng::Generator fed_gen(11);
+  const fl::FedDataset fed =
+      fl::build_fed_dataset(synth, partition, train_clients, fed_gen);
+
+  // 4/5. Run three methods through the same runner.
+  fl::FlConfig config;
+  config.encoder.input_dim = synth.train.input_dim();
+  config.num_classes = synth.train.num_classes;
+  config.rounds = env::get_int("CALIBRE_ROUNDS", 15);
+  config.clients_per_round = 5;
+  config.num_train_clients = train_clients;
+
+  std::vector<metrics::ResultRow> rows;
+  for (const std::string name :
+       {"Calibre (SimCLR)", "pFL-SimCLR", "FedAvg-FT"}) {
+    const auto algorithm = algos::make_algorithm(name, config);
+    const fl::RunResult result = fl::run_federated(*algorithm, fed);
+    metrics::ResultRow row;
+    row.method = name;
+    row.stats = metrics::compute_stats(result.train_accuracies);
+    const auto novel = metrics::compute_stats(result.novel_accuracies);
+    char note[128];
+    std::snprintf(note, sizeof(note),
+                  "novel %5.2f±%5.2f | %.1fs | %.1f MB traffic",
+                  novel.mean * 100, novel.stddev * 100, result.wall_seconds,
+                  static_cast<double>(result.traffic.bytes) / 1e6);
+    row.note = note;
+    rows.push_back(row);
+    std::cout << name << " done\n";
+  }
+
+  // 6. Fairness = low accuracy variance; performance = high mean.
+  metrics::print_result_table(std::cout, "Quickstart: Dirichlet(0.3) CIFAR-10-like",
+                              rows);
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Hyperparameter sweep playground: every knob of the synthetic data
+// generator, the federation, and Calibre is exposed as an environment
+// variable so design-space questions ("does alpha=0.6 help under Dirichlet
+// skew?") are one shell line away. See the README's "Exploring the design
+// space" section for the knob list.
+//
+//   W / SEP / NOISE / NU / FREQ / DIM / VJIT / LAT  — data generator
+//   TC / SPC / TSPC / PART / R / CPR / LE           — federation
+//   SSL_LR / SSL_MOM / AUG_NOISE / AUG_MASK / AUG_JIT — optimisation
+//   ALPHA / K / TAU / DW / DW_PROP / LN_PAPER / LOCAL_PROTO — Calibre
+//   SKIP_SSL / SKIP_SUP                             — row selection
+#include <cstdio>
+#include <iostream>
+
+#include "algos/registry.h"
+#include "common/env.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "fl/fed_data.h"
+#include "fl/runner.h"
+#include "metrics/stats.h"
+
+using namespace calibre;
+
+int main() {
+  data::SyntheticConfig dc = data::cifar10_like();
+  dc.train_samples = 4000;
+  dc.test_samples = 2000;
+  dc.within_class_stddev = (float)env::get_double("W", 1.0);
+  dc.class_separation = (float)env::get_double("SEP", 4.0);
+  dc.observation_noise = (float)env::get_double("NOISE", 0.05);
+  dc.nuisance_stddev = (float)env::get_double("NU", 3.0);
+  dc.render_frequency = (float)env::get_double("FREQ", 1.0);
+  dc.input_dim = env::get_int("DIM", 48);
+  dc.view_latent_jitter = (float)env::get_double("VJIT", 0.7);
+  dc.latent_dim = env::get_int("LAT", 16);
+  const auto synth = data::make_synthetic(dc);
+
+  const int train_clients = env::get_int("TC", 20);
+  const int novel_clients = 5;
+  data::PartitionConfig pc;
+  pc.num_clients = train_clients + novel_clients;
+  pc.samples_per_client = env::get_int("SPC", 100);
+  pc.test_samples_per_client = env::get_int("TSPC", 60);
+  rng::Generator pg(7);
+  const auto part = env::get_string("PART", "dir") == "dir"
+      ? data::partition_dirichlet(synth.train, synth.test, pc, 0.3, pg)
+      : data::partition_quantity(synth.train, synth.test, pc, 2, pg);
+  rng::Generator fg(11);
+  const auto fed = fl::build_fed_dataset(synth, part, train_clients, fg);
+
+  fl::FlConfig cfg;
+  cfg.encoder.input_dim = synth.train.input_dim();
+  cfg.num_classes = synth.train.num_classes;
+  cfg.rounds = env::get_int("R", 30);
+  cfg.clients_per_round = env::get_int("CPR", 5);
+  cfg.num_train_clients = train_clients;
+  cfg.ssl_opt.learning_rate = (float)env::get_double("SSL_LR", 0.10);
+  cfg.ssl_opt.momentum = (float)env::get_double("SSL_MOM", 0.9);
+  cfg.local_epochs = env::get_int("LE", 3);
+  cfg.augment.noise_std = (float)env::get_double("AUG_NOISE", 0.10);
+  cfg.augment.mask_fraction = (float)env::get_double("AUG_MASK", 0.25);
+  cfg.augment.scale_jitter = (float)env::get_double("AUG_JIT", 0.20);
+
+  core::CalibreConfig cc;
+  cc.alpha = (float)env::get_double("ALPHA", 0.3);
+  cc.prototype.num_prototypes = env::get_int("K", 10);
+  cc.prototype.temperature = (float)env::get_double("TAU", 0.5);
+  cc.divergence_weighted_aggregation = env::get_int("DW", 1) != 0;
+  cc.divergence_mode = env::get_int("DW_PROP", 0) != 0
+                           ? core::DivergenceMode::kProportional
+                           : core::DivergenceMode::kInverse;
+  cc.prototype.scope = env::get_int("LOCAL_PROTO", 0) != 0
+                           ? core::PrototypeScope::kLocalDataset
+                           : core::PrototypeScope::kBatch;
+  cc.prototype.ln_form = env::get_int("LN_PAPER", 0) != 0
+                             ? core::LnForm::kPaper
+                             : core::LnForm::kProtoNce;
+
+  auto run = [&](const std::string& label, fl::Algorithm& a, bool novel) {
+    auto res = fl::run_federated(a, fed, novel);
+    auto s = metrics::compute_stats(res.train_accuracies);
+    auto nv = metrics::compute_stats(res.novel_accuracies);
+    std::printf("%-22s mean %5.2f std %5.2f | novel %5.2f | %4.1fs\n",
+                label.c_str(), s.mean * 100, s.stddev * 100, nv.mean * 100,
+                res.wall_seconds);
+    std::fflush(stdout);
+  };
+
+  if (!env::get_flag("SKIP_SSL")) {
+    auto algo = algos::make_algorithm("pFL-SimCLR", cfg);
+    run("pFL-SimCLR", *algo, false);
+  }
+  if (!env::get_flag("SKIP_SUP")) {
+    auto algo = algos::make_algorithm("FedAvg-FT", cfg);
+    run("FedAvg-FT", *algo, false);
+  }
+  {
+    auto cal = algos::make_calibre(ssl::Kind::kSimClr, cfg, cc);
+    run("Calibre(SimCLR)", *cal, false);
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Thread-safe per-client persistent state (local heads, personal models,
+// control variates). local_update/personalize run concurrently for distinct
+// clients, so the store serialises access.
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+namespace calibre::algos {
+
+template <typename T>
+class ClientStore {
+ public:
+  std::optional<T> get(int client_id) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = map_.find(client_id);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  void put(int client_id, T value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_[client_id] = std::move(value);
+  }
+
+  bool contains(int client_id) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return map_.count(client_id) > 0;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return map_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<int, T> map_;
+};
+
+}  // namespace calibre::algos

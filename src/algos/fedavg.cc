@@ -1,0 +1,35 @@
+#include "algos/fedavg.h"
+
+namespace calibre::algos {
+
+nn::ModelState FedAvg::initialize() {
+  const fl::EncoderHeadModel model =
+      fl::make_encoder_head(config_, config_.seed);
+  return nn::ModelState::from_parameters(model.all_parameters());
+}
+
+fl::ClientUpdate FedAvg::local_update(const nn::ModelState& global,
+                                      const fl::ClientContext& ctx) {
+  fl::EncoderHeadModel model = fl::make_encoder_head(config_, config_.seed);
+  global.apply_to(model.all_parameters());
+  rng::Generator gen(ctx.seed);
+  fl::train_supervised(model, model.all_parameters(), *ctx.train, config_,
+                       config_.local_epochs, gen);
+  fl::ClientUpdate update;
+  update.state = nn::ModelState::from_parameters(model.all_parameters());
+  update.weight = static_cast<float>(ctx.train->size());
+  return update;
+}
+
+double FedAvg::personalize(const nn::ModelState& global,
+                           const fl::PersonalizationContext& ctx) {
+  fl::EncoderHeadModel model = fl::make_encoder_head(config_, config_.seed);
+  global.apply_to(model.all_parameters());
+  if (!finetune_head_) {
+    return fl::evaluate_accuracy(model, *ctx.test);
+  }
+  return fl::finetune_and_eval(model, model.head_parameters(), *ctx.train,
+                               *ctx.test, config_.probe, ctx.seed);
+}
+
+}  // namespace calibre::algos

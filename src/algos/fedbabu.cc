@@ -1,0 +1,41 @@
+#include "algos/fedbabu.h"
+
+namespace calibre::algos {
+
+FedBabu::FedBabu(const fl::FlConfig& config) : fl::Algorithm(config) {
+  const fl::EncoderHeadModel model =
+      fl::make_encoder_head(config_, config_.seed);
+  fixed_head_ = nn::ModelState::from_parameters(model.head_parameters());
+}
+
+nn::ModelState FedBabu::initialize() {
+  const fl::EncoderHeadModel model =
+      fl::make_encoder_head(config_, config_.seed);
+  return nn::ModelState::from_parameters(model.encoder_parameters());
+}
+
+fl::ClientUpdate FedBabu::local_update(const nn::ModelState& global,
+                                       const fl::ClientContext& ctx) {
+  fl::EncoderHeadModel model = fl::make_encoder_head(config_, config_.seed);
+  global.apply_to(model.encoder_parameters());
+  fixed_head_.apply_to(model.head_parameters());
+  rng::Generator gen(ctx.seed);
+  // Body-only updates through the frozen random head.
+  fl::train_supervised(model, model.encoder_parameters(), *ctx.train, config_,
+                       config_.local_epochs, gen);
+  fl::ClientUpdate update;
+  update.state = nn::ModelState::from_parameters(model.encoder_parameters());
+  update.weight = static_cast<float>(ctx.train->size());
+  return update;
+}
+
+double FedBabu::personalize(const nn::ModelState& global,
+                            const fl::PersonalizationContext& ctx) {
+  fl::EncoderHeadModel model = fl::make_encoder_head(config_, config_.seed);
+  global.apply_to(model.encoder_parameters());
+  fixed_head_.apply_to(model.head_parameters());
+  return fl::finetune_and_eval(model, model.head_parameters(), *ctx.train,
+                               *ctx.test, config_.probe, ctx.seed);
+}
+
+}  // namespace calibre::algos

@@ -1,0 +1,44 @@
+#include "algos/fedrep.h"
+
+namespace calibre::algos {
+
+nn::ModelState FedRep::initialize() {
+  const fl::EncoderHeadModel model =
+      fl::make_encoder_head(config_, config_.seed);
+  return nn::ModelState::from_parameters(model.encoder_parameters());
+}
+
+fl::ClientUpdate FedRep::local_update(const nn::ModelState& global,
+                                      const fl::ClientContext& ctx) {
+  fl::EncoderHeadModel model = fl::make_encoder_head(config_, config_.seed);
+  global.apply_to(model.encoder_parameters());
+  if (const auto head = heads_.get(ctx.client_id)) {
+    head->apply_to(model.head_parameters());
+  }
+  rng::Generator gen(ctx.seed);
+  // Head epochs with the representation frozen...
+  fl::train_supervised(model, model.head_parameters(), *ctx.train, config_,
+                       config_.local_epochs, gen);
+  // ...then representation epochs with the head frozen.
+  fl::train_supervised(model, model.encoder_parameters(), *ctx.train, config_,
+                       config_.local_epochs, gen);
+  heads_.put(ctx.client_id,
+             nn::ModelState::from_parameters(model.head_parameters()));
+  fl::ClientUpdate update;
+  update.state = nn::ModelState::from_parameters(model.encoder_parameters());
+  update.weight = static_cast<float>(ctx.train->size());
+  return update;
+}
+
+double FedRep::personalize(const nn::ModelState& global,
+                           const fl::PersonalizationContext& ctx) {
+  fl::EncoderHeadModel model = fl::make_encoder_head(config_, config_.seed);
+  global.apply_to(model.encoder_parameters());
+  if (const auto head = heads_.get(ctx.client_id)) {
+    head->apply_to(model.head_parameters());
+  }
+  return fl::finetune_and_eval(model, model.head_parameters(), *ctx.train,
+                               *ctx.test, config_.probe, ctx.seed);
+}
+
+}  // namespace calibre::algos

@@ -1,0 +1,54 @@
+#include "algos/lg_fedavg.h"
+
+namespace calibre::algos {
+
+nn::ModelState LgFedAvg::initialize() {
+  const fl::EncoderHeadModel model =
+      fl::make_encoder_head(config_, config_.seed);
+  return nn::ModelState::from_parameters(model.head_parameters());
+}
+
+fl::ClientUpdate LgFedAvg::local_update(const nn::ModelState& global,
+                                        const fl::ClientContext& ctx) {
+  fl::EncoderHeadModel model = fl::make_encoder_head(config_, config_.seed);
+  global.apply_to(model.head_parameters());
+  if (const auto encoder = encoders_.get(ctx.client_id)) {
+    encoder->apply_to(model.encoder_parameters());
+  }
+  rng::Generator gen(ctx.seed);
+  fl::train_supervised(model, model.all_parameters(), *ctx.train, config_,
+                       config_.local_epochs, gen);
+  encoders_.put(ctx.client_id,
+                nn::ModelState::from_parameters(model.encoder_parameters()));
+  fl::ClientUpdate update;
+  update.state = nn::ModelState::from_parameters(model.head_parameters());
+  update.weight = static_cast<float>(ctx.train->size());
+  return update;
+}
+
+double LgFedAvg::personalize(const nn::ModelState& global,
+                             const fl::PersonalizationContext& ctx) {
+  fl::EncoderHeadModel model = fl::make_encoder_head(config_, config_.seed);
+  global.apply_to(model.head_parameters());
+  const auto encoder = encoders_.get(ctx.client_id);
+  if (encoder) {
+    encoder->apply_to(model.encoder_parameters());
+    return fl::finetune_and_eval(model, model.head_parameters(), *ctx.train,
+                                 *ctx.test, config_.probe, ctx.seed);
+  }
+  // Novel client: no trained local representation exists, so the whole model
+  // must be personalized from scratch within the 10-epoch budget.
+  return fl::finetune_and_eval(model, model.all_parameters(), *ctx.train,
+                               *ctx.test, config_.probe, ctx.seed);
+}
+
+tensor::Tensor LgFedAvg::client_features(int client_id,
+                                         const tensor::Tensor& x) {
+  fl::EncoderHeadModel model = fl::make_encoder_head(config_, config_.seed);
+  if (const auto encoder = encoders_.get(client_id)) {
+    encoder->apply_to(model.encoder_parameters());
+  }
+  return model.encoder->forward(ag::constant(x))->value;
+}
+
+}  // namespace calibre::algos

@@ -1,0 +1,24 @@
+#include "algos/local_only.h"
+
+#include "common/check.h"
+
+namespace calibre::algos {
+
+fl::ClientUpdate LocalOnly::local_update(const nn::ModelState&,
+                                         const fl::ClientContext&) {
+  CALIBRE_CHECK_MSG(false,
+                    "LocalOnly has no training stage; run with rounds = 0");
+  return {};
+}
+
+double LocalOnly::personalize(const nn::ModelState& /*global*/,
+                              const fl::PersonalizationContext& ctx) {
+  // A fresh model per client, trained only on the client's local shard.
+  fl::EncoderHeadModel model = fl::make_encoder_head(config_, ctx.seed);
+  rng::Generator gen(ctx.seed ^ 0x10CA1);
+  fl::train_supervised(model, model.all_parameters(), *ctx.train, config_,
+                       epochs_, gen);
+  return fl::evaluate_accuracy(model, *ctx.test);
+}
+
+}  // namespace calibre::algos

@@ -1,0 +1,64 @@
+#include "algos/qffl.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace calibre::algos {
+
+nn::ModelState QFfl::initialize() {
+  const fl::EncoderHeadModel model =
+      fl::make_encoder_head(config_, config_.seed);
+  return nn::ModelState::from_parameters(model.all_parameters());
+}
+
+fl::ClientUpdate QFfl::local_update(const nn::ModelState& global,
+                                    const fl::ClientContext& ctx) {
+  fl::EncoderHeadModel model = fl::make_encoder_head(config_, config_.seed);
+  global.apply_to(model.all_parameters());
+  rng::Generator gen(ctx.seed);
+  const float mean_loss =
+      fl::train_supervised(model, model.all_parameters(), *ctx.train, config_,
+                           config_.local_epochs, gen);
+  fl::ClientUpdate update;
+  update.state = nn::ModelState::from_parameters(model.all_parameters());
+  update.weight = static_cast<float>(ctx.train->size());
+  update.scalars["loss"] = mean_loss;
+  return update;
+}
+
+nn::ModelState QFfl::aggregate(const nn::ModelState& /*global*/,
+                               const std::vector<fl::ClientUpdate>& updates,
+                               int /*round*/) {
+  CALIBRE_CHECK(!updates.empty());
+  // w_c ∝ n_c * (L_c + eps)^q : high-loss (struggling) clients dominate.
+  double total = 0.0;
+  std::vector<double> weights(updates.size());
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    const auto it = updates[i].scalars.find("loss");
+    const double loss = it == updates[i].scalars.end()
+                            ? 1.0
+                            : static_cast<double>(it->second);
+    weights[i] = static_cast<double>(updates[i].weight) *
+                 std::pow(std::max(loss, 1e-4), static_cast<double>(q_));
+    total += weights[i];
+  }
+  CALIBRE_CHECK(total > 0.0);
+  nn::ModelState result(
+      std::vector<float>(updates.front().state.size(), 0.0f));
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    result.add_scaled(updates[i].state,
+                      static_cast<float>(weights[i] / total));
+  }
+  return result;
+}
+
+double QFfl::personalize(const nn::ModelState& global,
+                         const fl::PersonalizationContext& ctx) {
+  fl::EncoderHeadModel model = fl::make_encoder_head(config_, config_.seed);
+  global.apply_to(model.all_parameters());
+  return fl::finetune_and_eval(model, model.head_parameters(), *ctx.train,
+                               *ctx.test, config_.probe, ctx.seed);
+}
+
+}  // namespace calibre::algos

@@ -1,0 +1,91 @@
+#include "algos/registry.h"
+
+#include "algos/apfl.h"
+#include "algos/ditto.h"
+#include "algos/fedavg.h"
+#include "algos/fedbabu.h"
+#include "algos/fedema.h"
+#include "algos/fedper.h"
+#include "algos/fedprox.h"
+#include "algos/fedrep.h"
+#include "algos/lg_fedavg.h"
+#include "algos/local_only.h"
+#include "algos/perfedavg.h"
+#include "algos/qffl.h"
+#include "algos/scaffold.h"
+#include "common/check.h"
+
+namespace calibre::algos {
+namespace {
+
+bool parse_ssl_kind(const std::string& name, ssl::Kind& kind) {
+  if (name == "SimCLR") kind = ssl::Kind::kSimClr;
+  else if (name == "BYOL") kind = ssl::Kind::kByol;
+  else if (name == "SimSiam") kind = ssl::Kind::kSimSiam;
+  else if (name == "MoCoV2") kind = ssl::Kind::kMoCoV2;
+  else if (name == "SwAV") kind = ssl::Kind::kSwav;
+  else if (name == "SMoG") kind = ssl::Kind::kSmog;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+std::unique_ptr<fl::Algorithm> make_algorithm(const std::string& name,
+                                              const fl::FlConfig& config) {
+  if (name == "FedAvg") return std::make_unique<FedAvg>(config, false);
+  if (name == "FedAvg-FT") return std::make_unique<FedAvg>(config, true);
+  if (name == "SCAFFOLD") return std::make_unique<Scaffold>(config, false);
+  if (name == "SCAFFOLD-FT") return std::make_unique<Scaffold>(config, true);
+  if (name == "FedProx") return std::make_unique<FedProx>(config);
+  if (name == "q-FedAvg") return std::make_unique<QFfl>(config);
+  if (name == "LG-FedAvg") return std::make_unique<LgFedAvg>(config);
+  if (name == "FedPer") return std::make_unique<FedPer>(config);
+  if (name == "FedRep") return std::make_unique<FedRep>(config);
+  if (name == "FedBABU") return std::make_unique<FedBabu>(config);
+  if (name == "PerFedAvg") return std::make_unique<PerFedAvg>(config);
+  if (name == "APFL") return std::make_unique<Apfl>(config);
+  if (name == "Ditto") return std::make_unique<Ditto>(config);
+  if (name == "FedEMA") return std::make_unique<FedEma>(config);
+  if (name == "Script-Fair") {
+    return std::make_unique<LocalOnly>(config, 10, "Script-Fair");
+  }
+  if (name == "Script-Convergent") {
+    return std::make_unique<LocalOnly>(config, 60, "Script-Convergent");
+  }
+  if (name.rfind("pFL-", 0) == 0) {
+    ssl::Kind kind;
+    CALIBRE_CHECK_MSG(parse_ssl_kind(name.substr(4), kind),
+                      "unknown SSL method in " << name);
+    return std::make_unique<core::PflSsl>(config, kind);
+  }
+  if (name.rfind("Calibre (", 0) == 0 && name.back() == ')') {
+    ssl::Kind kind;
+    CALIBRE_CHECK_MSG(
+        parse_ssl_kind(name.substr(9, name.size() - 10), kind),
+        "unknown SSL method in " << name);
+    return std::make_unique<core::Calibre>(config, kind);
+  }
+  CALIBRE_CHECK_MSG(false, "unknown algorithm: " << name);
+  return nullptr;
+}
+
+std::unique_ptr<fl::Algorithm> make_calibre(
+    ssl::Kind kind, const fl::FlConfig& config,
+    const core::CalibreConfig& calibre_config) {
+  return std::make_unique<core::Calibre>(config, kind, calibre_config);
+}
+
+std::vector<std::string> registered_algorithms() {
+  return {"FedAvg",     "FedAvg-FT",   "FedProx",      "q-FedAvg",
+          "SCAFFOLD",   "SCAFFOLD-FT",
+          "LG-FedAvg",  "FedPer",      "FedRep",       "FedBABU",
+          "PerFedAvg",  "APFL",        "Ditto",        "FedEMA",
+          "Script-Fair", "Script-Convergent",
+          "pFL-SimCLR", "pFL-BYOL",    "pFL-SimSiam",  "pFL-MoCoV2",
+          "pFL-SwAV",   "pFL-SMoG",
+          "Calibre (SimCLR)", "Calibre (BYOL)", "Calibre (SimSiam)",
+          "Calibre (MoCoV2)", "Calibre (SwAV)", "Calibre (SMoG)"};
+}
+
+}  // namespace calibre::algos

@@ -1,0 +1,32 @@
+// Name-based algorithm factory used by benches, examples and tests.
+//
+// Names: "FedAvg", "FedAvg-FT", "SCAFFOLD", "SCAFFOLD-FT", "LG-FedAvg",
+// "FedPer", "FedRep", "FedBABU", "PerFedAvg", "APFL", "Ditto", "FedEMA",
+// "Script-Fair", "Script-Convergent", "pFL-<SSL>" and "Calibre (<SSL>)" with
+// <SSL> in {SimCLR, BYOL, SimSiam, MoCoV2, SwAV, SMoG}.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/calibre.h"
+#include "fl/algorithm.h"
+
+namespace calibre::algos {
+
+// Creates the algorithm registered under `name`; throws CheckError for
+// unknown names. Script-* algorithms expect config.rounds == 0 at run time
+// (the factory does not modify the config).
+std::unique_ptr<fl::Algorithm> make_algorithm(const std::string& name,
+                                              const fl::FlConfig& config);
+
+// Calibre with explicit ablation switches (paper Table I rows).
+std::unique_ptr<fl::Algorithm> make_calibre(
+    ssl::Kind kind, const fl::FlConfig& config,
+    const core::CalibreConfig& calibre_config);
+
+// All registered algorithm names.
+std::vector<std::string> registered_algorithms();
+
+}  // namespace calibre::algos

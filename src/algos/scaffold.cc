@@ -1,0 +1,164 @@
+#include "algos/scaffold.h"
+
+#include "common/check.h"
+
+namespace calibre::algos {
+namespace {
+
+// grads of `params` += delta (flat layout matching ModelState order).
+void add_flat_to_grads(const std::vector<ag::VarPtr>& params,
+                       const std::vector<float>& delta) {
+  std::size_t offset = 0;
+  for (const ag::VarPtr& p : params) {
+    const std::size_t count = static_cast<std::size_t>(p->value.size());
+    CALIBRE_CHECK(offset + count <= delta.size());
+    for (std::size_t i = 0; i < count; ++i) {
+      p->grad.storage()[i] += delta[offset + i];
+    }
+    offset += count;
+  }
+  CALIBRE_CHECK(offset == delta.size());
+}
+
+std::vector<float> split_front(const std::vector<float>& values,
+                               std::size_t count) {
+  return {values.begin(), values.begin() + static_cast<std::ptrdiff_t>(count)};
+}
+
+std::vector<float> split_back(const std::vector<float>& values,
+                              std::size_t count) {
+  return {values.begin() + static_cast<std::ptrdiff_t>(count), values.end()};
+}
+
+}  // namespace
+
+Scaffold::Scaffold(const fl::FlConfig& config, bool finetune_head)
+    : fl::Algorithm(config), finetune_head_(finetune_head) {
+  const fl::EncoderHeadModel model =
+      fl::make_encoder_head(config_, config_.seed);
+  model_dim_ =
+      nn::ModelState::from_parameters(model.all_parameters()).size();
+  server_control_.assign(model_dim_, 0.0f);
+}
+
+nn::ModelState Scaffold::initialize() {
+  const fl::EncoderHeadModel model =
+      fl::make_encoder_head(config_, config_.seed);
+  std::vector<float> packed =
+      nn::ModelState::from_parameters(model.all_parameters()).values();
+  packed.insert(packed.end(), server_control_.begin(), server_control_.end());
+  return nn::ModelState(std::move(packed));
+}
+
+fl::ClientUpdate Scaffold::local_update(const nn::ModelState& global,
+                                        const fl::ClientContext& ctx) {
+  CALIBRE_CHECK(global.size() == 2 * model_dim_);
+  const std::vector<float> x = split_front(global.values(), model_dim_);
+  const std::vector<float> c = split_back(global.values(), model_dim_);
+  std::vector<float> ci =
+      client_controls_.get(ctx.client_id)
+          .value_or(std::vector<float>(model_dim_, 0.0f));
+
+  fl::EncoderHeadModel model = fl::make_encoder_head(config_, config_.seed);
+  const std::vector<ag::VarPtr> params = model.all_parameters();
+  nn::ModelState(x).apply_to(params);
+
+  // Correction term (c - c_i) added to every SGD step's gradient.
+  std::vector<float> correction(model_dim_);
+  for (std::size_t i = 0; i < model_dim_; ++i) correction[i] = c[i] - ci[i];
+
+  // SCAFFOLD assumes plain (momentum-free) local SGD.
+  const float lr = config_.supervised_opt.learning_rate;
+  nn::Sgd optimizer(params, nn::SgdConfig{lr, 0.0f, 0.0f});
+  rng::Generator gen(ctx.seed);
+  int steps = 0;
+  for (int epoch = 0; epoch < config_.local_epochs; ++epoch) {
+    const auto batches = data::make_batches(ctx.train->size(),
+                                            config_.batch_size, gen,
+                                            /*min_batch=*/2);
+    for (const auto& batch : batches) {
+      std::vector<int> y;
+      y.reserve(batch.size());
+      for (const int index : batch) {
+        y.push_back(ctx.train->labels[static_cast<std::size_t>(index)]);
+      }
+      const tensor::Tensor view =
+          fl::training_view(*ctx.train, batch, config_.augment, gen,
+                            config_.supervised_oracle_views);
+      optimizer.zero_grad();
+      ag::backward(
+          ag::cross_entropy(model.logits(ag::constant(view)), y));
+      add_flat_to_grads(params, correction);
+      optimizer.step();
+      ++steps;
+    }
+  }
+  CALIBRE_CHECK(steps > 0);
+
+  // Option II control update: c_i+ = c_i - c + (x - y_i) / (K * lr).
+  const std::vector<float> y_flat =
+      nn::ModelState::from_parameters(params).values();
+  std::vector<float> ci_new(model_dim_);
+  std::vector<float> delta_c(model_dim_);
+  const float inv_klr = 1.0f / (static_cast<float>(steps) * lr);
+  for (std::size_t i = 0; i < model_dim_; ++i) {
+    ci_new[i] = ci[i] - c[i] + (x[i] - y_flat[i]) * inv_klr;
+    delta_c[i] = ci_new[i] - ci[i];
+  }
+  client_controls_.put(ctx.client_id, std::move(ci_new));
+
+  fl::ClientUpdate update;
+  std::vector<float> packed = y_flat;
+  packed.insert(packed.end(), delta_c.begin(), delta_c.end());
+  update.state = nn::ModelState(std::move(packed));
+  update.weight = static_cast<float>(ctx.train->size());
+  return update;
+}
+
+nn::ModelState Scaffold::aggregate(const nn::ModelState& global,
+                                   const std::vector<fl::ClientUpdate>& updates,
+                                   int /*round*/) {
+  CALIBRE_CHECK(!updates.empty());
+  CALIBRE_CHECK(global.size() == 2 * model_dim_);
+  // Weighted average of the client models.
+  double total_weight = 0.0;
+  for (const auto& update : updates) total_weight += update.weight;
+  std::vector<float> new_x(model_dim_, 0.0f);
+  std::vector<double> mean_delta_c(model_dim_, 0.0);
+  for (const auto& update : updates) {
+    CALIBRE_CHECK(update.state.size() == 2 * model_dim_);
+    const float w = static_cast<float>(update.weight / total_weight);
+    const std::vector<float>& values = update.state.values();
+    for (std::size_t i = 0; i < model_dim_; ++i) {
+      new_x[i] += w * values[i];
+      mean_delta_c[i] += values[model_dim_ + i] /
+                         static_cast<double>(updates.size());
+    }
+  }
+  // c <- c + (|S| / N) * mean(delta_c_i).
+  const float participation =
+      static_cast<float>(updates.size()) /
+      static_cast<float>(std::max(1, config_.num_train_clients));
+  for (std::size_t i = 0; i < model_dim_; ++i) {
+    server_control_[i] +=
+        participation * static_cast<float>(mean_delta_c[i]);
+  }
+  std::vector<float> packed = std::move(new_x);
+  packed.insert(packed.end(), server_control_.begin(), server_control_.end());
+  return nn::ModelState(std::move(packed));
+}
+
+double Scaffold::personalize(const nn::ModelState& global,
+                             const fl::PersonalizationContext& ctx) {
+  CALIBRE_CHECK(global.size() == 2 * model_dim_);
+  fl::EncoderHeadModel model = fl::make_encoder_head(config_, config_.seed);
+  nn::ModelState(split_front(global.values(), model_dim_))
+      .apply_to(model.all_parameters());
+  if (!finetune_head_) {
+    return fl::evaluate_accuracy(model, *ctx.test);
+  }
+  return fl::finetune_and_eval(model, model.head_parameters(), *ctx.train,
+                               *ctx.test, config_.probe, ctx.seed);
+}
+
+}  // namespace calibre::algos

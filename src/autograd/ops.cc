@@ -1,0 +1,318 @@
+#include "autograd/ops.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace calibre::ag {
+namespace {
+
+using tensor::Tensor;
+
+// Builds an interior node. When no parent requires gradients the node is
+// demoted to a constant (no parents, no closure), which prunes dead branches
+// from the tape.
+VarPtr make_node(Tensor value, std::vector<VarPtr> parents,
+                 std::function<void(Variable&)> backward_fn) {
+  auto node = std::make_shared<Variable>(std::move(value));
+  bool requires_g = false;
+  for (const VarPtr& parent : parents) requires_g |= parent->requires_grad;
+  node->requires_grad = requires_g;
+  if (requires_g) {
+    node->parents = std::move(parents);
+    node->backward_fn = std::move(backward_fn);
+  }
+  return node;
+}
+
+// Accumulates `g` into `parent` if it participates in differentiation.
+void push(const VarPtr& parent, const Tensor& g) {
+  if (parent->requires_grad) parent->accumulate_grad(g);
+}
+
+}  // namespace
+
+VarPtr add(const VarPtr& a, const VarPtr& b) {
+  return make_node(tensor::add(a->value, b->value), {a, b},
+                   [a, b](Variable& self) {
+                     push(a, tensor::reduce_to_shape(self.grad, a->value.rows(),
+                                                     a->value.cols()));
+                     push(b, tensor::reduce_to_shape(self.grad, b->value.rows(),
+                                                     b->value.cols()));
+                   });
+}
+
+VarPtr sub(const VarPtr& a, const VarPtr& b) {
+  return make_node(tensor::sub(a->value, b->value), {a, b},
+                   [a, b](Variable& self) {
+                     push(a, tensor::reduce_to_shape(self.grad, a->value.rows(),
+                                                     a->value.cols()));
+                     push(b, tensor::reduce_to_shape(tensor::neg(self.grad),
+                                                     b->value.rows(),
+                                                     b->value.cols()));
+                   });
+}
+
+VarPtr mul(const VarPtr& a, const VarPtr& b) {
+  return make_node(
+      tensor::mul(a->value, b->value), {a, b}, [a, b](Variable& self) {
+        push(a, tensor::reduce_to_shape(tensor::mul(self.grad, b->value),
+                                        a->value.rows(), a->value.cols()));
+        push(b, tensor::reduce_to_shape(tensor::mul(self.grad, a->value),
+                                        b->value.rows(), b->value.cols()));
+      });
+}
+
+VarPtr div(const VarPtr& a, const VarPtr& b) {
+  return make_node(
+      tensor::div(a->value, b->value), {a, b}, [a, b](Variable& self) {
+        push(a, tensor::reduce_to_shape(tensor::div(self.grad, b->value),
+                                        a->value.rows(), a->value.cols()));
+        // d(a/b)/db = -a / b^2
+        const Tensor minus_a_over_b2 = tensor::neg(tensor::div(
+            tensor::div(a->value, b->value), b->value));
+        push(b, tensor::reduce_to_shape(
+                    tensor::mul(self.grad, minus_a_over_b2), b->value.rows(),
+                    b->value.cols()));
+      });
+}
+
+VarPtr add_scalar(const VarPtr& a, float s) {
+  return make_node(tensor::add_scalar(a->value, s), {a},
+                   [a](Variable& self) { push(a, self.grad); });
+}
+
+VarPtr mul_scalar(const VarPtr& a, float s) {
+  return make_node(tensor::mul_scalar(a->value, s), {a},
+                   [a, s](Variable& self) {
+                     push(a, tensor::mul_scalar(self.grad, s));
+                   });
+}
+
+VarPtr neg(const VarPtr& a) {
+  return make_node(tensor::neg(a->value), {a}, [a](Variable& self) {
+    push(a, tensor::neg(self.grad));
+  });
+}
+
+VarPtr exp(const VarPtr& a) {
+  return make_node(tensor::exp(a->value), {a}, [a](Variable& self) {
+    push(a, tensor::mul(self.grad, self.value));
+  });
+}
+
+VarPtr log(const VarPtr& a) {
+  return make_node(tensor::log(a->value), {a}, [a](Variable& self) {
+    push(a, tensor::div(self.grad, a->value));
+  });
+}
+
+VarPtr sqrt(const VarPtr& a) {
+  return make_node(tensor::sqrt(a->value), {a}, [a](Variable& self) {
+    // d sqrt(x) = 0.5 / sqrt(x)
+    push(a, tensor::div(tensor::mul_scalar(self.grad, 0.5f), self.value));
+  });
+}
+
+VarPtr relu(const VarPtr& a) {
+  return make_node(tensor::relu(a->value), {a}, [a](Variable& self) {
+    push(a, tensor::mul(self.grad, tensor::relu_mask(a->value)));
+  });
+}
+
+VarPtr tanh(const VarPtr& a) {
+  return make_node(tensor::tanh(a->value), {a}, [a](Variable& self) {
+    const Tensor one_minus_sq = tensor::sub(
+        Tensor::ones(self.value.rows(), self.value.cols()),
+        tensor::square(self.value));
+    push(a, tensor::mul(self.grad, one_minus_sq));
+  });
+}
+
+VarPtr square(const VarPtr& a) {
+  return make_node(tensor::square(a->value), {a}, [a](Variable& self) {
+    push(a, tensor::mul(self.grad, tensor::mul_scalar(a->value, 2.0f)));
+  });
+}
+
+VarPtr matmul(const VarPtr& a, const VarPtr& b) {
+  return make_node(
+      tensor::matmul(a->value, b->value), {a, b}, [a, b](Variable& self) {
+        push(a, tensor::matmul(self.grad, tensor::transpose(b->value)));
+        push(b, tensor::matmul(tensor::transpose(a->value), self.grad));
+      });
+}
+
+VarPtr transpose(const VarPtr& a) {
+  return make_node(tensor::transpose(a->value), {a}, [a](Variable& self) {
+    push(a, tensor::transpose(self.grad));
+  });
+}
+
+VarPtr row_sum(const VarPtr& a) {
+  return make_node(tensor::row_sum(a->value), {a}, [a](Variable& self) {
+    // Broadcast [N,1] back to [N,D].
+    Tensor g(a->value.rows(), a->value.cols());
+    for (std::int64_t r = 0; r < g.rows(); ++r) {
+      const float gr = self.grad(r, 0);
+      for (std::int64_t c = 0; c < g.cols(); ++c) g(r, c) = gr;
+    }
+    push(a, g);
+  });
+}
+
+VarPtr col_sum(const VarPtr& a) {
+  return make_node(tensor::col_sum(a->value), {a}, [a](Variable& self) {
+    Tensor g(a->value.rows(), a->value.cols());
+    for (std::int64_t r = 0; r < g.rows(); ++r) {
+      for (std::int64_t c = 0; c < g.cols(); ++c) g(r, c) = self.grad(0, c);
+    }
+    push(a, g);
+  });
+}
+
+VarPtr sum_all(const VarPtr& a) {
+  return make_node(tensor::sum_all(a->value), {a}, [a](Variable& self) {
+    push(a, Tensor::full(a->value.rows(), a->value.cols(), self.grad(0, 0)));
+  });
+}
+
+VarPtr concat_rows(const std::vector<VarPtr>& parts) {
+  CALIBRE_CHECK(!parts.empty());
+  std::vector<Tensor> values;
+  values.reserve(parts.size());
+  for (const VarPtr& part : parts) values.push_back(part->value);
+  std::vector<VarPtr> parents = parts;
+  return make_node(tensor::concat_rows(values), std::move(parents),
+                   [parts](Variable& self) {
+                     std::int64_t offset = 0;
+                     for (const VarPtr& part : parts) {
+                       push(part,
+                            tensor::slice_rows(self.grad, offset,
+                                               offset + part->value.rows()));
+                       offset += part->value.rows();
+                     }
+                   });
+}
+
+VarPtr concat_cols(const std::vector<VarPtr>& parts) {
+  CALIBRE_CHECK(!parts.empty());
+  std::vector<Tensor> values;
+  values.reserve(parts.size());
+  for (const VarPtr& part : parts) values.push_back(part->value);
+  std::vector<VarPtr> parents = parts;
+  return make_node(tensor::concat_cols(values), std::move(parents),
+                   [parts](Variable& self) {
+                     std::int64_t offset = 0;
+                     for (const VarPtr& part : parts) {
+                       push(part,
+                            tensor::slice_cols(self.grad, offset,
+                                               offset + part->value.cols()));
+                       offset += part->value.cols();
+                     }
+                   });
+}
+
+VarPtr slice_rows(const VarPtr& a, std::int64_t begin, std::int64_t end) {
+  return make_node(tensor::slice_rows(a->value, begin, end), {a},
+                   [a, begin](Variable& self) {
+                     Tensor g(a->value.rows(), a->value.cols());
+                     for (std::int64_t r = 0; r < self.grad.rows(); ++r) {
+                       for (std::int64_t c = 0; c < g.cols(); ++c) {
+                         g(begin + r, c) = self.grad(r, c);
+                       }
+                     }
+                     push(a, g);
+                   });
+}
+
+VarPtr gather_cols(const VarPtr& a, std::vector<int> idx) {
+  Tensor value = tensor::gather_cols(a->value, idx);
+  return make_node(std::move(value), {a},
+                   [a, idx = std::move(idx)](Variable& self) {
+                     Tensor g(a->value.rows(), a->value.cols());
+                     for (std::int64_t r = 0; r < g.rows(); ++r) {
+                       g(r, idx[static_cast<std::size_t>(r)]) +=
+                           self.grad(r, 0);
+                     }
+                     push(a, g);
+                   });
+}
+
+VarPtr take_rows(const VarPtr& a, std::vector<int> indices) {
+  Tensor value = tensor::take_rows(a->value, indices);
+  return make_node(std::move(value), {a},
+                   [a, indices = std::move(indices)](Variable& self) {
+                     Tensor g(a->value.rows(), a->value.cols());
+                     for (std::size_t i = 0; i < indices.size(); ++i) {
+                       const std::int64_t src =
+                           static_cast<std::int64_t>(i);
+                       const std::int64_t dst = indices[i];
+                       for (std::int64_t c = 0; c < g.cols(); ++c) {
+                         g(dst, c) += self.grad(src, c);
+                       }
+                     }
+                     push(a, g);
+                   });
+}
+
+VarPtr detach(const VarPtr& a) { return constant(a->value); }
+
+VarPtr mean_all(const VarPtr& a) {
+  CALIBRE_CHECK(a->value.size() > 0);
+  return mul_scalar(sum_all(a), 1.0f / static_cast<float>(a->value.size()));
+}
+
+VarPtr row_mean(const VarPtr& a) {
+  CALIBRE_CHECK(a->value.cols() > 0);
+  return mul_scalar(row_sum(a), 1.0f / static_cast<float>(a->value.cols()));
+}
+
+VarPtr log_softmax(const VarPtr& a) {
+  // Shift by the row max as a constant. Softmax is shift invariant, so the
+  // gradient of the shifted expression equals the true gradient.
+  const VarPtr shift = constant(tensor::row_max(a->value));
+  const VarPtr shifted = sub(a, shift);
+  const VarPtr lse = log(row_sum(exp(shifted)));
+  return sub(shifted, lse);
+}
+
+VarPtr softmax(const VarPtr& a) { return exp(log_softmax(a)); }
+
+VarPtr cross_entropy(const VarPtr& logits, const std::vector<int>& labels) {
+  CALIBRE_CHECK_MSG(
+      static_cast<std::int64_t>(labels.size()) == logits->value.rows(),
+      "cross_entropy: one label per row");
+  const VarPtr picked = gather_cols(log_softmax(logits), labels);
+  return neg(mean_all(picked));
+}
+
+VarPtr cross_entropy_soft(const VarPtr& logits, const tensor::Tensor& targets) {
+  CALIBRE_CHECK_MSG(targets.rows() == logits->value.rows() &&
+                        targets.cols() == logits->value.cols(),
+                    "cross_entropy_soft shape mismatch");
+  const VarPtr weighted = mul(log_softmax(logits), constant(targets));
+  const float n = static_cast<float>(logits->value.rows());
+  return neg(mul_scalar(sum_all(weighted), 1.0f / n));
+}
+
+VarPtr l2_normalize(const VarPtr& a, float eps) {
+  const VarPtr norms = sqrt(add_scalar(row_sum(square(a)), eps));
+  return div(a, norms);
+}
+
+VarPtr mse(const VarPtr& a, const tensor::Tensor& target) {
+  const VarPtr diff = sub(a, constant(target));
+  return mean_all(square(diff));
+}
+
+VarPtr sq_dists_to(const VarPtr& a, const VarPtr& centroids) {
+  // ||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2 via broadcasting:
+  // [N,1] + [1,K] - 2 [N,K].
+  const VarPtr x_sq = row_sum(square(a));                       // [N,1]
+  const VarPtr c_sq = transpose(row_sum(square(centroids)));    // [1,K]
+  const VarPtr cross = matmul(a, transpose(centroids));         // [N,K]
+  return add(add(x_sq, c_sq), mul_scalar(cross, -2.0f));
+}
+
+}  // namespace calibre::ag

@@ -1,0 +1,66 @@
+// Reverse-mode automatic differentiation.
+//
+// Every differentiable quantity is a Variable node in a dynamically built
+// DAG. Leaf nodes are either parameters (requires_grad = true, persistent
+// across steps — the optimizer reads value/grad in place) or constants.
+// Interior nodes are produced by the op library in ops.h and carry a
+// backward_fn closure that routes the node's accumulated gradient to its
+// parents. backward() topologically sorts the DAG from the (scalar) root and
+// runs the closures in reverse order, so fan-out is handled by plain gradient
+// accumulation.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace calibre::ag {
+
+class Variable;
+using VarPtr = std::shared_ptr<Variable>;
+
+class Variable {
+ public:
+  explicit Variable(tensor::Tensor v, bool requires_g = false)
+      : value(std::move(v)), requires_grad(requires_g) {}
+
+  // Forward value of this node.
+  tensor::Tensor value;
+
+  // Accumulated gradient dLoss/dvalue; empty until first accumulation.
+  tensor::Tensor grad;
+
+  // True when gradients should flow into this node.
+  bool requires_grad = false;
+
+  // Inputs of the op that produced this node (empty for leaves).
+  std::vector<VarPtr> parents;
+
+  // Routes this node's grad into its parents. Null for leaves.
+  std::function<void(Variable&)> backward_fn;
+
+  // Adds `g` (shaped like value) into grad, allocating on first use.
+  void accumulate_grad(const tensor::Tensor& g);
+
+  // Resets the gradient buffer to zeros (keeps allocation if present).
+  void zero_grad();
+
+  bool is_leaf() const { return parents.empty(); }
+};
+
+// Leaf factories -------------------------------------------------------------
+
+// A constant: gradients are not tracked through it.
+VarPtr constant(tensor::Tensor value);
+
+// A trainable parameter: persistent leaf whose grad is filled by backward().
+VarPtr parameter(tensor::Tensor value);
+
+// Runs backpropagation from `root`, which must be a scalar ([1,1]).
+// Seeds d(root)/d(root) = 1 and accumulates into every reachable leaf with
+// requires_grad set.
+void backward(const VarPtr& root);
+
+}  // namespace calibre::ag

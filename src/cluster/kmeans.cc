@@ -1,0 +1,169 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace calibre::cluster {
+namespace {
+
+using tensor::Tensor;
+
+float sq_dist_rows(const Tensor& a, std::int64_t i, const Tensor& b,
+                   std::int64_t j) {
+  double total = 0.0;
+  for (std::int64_t c = 0; c < a.cols(); ++c) {
+    const double d = static_cast<double>(a(i, c)) - b(j, c);
+    total += d * d;
+  }
+  return static_cast<float>(total);
+}
+
+// k-means++ seeding: first centroid uniform, the rest proportional to the
+// squared distance from the nearest chosen centroid.
+Tensor seed_centroids(const Tensor& points, int k, rng::Generator& gen) {
+  const std::int64_t n = points.rows();
+  Tensor centroids(k, points.cols());
+  std::vector<double> min_sq(static_cast<std::size_t>(n),
+                             std::numeric_limits<double>::max());
+  const std::int64_t first =
+      static_cast<std::int64_t>(gen.uniform_index(static_cast<std::uint64_t>(n)));
+  for (std::int64_t c = 0; c < points.cols(); ++c) {
+    centroids(0, c) = points(first, c);
+  }
+  for (int chosen = 1; chosen < k; ++chosen) {
+    double total = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      min_sq[static_cast<std::size_t>(i)] = std::min(
+          min_sq[static_cast<std::size_t>(i)],
+          static_cast<double>(sq_dist_rows(points, i, centroids, chosen - 1)));
+      total += min_sq[static_cast<std::size_t>(i)];
+    }
+    // Degenerate input (fewer distinct points than k): fall back to a
+    // uniform draw instead of a zero-weight categorical.
+    const int next =
+        total > 0.0
+            ? gen.categorical(min_sq)
+            : static_cast<int>(gen.uniform_index(static_cast<std::uint64_t>(n)));
+    for (std::int64_t c = 0; c < points.cols(); ++c) {
+      centroids(chosen, c) = points(next, c);
+    }
+  }
+  return centroids;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const tensor::Tensor& points, const KMeansConfig& config,
+                    rng::Generator& gen) {
+  const std::int64_t n = points.rows();
+  CALIBRE_CHECK_MSG(n > 0, "kmeans on empty input");
+  const int k = std::max(1, std::min<int>(config.k, static_cast<int>(n)));
+
+  KMeansResult result;
+  result.centroids = seed_centroids(points, k, gen);
+  result.assignments.assign(static_cast<std::size_t>(n), 0);
+  result.cluster_sizes.assign(static_cast<std::size_t>(k), 0);
+
+  for (int iter = 0; iter < config.max_iters; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    result.assignments = assign_to_centroids(points, result.centroids);
+    // Update step.
+    Tensor fresh = cluster_means(points, result.assignments, k);
+    std::fill(result.cluster_sizes.begin(), result.cluster_sizes.end(), 0);
+    for (const int a : result.assignments) {
+      ++result.cluster_sizes[static_cast<std::size_t>(a)];
+    }
+    // Reseed empty clusters to the point farthest from its own centroid.
+    for (int c = 0; c < k; ++c) {
+      if (result.cluster_sizes[static_cast<std::size_t>(c)] > 0) continue;
+      std::int64_t farthest = 0;
+      float best = -1.0f;
+      for (std::int64_t i = 0; i < n; ++i) {
+        const float d = sq_dist_rows(
+            points, i, result.centroids,
+            result.assignments[static_cast<std::size_t>(i)]);
+        if (d > best) {
+          best = d;
+          farthest = i;
+        }
+      }
+      for (std::int64_t col = 0; col < points.cols(); ++col) {
+        fresh(c, col) = points(farthest, col);
+      }
+    }
+    // Convergence check on centroid movement.
+    double movement = 0.0;
+    for (int c = 0; c < k; ++c) {
+      movement += std::sqrt(sq_dist_rows(fresh, c, result.centroids, c));
+    }
+    result.centroids = std::move(fresh);
+    if (movement < config.tolerance) break;
+  }
+
+  result.assignments =
+      assign_to_centroids(points, result.centroids, &result.mean_distance);
+  std::fill(result.cluster_sizes.begin(), result.cluster_sizes.end(), 0);
+  for (const int a : result.assignments) {
+    ++result.cluster_sizes[static_cast<std::size_t>(a)];
+  }
+  return result;
+}
+
+std::vector<int> assign_to_centroids(const tensor::Tensor& points,
+                                     const tensor::Tensor& centroids,
+                                     float* mean_distance_out) {
+  CALIBRE_CHECK(points.cols() == centroids.cols());
+  CALIBRE_CHECK(centroids.rows() > 0);
+  std::vector<int> assignments(static_cast<std::size_t>(points.rows()), 0);
+  double total_distance = 0.0;
+  for (std::int64_t i = 0; i < points.rows(); ++i) {
+    float best = std::numeric_limits<float>::max();
+    int arg = 0;
+    for (std::int64_t c = 0; c < centroids.rows(); ++c) {
+      const float d = sq_dist_rows(points, i, centroids, c);
+      if (d < best) {
+        best = d;
+        arg = static_cast<int>(c);
+      }
+    }
+    assignments[static_cast<std::size_t>(i)] = arg;
+    total_distance += std::sqrt(static_cast<double>(best));
+  }
+  if (mean_distance_out != nullptr) {
+    *mean_distance_out =
+        points.rows() == 0
+            ? 0.0f
+            : static_cast<float>(total_distance / points.rows());
+  }
+  return assignments;
+}
+
+tensor::Tensor cluster_means(const tensor::Tensor& points,
+                             const std::vector<int>& assignments, int k) {
+  CALIBRE_CHECK(static_cast<std::int64_t>(assignments.size()) == points.rows());
+  tensor::Tensor means(k, points.cols());
+  std::vector<int> counts(static_cast<std::size_t>(k), 0);
+  for (std::int64_t i = 0; i < points.rows(); ++i) {
+    const int a = assignments[static_cast<std::size_t>(i)];
+    CALIBRE_CHECK(a >= 0 && a < k);
+    ++counts[static_cast<std::size_t>(a)];
+    for (std::int64_t c = 0; c < points.cols(); ++c) {
+      means(a, c) += points(i, c);
+    }
+  }
+  for (int a = 0; a < k; ++a) {
+    const int count = counts[static_cast<std::size_t>(a)];
+    if (count > 0) {
+      for (std::int64_t c = 0; c < points.cols(); ++c) {
+        means(a, c) /= static_cast<float>(count);
+      }
+    }
+  }
+  return means;
+}
+
+}  // namespace calibre::cluster

@@ -1,0 +1,47 @@
+// KMeans clustering — the prototype generator at the heart of Calibre
+// (paper §IV-B "Prototype generation": pseudo labels via "a straightforward
+// clustering algorithm, such as KMeans").
+#pragma once
+
+#include <vector>
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace calibre::cluster {
+
+struct KMeansConfig {
+  int k = 10;
+  int max_iters = 25;
+  // Convergence threshold on total centroid movement.
+  float tolerance = 1e-4f;
+};
+
+struct KMeansResult {
+  tensor::Tensor centroids;         // [k, D]
+  std::vector<int> assignments;     // size N, values in [0, k)
+  std::vector<int> cluster_sizes;   // size k
+  // Mean distance of samples to their assigned centroid — Calibre's "local
+  // divergence rate" is computed from exactly this quantity.
+  float mean_distance = 0.0f;
+  int iterations = 0;
+};
+
+// Lloyd's algorithm with k-means++ seeding. Empty clusters are reseeded to
+// the point farthest from its centroid. k is clamped to the number of
+// distinct rows available (k <= N).
+KMeansResult kmeans(const tensor::Tensor& points, const KMeansConfig& config,
+                    rng::Generator& gen);
+
+// Assigns `points` to the nearest of `centroids`; returns assignments and
+// (optionally) the mean distance via `mean_distance_out`.
+std::vector<int> assign_to_centroids(const tensor::Tensor& points,
+                                     const tensor::Tensor& centroids,
+                                     float* mean_distance_out = nullptr);
+
+// Mean of the rows of `points` selected by each cluster id (0..k-1). Empty
+// clusters get a zero row.
+tensor::Tensor cluster_means(const tensor::Tensor& points,
+                             const std::vector<int>& assignments, int k);
+
+}  // namespace calibre::cluster

@@ -1,0 +1,143 @@
+#include "cluster/quality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/check.h"
+
+namespace calibre::cluster {
+namespace {
+
+double dist_rows(const tensor::Tensor& points, std::int64_t i,
+                 std::int64_t j) {
+  double total = 0.0;
+  for (std::int64_t c = 0; c < points.cols(); ++c) {
+    const double d = static_cast<double>(points(i, c)) - points(j, c);
+    total += d * d;
+  }
+  return std::sqrt(total);
+}
+
+// Remaps arbitrary label values to dense ids [0, k).
+std::vector<int> densify(const std::vector<int>& labels, int& k_out) {
+  std::map<int, int> mapping;
+  std::vector<int> dense(labels.size(), -1);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] < 0) continue;
+    auto [it, inserted] =
+        mapping.emplace(labels[i], static_cast<int>(mapping.size()));
+    dense[i] = it->second;
+  }
+  k_out = static_cast<int>(mapping.size());
+  return dense;
+}
+
+}  // namespace
+
+double silhouette_score(const tensor::Tensor& points,
+                        const std::vector<int>& labels) {
+  CALIBRE_CHECK(static_cast<std::int64_t>(labels.size()) == points.rows());
+  int k = 0;
+  const std::vector<int> dense = densify(labels, k);
+  if (k < 2) return 0.0;
+
+  const std::int64_t n = points.rows();
+  std::vector<int> counts(static_cast<std::size_t>(k), 0);
+  for (const int label : dense) {
+    if (label >= 0) ++counts[static_cast<std::size_t>(label)];
+  }
+
+  double total_s = 0.0;
+  std::int64_t scored = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int own = dense[static_cast<std::size_t>(i)];
+    if (own < 0) continue;
+    if (counts[static_cast<std::size_t>(own)] < 2) continue;  // singleton
+    // Mean distance per cluster.
+    std::vector<double> sums(static_cast<std::size_t>(k), 0.0);
+    for (std::int64_t j = 0; j < n; ++j) {
+      const int other = dense[static_cast<std::size_t>(j)];
+      if (other < 0 || j == i) continue;
+      sums[static_cast<std::size_t>(other)] += dist_rows(points, i, j);
+    }
+    const double a =
+        sums[static_cast<std::size_t>(own)] /
+        (counts[static_cast<std::size_t>(own)] - 1);
+    double b = std::numeric_limits<double>::max();
+    for (int c = 0; c < k; ++c) {
+      if (c == own || counts[static_cast<std::size_t>(c)] == 0) continue;
+      b = std::min(b, sums[static_cast<std::size_t>(c)] /
+                          counts[static_cast<std::size_t>(c)]);
+    }
+    if (b == std::numeric_limits<double>::max()) continue;
+    const double denom = std::max(a, b);
+    if (denom > 0.0) {
+      total_s += (b - a) / denom;
+    }
+    ++scored;
+  }
+  return scored == 0 ? 0.0 : total_s / static_cast<double>(scored);
+}
+
+double cluster_purity(const std::vector<int>& clusters,
+                      const std::vector<int>& labels) {
+  CALIBRE_CHECK(clusters.size() == labels.size());
+  CALIBRE_CHECK(!clusters.empty());
+  std::map<int, std::map<int, int>> histogram;  // cluster -> label -> count
+  int total = 0;
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    if (labels[i] < 0) continue;
+    ++histogram[clusters[i]][labels[i]];
+    ++total;
+  }
+  if (total == 0) return 0.0;
+  int majority_total = 0;
+  for (const auto& [cluster, label_counts] : histogram) {
+    int best = 0;
+    for (const auto& [label, count] : label_counts) best = std::max(best, count);
+    majority_total += best;
+  }
+  return static_cast<double>(majority_total) / total;
+}
+
+double normalized_mutual_information(const std::vector<int>& a,
+                                     const std::vector<int>& b) {
+  CALIBRE_CHECK(a.size() == b.size());
+  CALIBRE_CHECK(!a.empty());
+  std::map<std::pair<int, int>, double> joint;
+  std::map<int, double> pa;
+  std::map<int, double> pb;
+  double n = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < 0 || b[i] < 0) continue;
+    joint[{a[i], b[i]}] += 1.0;
+    pa[a[i]] += 1.0;
+    pb[b[i]] += 1.0;
+    n += 1.0;
+  }
+  if (n == 0.0) return 0.0;
+  for (auto& [key, value] : joint) value /= n;
+  for (auto& [key, value] : pa) value /= n;
+  for (auto& [key, value] : pb) value /= n;
+
+  double mi = 0.0;
+  for (const auto& [key, pxy] : joint) {
+    const double px = pa[key.first];
+    const double py = pb[key.second];
+    if (pxy > 0.0) mi += pxy * std::log(pxy / (px * py));
+  }
+  double ha = 0.0;
+  for (const auto& [key, p] : pa) {
+    if (p > 0.0) ha -= p * std::log(p);
+  }
+  double hb = 0.0;
+  for (const auto& [key, p] : pb) {
+    if (p > 0.0) hb -= p * std::log(p);
+  }
+  if (ha <= 0.0 || hb <= 0.0) return 0.0;
+  return mi / std::sqrt(ha * hb);
+}
+
+}  // namespace calibre::cluster

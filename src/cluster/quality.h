@@ -1,0 +1,26 @@
+// Cluster-quality metrics used to quantify what the paper's t-SNE figures
+// show visually: how cleanly representations separate into class clusters.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace calibre::cluster {
+
+// Mean silhouette coefficient over all points, in [-1, 1]; higher means
+// tighter, better separated clusters. Labels < 0 are ignored. Returns 0 when
+// fewer than two labeled clusters are present.
+double silhouette_score(const tensor::Tensor& points,
+                        const std::vector<int>& labels);
+
+// Purity of `clusters` against ground-truth `labels`: the fraction of points
+// whose cluster's majority label matches their own. In (0, 1].
+double cluster_purity(const std::vector<int>& clusters,
+                      const std::vector<int>& labels);
+
+// Normalized mutual information between two labelings, in [0, 1].
+double normalized_mutual_information(const std::vector<int>& a,
+                                     const std::vector<int>& b);
+
+}  // namespace calibre::cluster

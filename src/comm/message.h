@@ -1,0 +1,34 @@
+// Message types exchanged between the FL server and simulated client devices.
+//
+// The federated runtime is written against a message-passing boundary: every
+// model that crosses between server and client is serialized to bytes and
+// routed through comm::Router, exactly as it would be over a network. This
+// keeps algorithm implementations honest (no shared mutable model objects)
+// and gives the runtime real concurrency.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace calibre::comm {
+
+// Endpoint id of the server; clients use their non-negative client id.
+inline constexpr int kServerEndpoint = -1;
+
+enum class MessageType : std::uint8_t {
+  kTrainRequest = 1,   // server -> client: global state, please run local update
+  kTrainResponse = 2,  // client -> server: serialized ClientUpdate
+  kShutdown = 3,       // server -> client: stop serving
+};
+
+struct Message {
+  MessageType type = MessageType::kTrainRequest;
+  int sender = kServerEndpoint;
+  int receiver = kServerEndpoint;
+  int round = 0;
+  std::vector<std::uint8_t> payload;
+
+  std::size_t wire_size() const { return payload.size() + 16; }
+};
+
+}  // namespace calibre::comm

@@ -1,0 +1,38 @@
+#include "comm/router.h"
+
+#include "common/check.h"
+
+namespace calibre::comm {
+
+Router::Router(std::size_t num_threads) : pool_(num_threads) {}
+
+void Router::register_endpoint(int endpoint, Handler handler) {
+  CALIBRE_CHECK_MSG(endpoint != kServerEndpoint,
+                    "server endpoint uses the mailbox, not a handler");
+  const auto [it, inserted] = handlers_.emplace(endpoint, std::move(handler));
+  CALIBRE_CHECK_MSG(inserted, "endpoint " << endpoint << " already registered");
+}
+
+void Router::send(Message message) {
+  messages_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(message.wire_size(), std::memory_order_relaxed);
+  if (message.receiver == kServerEndpoint) {
+    server_mailbox_.push(std::move(message));
+    return;
+  }
+  const auto it = handlers_.find(message.receiver);
+  CALIBRE_CHECK_MSG(it != handlers_.end(),
+                    "no endpoint registered for client " << message.receiver);
+  Handler& handler = it->second;
+  // The handler reference stays valid: registration is frozen before sending.
+  pool_.submit([&handler, message = std::move(message)]() mutable {
+    handler(message);
+  });
+}
+
+TrafficStats Router::stats() const {
+  return TrafficStats{messages_.load(std::memory_order_relaxed),
+                      bytes_.load(std::memory_order_relaxed)};
+}
+
+}  // namespace calibre::comm

@@ -1,0 +1,56 @@
+// In-process message router: the "network" of the federated simulation.
+//
+// Client endpoints register handlers; messages addressed to them are executed
+// on a shared thread pool (each client is an independent device). Messages
+// addressed to the server land in the server mailbox, which the round loop
+// drains synchronously. Traffic counters expose the communication cost of an
+// experiment.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "comm/mailbox.h"
+#include "common/thread_pool.h"
+
+namespace calibre::comm {
+
+struct TrafficStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+class Router {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  explicit Router(std::size_t num_threads);
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  // Registers the handler executed (on the pool) for messages to `endpoint`.
+  // Must not be called after sends to that endpoint have started.
+  void register_endpoint(int endpoint, Handler handler);
+
+  // Routes `message`: server-addressed messages go to the server mailbox;
+  // client-addressed ones are dispatched to the endpoint handler on the pool.
+  // Throws when the receiver is unknown.
+  void send(Message message);
+
+  // Inbox for messages addressed to kServerEndpoint.
+  Mailbox& server_mailbox() { return server_mailbox_; }
+
+  TrafficStats stats() const;
+
+ private:
+  common::ThreadPool pool_;
+  Mailbox server_mailbox_;
+  std::unordered_map<int, Handler> handlers_;
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+};
+
+}  // namespace calibre::comm

@@ -1,0 +1,117 @@
+// Minimal binary writer/reader for wire payloads (little-endian host order;
+// the simulation never crosses machines, but the format is explicit so it
+// could).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace calibre::comm {
+
+class Writer {
+ public:
+  void write_u8(std::uint8_t value) { buffer_.push_back(value); }
+  void write_u32(std::uint32_t value) { write_raw(&value, sizeof(value)); }
+  void write_u64(std::uint64_t value) { write_raw(&value, sizeof(value)); }
+  void write_f32(float value) { write_raw(&value, sizeof(value)); }
+
+  void write_string(const std::string& value) {
+    write_u32(static_cast<std::uint32_t>(value.size()));
+    write_raw(value.data(), value.size());
+  }
+
+  void write_f32_vector(const std::vector<float>& values) {
+    write_u64(values.size());
+    write_raw(values.data(), values.size() * sizeof(float));
+  }
+
+  void write_scalar_map(const std::map<std::string, float>& scalars) {
+    write_u32(static_cast<std::uint32_t>(scalars.size()));
+    for (const auto& [key, value] : scalars) {
+      write_string(key);
+      write_f32(value);
+    }
+  }
+
+  std::vector<std::uint8_t> take() { return std::move(buffer_); }
+  const std::vector<std::uint8_t>& bytes() const { return buffer_; }
+
+ private:
+  void write_raw(const void* data, std::size_t size) {
+    const auto* begin = static_cast<const std::uint8_t*>(data);
+    buffer_.insert(buffer_.end(), begin, begin + size);
+  }
+
+  std::vector<std::uint8_t> buffer_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+
+  std::uint8_t read_u8() {
+    std::uint8_t value = 0;
+    read_raw(&value, sizeof(value));
+    return value;
+  }
+  std::uint32_t read_u32() {
+    std::uint32_t value = 0;
+    read_raw(&value, sizeof(value));
+    return value;
+  }
+  std::uint64_t read_u64() {
+    std::uint64_t value = 0;
+    read_raw(&value, sizeof(value));
+    return value;
+  }
+  float read_f32() {
+    float value = 0.0f;
+    read_raw(&value, sizeof(value));
+    return value;
+  }
+
+  std::string read_string() {
+    const std::uint32_t size = read_u32();
+    std::string value(size, '\0');
+    read_raw(value.data(), size);
+    return value;
+  }
+
+  std::vector<float> read_f32_vector() {
+    const std::uint64_t count = read_u64();
+    std::vector<float> values(count);
+    read_raw(values.data(), count * sizeof(float));
+    return values;
+  }
+
+  std::map<std::string, float> read_scalar_map() {
+    const std::uint32_t count = read_u32();
+    std::map<std::string, float> scalars;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::string key = read_string();
+      scalars[key] = read_f32();
+    }
+    return scalars;
+  }
+
+  bool exhausted() const { return cursor_ == bytes_.size(); }
+
+ private:
+  void read_raw(void* out, std::size_t size) {
+    CALIBRE_CHECK_MSG(cursor_ + size <= bytes_.size(),
+                      "serde underflow: want " << size << " at " << cursor_
+                                               << "/" << bytes_.size());
+    std::memcpy(out, bytes_.data() + cursor_, size);
+    cursor_ += size;
+  }
+
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace calibre::comm

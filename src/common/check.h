@@ -1,0 +1,50 @@
+// Lightweight runtime-check macros used across the library.
+//
+// CALIBRE_CHECK fires in every build type: invariants guarding library
+// correctness (shape mismatches, invalid arguments) must never be compiled
+// out, because experiment results silently produced from corrupted state are
+// worse than a crash.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace calibre {
+
+// Error type thrown by all CALIBRE_CHECK failures. Deriving from
+// std::runtime_error keeps call sites exception-agnostic.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace calibre
+
+#define CALIBRE_CHECK(cond)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::calibre::detail::check_failed(#cond, __FILE__, __LINE__, "");    \
+    }                                                                    \
+  } while (0)
+
+#define CALIBRE_CHECK_MSG(cond, msg)                                     \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::ostringstream calibre_check_os_;                              \
+      calibre_check_os_ << msg;                                          \
+      ::calibre::detail::check_failed(#cond, __FILE__, __LINE__,         \
+                                      calibre_check_os_.str());          \
+    }                                                                    \
+  } while (0)

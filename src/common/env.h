@@ -1,0 +1,22 @@
+// Typed environment-variable lookup used by benches/examples to scale
+// experiment size without recompiling (e.g. CALIBRE_ROUNDS=50).
+#pragma once
+
+#include <string>
+
+namespace calibre::env {
+
+// Returns the integer value of `name`, or `fallback` when the variable is
+// unset or unparsable.
+int get_int(const char* name, int fallback);
+
+// Returns the double value of `name`, or `fallback` when unset/unparsable.
+double get_double(const char* name, double fallback);
+
+// Returns the string value of `name`, or `fallback` when unset.
+std::string get_string(const char* name, const std::string& fallback);
+
+// True when the variable is set to a truthy value ("1", "true", "yes", "on").
+bool get_flag(const char* name, bool fallback = false);
+
+}  // namespace calibre::env

@@ -1,0 +1,66 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+namespace calibre::flags {
+
+Parser::Parser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "true";  // bare switch
+    }
+  }
+}
+
+std::string Parser::get(const std::string& name,
+                        const std::string& fallback) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+int Parser::get_int(const std::string& name, int fallback) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(it->second.c_str(), &end, 10);
+  return (end != it->second.c_str() && *end == '\0')
+             ? static_cast<int>(parsed)
+             : fallback;
+}
+
+double Parser::get_double(const std::string& name, double fallback) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(it->second.c_str(), &end);
+  return (end != it->second.c_str() && *end == '\0') ? parsed : fallback;
+}
+
+bool Parser::has(const std::string& name) const {
+  queried_[name] = true;
+  return values_.count(name) > 0;
+}
+
+std::vector<std::string> Parser::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : values_) {
+    if (!queried_.count(name)) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace calibre::flags

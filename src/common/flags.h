@@ -1,0 +1,34 @@
+// Minimal command-line flag parsing for the CLI tools:
+//   --key=value   --key value   --switch
+// Unrecognised positional arguments are collected separately.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace calibre::flags {
+
+class Parser {
+ public:
+  Parser(int argc, const char* const* argv);
+
+  // Value of --name, or `fallback` when absent.
+  std::string get(const std::string& name, const std::string& fallback) const;
+  int get_int(const std::string& name, int fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  // True when --name was passed (with any value or as a bare switch).
+  bool has(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Flags that were provided but never queried — typo detection.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace calibre::flags

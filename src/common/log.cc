@@ -1,0 +1,63 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+namespace calibre::log {
+namespace {
+
+Level parse_env_level() {
+  const char* env = std::getenv("CALIBRE_LOG_LEVEL");
+  if (env == nullptr) return Level::kInfo;
+  std::string_view v(env);
+  if (v == "debug") return Level::kDebug;
+  if (v == "info") return Level::kInfo;
+  if (v == "warn") return Level::kWarn;
+  if (v == "error") return Level::kError;
+  if (v == "off") return Level::kOff;
+  return Level::kInfo;
+}
+
+std::atomic<Level>& threshold_storage() {
+  static std::atomic<Level> level{parse_env_level()};
+  return level;
+}
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kDebug:
+      return "debug";
+    case Level::kInfo:
+      return "info";
+    case Level::kWarn:
+      return "warn";
+    case Level::kError:
+      return "error";
+    case Level::kOff:
+      return "off";
+  }
+  return "?";
+}
+
+std::mutex& write_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+Level threshold() { return threshold_storage().load(std::memory_order_relaxed); }
+
+void set_threshold(Level level) {
+  threshold_storage().store(level, std::memory_order_relaxed);
+}
+
+void write(Level level, const std::string& message) {
+  if (level < threshold()) return;
+  std::lock_guard<std::mutex> lock(write_mutex());
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace calibre::log

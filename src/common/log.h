@@ -1,0 +1,48 @@
+// Minimal leveled logger. Experiments log progress at Info; the noisy
+// per-round details sit at Debug and are enabled via CALIBRE_LOG_LEVEL=debug.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace calibre::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global threshold; messages below it are dropped. Initialised from the
+// CALIBRE_LOG_LEVEL environment variable (debug/info/warn/error/off).
+Level threshold();
+void set_threshold(Level level);
+
+// Writes one formatted line ("[level] message") to stderr, thread-safely.
+void write(Level level, const std::string& message);
+
+namespace detail {
+
+class LineBuilder {
+ public:
+  explicit LineBuilder(Level level) : level_(level) {}
+  ~LineBuilder() { write(level_, os_.str()); }
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+
+  template <typename T>
+  LineBuilder& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+
+inline detail::LineBuilder debug() { return detail::LineBuilder(Level::kDebug); }
+inline detail::LineBuilder info() { return detail::LineBuilder(Level::kInfo); }
+inline detail::LineBuilder warn() { return detail::LineBuilder(Level::kWarn); }
+inline detail::LineBuilder error() { return detail::LineBuilder(Level::kError); }
+
+}  // namespace calibre::log

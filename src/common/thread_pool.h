@@ -1,0 +1,62 @@
+// Fixed-size thread pool used to run per-client local updates concurrently
+// inside the federated round loop, mirroring the parallelism a real FL
+// deployment gets from having independent client machines.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace calibre::common {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  // Drains outstanding work and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Schedules `fn` and returns a future for its result. Exceptions thrown by
+  // `fn` propagate through the future.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using Result = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<Result()>>(
+        std::forward<Fn>(fn));
+    std::future<Result> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) {
+        throw std::runtime_error("ThreadPool::submit on stopped pool");
+      }
+      tasks_.push([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  std::size_t size() const { return workers_.size(); }
+
+  // A sensible default pool size for experiment drivers.
+  static std::size_t default_parallelism();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace calibre::common

@@ -1,0 +1,36 @@
+#include "core/divergence.h"
+
+#include "cluster/kmeans.h"
+#include "common/check.h"
+
+namespace calibre::core {
+
+float client_divergence(ssl::SslMethod& method, const tensor::Tensor& inputs,
+                        int k, rng::Generator& gen) {
+  CALIBRE_CHECK(inputs.rows() > 0);
+  const tensor::Tensor encodings = method.encode(inputs);
+  cluster::KMeansConfig config;
+  config.k = std::max(2, std::min<int>(k, static_cast<int>(inputs.rows())));
+  return cluster::kmeans(encodings, config, gen).mean_distance;
+}
+
+std::vector<float> divergence_weights(const std::vector<float>& divergences,
+                                      const std::vector<float>& sample_weights,
+                                      DivergenceMode mode, float eps) {
+  CALIBRE_CHECK(divergences.size() == sample_weights.size());
+  CALIBRE_CHECK(!divergences.empty());
+  std::vector<float> weights(divergences.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < divergences.size(); ++i) {
+    CALIBRE_CHECK_MSG(divergences[i] >= 0.0f, "negative divergence");
+    weights[i] = mode == DivergenceMode::kInverse
+                     ? sample_weights[i] / (divergences[i] + eps)
+                     : sample_weights[i] * (divergences[i] + eps);
+    total += weights[i];
+  }
+  CALIBRE_CHECK(total > 0.0);
+  for (float& w : weights) w = static_cast<float>(w / total);
+  return weights;
+}
+
+}  // namespace calibre::core

@@ -1,0 +1,30 @@
+// Client local divergence rate (paper §I / §IV-B): the average distance
+// between a client's sample encodings and their assigned KMeans prototypes.
+// Small divergence = tight local clusters = a trustworthy update; the server
+// turns these into aggregation weights.
+#pragma once
+
+#include <vector>
+
+#include "ssl/method.h"
+
+namespace calibre::core {
+
+// Mean encoding-to-prototype distance over `inputs` using `k` prototypes.
+float client_divergence(ssl::SslMethod& method, const tensor::Tensor& inputs,
+                        int k, rng::Generator& gen);
+
+// Direction of the divergence-based re-weighting:
+//  * kInverse      — trust tight clusters: w ~ 1 / (divergence + eps).
+//  * kProportional — prioritise struggling clients (fairness-first, in the
+//                    spirit of q-FFL): w ~ divergence + eps.
+enum class DivergenceMode { kInverse, kProportional };
+
+// Aggregation weights from divergences, scaled by sample weights and
+// normalised to sum to 1. All-equal divergences reduce to FedAvg weights.
+std::vector<float> divergence_weights(
+    const std::vector<float>& divergences,
+    const std::vector<float>& sample_weights,
+    DivergenceMode mode = DivergenceMode::kInverse, float eps = 1e-3f);
+
+}  // namespace calibre::core

@@ -1,0 +1,149 @@
+#include "core/prototype_loss.h"
+
+#include <algorithm>
+
+#include "cluster/kmeans.h"
+#include "common/check.h"
+#include "nn/losses.h"
+
+namespace calibre::core {
+namespace {
+
+// Row-normalised assignment matrix over the *non-empty* clusters:
+// out[k', i] = 1/N_k for samples assigned to the k'-th non-empty cluster.
+// Multiplying it with a feature matrix yields differentiable prototypes.
+tensor::Tensor assignment_matrix(const std::vector<int>& assignments, int k,
+                                 std::vector<int>& dense_of_cluster) {
+  std::vector<int> counts(static_cast<std::size_t>(k), 0);
+  for (const int a : assignments) ++counts[static_cast<std::size_t>(a)];
+  dense_of_cluster.assign(static_cast<std::size_t>(k), -1);
+  int dense = 0;
+  for (int c = 0; c < k; ++c) {
+    if (counts[static_cast<std::size_t>(c)] > 0) {
+      dense_of_cluster[static_cast<std::size_t>(c)] = dense++;
+    }
+  }
+  tensor::Tensor matrix(dense, static_cast<std::int64_t>(assignments.size()));
+  for (std::size_t i = 0; i < assignments.size(); ++i) {
+    const int cluster = assignments[i];
+    const int row = dense_of_cluster[static_cast<std::size_t>(cluster)];
+    matrix(row, static_cast<std::int64_t>(i)) =
+        1.0f / static_cast<float>(counts[static_cast<std::size_t>(cluster)]);
+  }
+  return matrix;
+}
+
+}  // namespace
+
+PrototypeLosses compute_prototype_losses(const ssl::SslForward& fwd,
+                                         const PrototypeLossConfig& config,
+                                         rng::Generator& gen,
+                                         const tensor::Tensor* fixed_centroids) {
+  CALIBRE_CHECK(fwd.z1 && fwd.z2 && fwd.h1 && fwd.h2);
+  PrototypeLosses losses;
+  const std::int64_t n = fwd.z1->value.rows();
+  if (n < 4) return losses;  // too small for meaningful prototypes
+
+  // Pseudo labels for the batch (Alg. 1 line 13, prototype generation on
+  // I_e): either a fresh per-batch KMeans or an assignment to the fixed
+  // local-dataset centroids.
+  std::vector<int> assignments;
+  int num_clusters = 0;
+  if (fixed_centroids != nullptr && fixed_centroids->rows() >= 2) {
+    float mean_distance = 0.0f;
+    assignments = cluster::assign_to_centroids(fwd.z2->value,
+                                               *fixed_centroids,
+                                               &mean_distance);
+    num_clusters = static_cast<int>(fixed_centroids->rows());
+    losses.batch_divergence = mean_distance;
+  } else {
+    cluster::KMeansConfig kmeans_config;
+    kmeans_config.k = std::max(
+        2, std::min<int>(config.num_prototypes, static_cast<int>(n / 2)));
+    const cluster::KMeansResult clustering =
+        cluster::kmeans(fwd.z2->value, kmeans_config, gen);
+    assignments = clustering.assignments;
+    num_clusters = static_cast<int>(clustering.centroids.rows());
+    losses.batch_divergence = clustering.mean_distance;
+  }
+
+  std::vector<int> dense_of_cluster;
+  const tensor::Tensor assign =
+      assignment_matrix(assignments, num_clusters, dense_of_cluster);
+  const std::int64_t num_dense = assign.rows();
+  if (num_dense < 2) return losses;  // a single cluster: no contrast possible
+
+  // Dense pseudo-label per instance (views share the instance identity, so
+  // the assignment of z2_i doubles as the target for z1_i — "assigning I_o
+  // to these prototypes").
+  std::vector<int> pseudo_labels(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    pseudo_labels[static_cast<std::size_t>(i)] = dense_of_cluster
+        [static_cast<std::size_t>(assignments[static_cast<std::size_t>(i)])];
+  }
+
+  const ag::VarPtr assign_const = ag::constant(assign);
+  if (config.use_ln && config.ln_form == LnForm::kProtoNce) {
+    // ProtoNCE form: classify each view-o encoding over the (differentiable)
+    // view-e prototypes with temperature-scaled cross entropy.
+    const ag::VarPtr prototypes = ag::matmul(assign_const, fwd.z2);  // [K,D]
+    const ag::VarPtr logits = ag::mul_scalar(
+        ag::matmul(ag::l2_normalize(fwd.z1),
+                   ag::transpose(ag::l2_normalize(prototypes))),
+        1.0f / config.temperature);
+    losses.l_n = ag::cross_entropy(logits, pseudo_labels);
+  } else if (config.use_ln) {
+    // Alg. 1 line 17 exactly:
+    //   L_n = sum_k (-1/N_k) sum_{j in k} log[ exp(z_j.v_k / tau)
+    //                                / sum_{a not in k} exp(z_a.v_k / tau) ]
+    // with v_k the (differentiable) mean of the view-e encodings of cluster
+    // k and z the view-o encodings. The softmax runs over *samples* for a
+    // fixed prototype anchor: members are pulled onto their prototype while
+    // every non-member is pushed away from it.
+    const ag::VarPtr prototypes = ag::matmul(assign_const, fwd.z2);  // [K,D]
+    const ag::VarPtr sim = ag::mul_scalar(
+        ag::matmul(ag::l2_normalize(fwd.z1),
+                   ag::transpose(ag::l2_normalize(prototypes))),
+        1.0f / config.temperature);  // [N,K]
+
+    // Per-prototype log-sum-exp over NON-member samples: mask members out.
+    tensor::Tensor member_mask(n, num_dense);
+    std::vector<float> inv_cluster_size(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      const int k = pseudo_labels[static_cast<std::size_t>(i)];
+      member_mask(i, k) = -1e9f;
+      // 1/N_k weight for the sample's own term (paper's per-cluster mean).
+      inv_cluster_size[static_cast<std::size_t>(i)] =
+          assign(k, i);  // assignment matrix rows hold exactly 1/N_k
+    }
+    const ag::VarPtr masked =
+        ag::transpose(ag::add(sim, ag::constant(member_mask)));   // [K,N]
+    const ag::VarPtr shift = ag::constant(tensor::row_max(masked->value));
+    const ag::VarPtr lse = ag::add(
+        ag::log(ag::row_sum(ag::exp(ag::sub(masked, shift)))), shift);  // [K,1]
+
+    const ag::VarPtr own_sim = ag::gather_cols(sim, pseudo_labels);  // [N,1]
+    const ag::VarPtr per_sample =
+        ag::sub(ag::take_rows(lse, pseudo_labels), own_sim);         // [N,1]
+    tensor::Tensor weights(n, 1);
+    for (std::int64_t i = 0; i < n; ++i) {
+      weights(i, 0) = inv_cluster_size[static_cast<std::size_t>(i)];
+    }
+    // Normalise by the number of clusters so the scale matches the other
+    // loss terms regardless of K.
+    losses.l_n = ag::mul_scalar(
+        ag::sum_all(ag::mul(per_sample, ag::constant(weights))),
+        1.0f / static_cast<float>(num_dense));
+  }
+  if (config.use_lp) {
+    // Per-view prototypes in projection space; the two views of the same
+    // cluster are positives under NT-Xent (Alg. 1 lines 8-12).
+    const ag::VarPtr proto_view1 = ag::matmul(assign_const, fwd.h1);
+    const ag::VarPtr proto_view2 = ag::matmul(assign_const, fwd.h2);
+    losses.l_p = nn::ntxent(ag::concat_rows({proto_view1, proto_view2}),
+                            config.temperature);
+  }
+  return losses;
+}
+
+}  // namespace calibre::core

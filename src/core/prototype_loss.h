@@ -1,0 +1,61 @@
+// Calibre's client-adaptive prototype regularizers (paper §IV-B, Alg. 1).
+//
+// Given the two-view SSL forward outputs of a batch:
+//  * L_n (prototype-based meta regularizer): KMeans prototypes are built from
+//    the encoder features of view e; features of view o are classified
+//    against those prototypes with a temperature-scaled contrastive cross
+//    entropy (Alg. 1 line 17). Gradients flow into both the assigned
+//    features and the prototypes (which are differentiable means).
+//  * L_p (prototype-oriented contrastive regularizer): per-cluster prototype
+//    vectors are computed independently on the two views' projections; the
+//    two views of each prototype form a positive pair in an NT-Xent loss
+//    (Alg. 1 lines 8-12).
+#pragma once
+
+#include "autograd/ops.h"
+#include "ssl/method.h"
+
+namespace calibre::core {
+
+// Two interchangeable realisations of L_n:
+//  * kPaper     — Alg. 1 line 17 verbatim: softmax over samples for a fixed
+//                 prototype anchor.
+//  * kProtoNce  — the ProtoNCE-style transpose: each sample classified over
+//                 prototypes with cross entropy. Same fixed points, different
+//                 gradient geometry; switchable for the ablation bench.
+enum class LnForm { kPaper, kProtoNce };
+
+// Where the prototype pseudo-labels come from:
+//  * kBatch — KMeans over the current batch's view-e encodings (Alg. 1).
+//  * kLocalDataset — KMeans once per local update over the client's full
+//    local encodings; batches are assigned to those fixed centroids. More
+//    stable pseudo-labels under small batches.
+enum class PrototypeScope { kBatch, kLocalDataset };
+
+struct PrototypeLossConfig {
+  int num_prototypes = 10;    // K for the prototype KMeans
+  float temperature = 0.5f;   // tau in L_n and L_p
+  bool use_ln = true;         // ablation switches (paper Table I)
+  bool use_lp = true;
+  LnForm ln_form = LnForm::kProtoNce;
+  PrototypeScope scope = PrototypeScope::kBatch;
+};
+
+struct PrototypeLosses {
+  ag::VarPtr l_n;  // null when disabled or the batch degenerates
+  ag::VarPtr l_p;
+  // KMeans mean point-to-prototype distance over this batch: the per-batch
+  // ingredient of the client's local divergence rate.
+  float batch_divergence = 0.0f;
+};
+
+// Computes the regularizers for one two-view batch. `fwd` must carry valid
+// z1/z2/h1/h2. Degenerate cases (too few samples / a single non-empty
+// cluster) disable the corresponding term rather than failing.
+// `fixed_centroids` (optional, used by PrototypeScope::kLocalDataset) are
+// feature-space centroids that replace the per-batch KMeans for assignment.
+PrototypeLosses compute_prototype_losses(
+    const ssl::SslForward& fwd, const PrototypeLossConfig& config,
+    rng::Generator& gen, const tensor::Tensor* fixed_centroids = nullptr);
+
+}  // namespace calibre::core

@@ -1,0 +1,43 @@
+#include "data/augment.h"
+
+#include "common/check.h"
+
+namespace calibre::data {
+
+tensor::Tensor augment(const tensor::Tensor& batch,
+                       const AugmentConfig& config, rng::Generator& gen) {
+  CALIBRE_CHECK(config.mask_fraction >= 0.0f && config.mask_fraction < 1.0f);
+  tensor::Tensor out = batch;
+  const std::int64_t dims = batch.cols();
+  const int mask_count =
+      static_cast<int>(static_cast<float>(dims) * config.mask_fraction);
+  for (std::int64_t r = 0; r < out.rows(); ++r) {
+    for (std::int64_t c = 0; c < dims; ++c) {
+      float value = out(r, c);
+      if (config.scale_jitter > 0.0f) {
+        value *= static_cast<float>(
+            gen.uniform(1.0 - config.scale_jitter, 1.0 + config.scale_jitter));
+      }
+      if (config.noise_std > 0.0f) {
+        value += static_cast<float>(gen.normal() * config.noise_std);
+      }
+      out(r, c) = value;
+    }
+    if (mask_count > 0) {
+      const std::vector<int> masked = gen.sample_without_replacement(
+          static_cast<int>(dims), mask_count);
+      for (const int c : masked) out(r, c) = 0.0f;
+    }
+  }
+  return out;
+}
+
+TwoViews augment_pair(const tensor::Tensor& batch, const AugmentConfig& config,
+                      rng::Generator& gen) {
+  TwoViews views;
+  views.view1 = augment(batch, config, gen);
+  views.view2 = augment(batch, config, gen);
+  return views;
+}
+
+}  // namespace calibre::data

@@ -1,0 +1,33 @@
+// Stochastic augmentations producing SSL views.
+//
+// Stand-ins for SimCLR's crop / color-jitter / blur pipeline in feature
+// space: per-feature scale jitter (color jitter), additive Gaussian noise
+// (blur), and random feature masking (crop). Two independent draws of
+// `augment` over the same batch give the dual views (I_o, I_e) consumed by
+// every SSL method and by Calibre's prototype regularizers.
+#pragma once
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace calibre::data {
+
+struct AugmentConfig {
+  float noise_std = 0.10f;      // additive Gaussian noise
+  float mask_fraction = 0.25f;  // fraction of features zeroed per sample
+  float scale_jitter = 0.20f;   // per-feature scale in U[1-j, 1+j]
+};
+
+// One stochastic view of `batch` ([N, D] -> [N, D]).
+tensor::Tensor augment(const tensor::Tensor& batch,
+                       const AugmentConfig& config, rng::Generator& gen);
+
+// Both views at once (independent randomness per view).
+struct TwoViews {
+  tensor::Tensor view1;
+  tensor::Tensor view2;
+};
+TwoViews augment_pair(const tensor::Tensor& batch, const AugmentConfig& config,
+                      rng::Generator& gen);
+
+}  // namespace calibre::data

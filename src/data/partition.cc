@@ -1,0 +1,203 @@
+#include "data/partition.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace calibre::data {
+namespace {
+
+// Per-class index pools with wrap-around: drawing more samples than the pool
+// holds reshuffles and reuses it. This keeps partitioners valid for any
+// (num_clients, samples_per_client) combination; reuse across clients is the
+// documented substitute for the paper's larger raw datasets.
+class ClassPools {
+ public:
+  ClassPools(const Dataset& dataset, rng::Generator& gen)
+      : pools_(dataset.indices_by_class()), cursors_(pools_.size(), 0),
+        gen_(&gen) {
+    for (auto& pool : pools_) {
+      CALIBRE_CHECK_MSG(!pool.empty(), "dataset missing samples for a class");
+      gen.shuffle(pool);
+    }
+  }
+
+  int draw(int klass) {
+    auto& pool = pools_[static_cast<std::size_t>(klass)];
+    auto& cursor = cursors_[static_cast<std::size_t>(klass)];
+    if (cursor >= pool.size()) {
+      gen_->shuffle(pool);
+      cursor = 0;
+    }
+    return pool[cursor++];
+  }
+
+ private:
+  std::vector<std::vector<int>> pools_;
+  std::vector<std::size_t> cursors_;
+  rng::Generator* gen_;
+};
+
+// Converts fractional class proportions into integer counts summing to n.
+std::vector<int> proportions_to_counts(const std::vector<double>& proportions,
+                                       int n) {
+  std::vector<int> counts(proportions.size(), 0);
+  std::vector<std::pair<double, std::size_t>> remainders;
+  int assigned = 0;
+  for (std::size_t k = 0; k < proportions.size(); ++k) {
+    const double exact = proportions[k] * n;
+    counts[k] = static_cast<int>(std::floor(exact));
+    assigned += counts[k];
+    remainders.emplace_back(exact - counts[k], k);
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (int i = 0; assigned < n; ++i, ++assigned) {
+    ++counts[remainders[static_cast<std::size_t>(i) % remainders.size()]
+                 .second];
+  }
+  return counts;
+}
+
+// Builds one client's shards from its per-class train counts: the test shard
+// mirrors the train class proportions at test_samples_per_client scale.
+void fill_client(const std::vector<int>& train_counts,
+                 const PartitionConfig& config, ClassPools& train_pools,
+                 ClassPools& test_pools, Partition& partition) {
+  std::vector<int> train_shard;
+  int total = 0;
+  for (const int count : train_counts) total += count;
+  CALIBRE_CHECK(total > 0);
+  std::vector<double> proportions(train_counts.size(), 0.0);
+  for (std::size_t k = 0; k < train_counts.size(); ++k) {
+    proportions[k] = static_cast<double>(train_counts[k]) / total;
+    for (int i = 0; i < train_counts[k]; ++i) {
+      train_shard.push_back(train_pools.draw(static_cast<int>(k)));
+    }
+  }
+  const std::vector<int> test_counts =
+      proportions_to_counts(proportions, config.test_samples_per_client);
+  std::vector<int> test_shard;
+  for (std::size_t k = 0; k < test_counts.size(); ++k) {
+    for (int i = 0; i < test_counts[k]; ++i) {
+      test_shard.push_back(test_pools.draw(static_cast<int>(k)));
+    }
+  }
+  partition.train_indices.push_back(std::move(train_shard));
+  partition.test_indices.push_back(std::move(test_shard));
+}
+
+void check_inputs(const Dataset& train, const Dataset& test,
+                  const PartitionConfig& config) {
+  CALIBRE_CHECK(config.num_clients > 0);
+  CALIBRE_CHECK(config.samples_per_client > 0);
+  CALIBRE_CHECK(config.test_samples_per_client > 0);
+  CALIBRE_CHECK(train.num_classes == test.num_classes);
+  CALIBRE_CHECK(train.num_classes > 0);
+}
+
+}  // namespace
+
+Partition partition_iid(const Dataset& train, const Dataset& test,
+                        const PartitionConfig& config, rng::Generator& gen) {
+  check_inputs(train, test, config);
+  ClassPools train_pools(train, gen);
+  ClassPools test_pools(test, gen);
+  Partition partition;
+  const std::vector<double> uniform(
+      static_cast<std::size_t>(train.num_classes),
+      1.0 / train.num_classes);
+  for (int c = 0; c < config.num_clients; ++c) {
+    fill_client(proportions_to_counts(uniform, config.samples_per_client),
+                config, train_pools, test_pools, partition);
+  }
+  return partition;
+}
+
+Partition partition_quantity(const Dataset& train, const Dataset& test,
+                             const PartitionConfig& config,
+                             int classes_per_client, rng::Generator& gen) {
+  check_inputs(train, test, config);
+  CALIBRE_CHECK_MSG(
+      classes_per_client > 0 && classes_per_client <= train.num_classes,
+      "classes_per_client=" << classes_per_client);
+  ClassPools train_pools(train, gen);
+  ClassPools test_pools(test, gen);
+  Partition partition;
+
+  // Deal classes from reshuffled decks so every class is assigned to roughly
+  // the same number of clients (the paper assigns S fixed labels per client).
+  std::vector<int> deck;
+  auto refill = [&] {
+    std::vector<int> fresh(static_cast<std::size_t>(train.num_classes));
+    for (int k = 0; k < train.num_classes; ++k) {
+      fresh[static_cast<std::size_t>(k)] = k;
+    }
+    gen.shuffle(fresh);
+    deck.insert(deck.end(), fresh.begin(), fresh.end());
+  };
+
+  for (int c = 0; c < config.num_clients; ++c) {
+    std::vector<int> chosen;
+    while (static_cast<int>(chosen.size()) < classes_per_client) {
+      if (deck.empty()) refill();
+      const int klass = deck.back();
+      deck.pop_back();
+      if (std::find(chosen.begin(), chosen.end(), klass) == chosen.end()) {
+        chosen.push_back(klass);
+      }
+    }
+    std::vector<double> proportions(
+        static_cast<std::size_t>(train.num_classes), 0.0);
+    for (const int klass : chosen) {
+      proportions[static_cast<std::size_t>(klass)] =
+          1.0 / classes_per_client;
+    }
+    fill_client(proportions_to_counts(proportions, config.samples_per_client),
+                config, train_pools, test_pools, partition);
+  }
+  return partition;
+}
+
+Partition partition_dirichlet(const Dataset& train, const Dataset& test,
+                              const PartitionConfig& config, double alpha,
+                              rng::Generator& gen) {
+  check_inputs(train, test, config);
+  CALIBRE_CHECK(alpha > 0.0);
+  ClassPools train_pools(train, gen);
+  ClassPools test_pools(test, gen);
+  Partition partition;
+  for (int c = 0; c < config.num_clients; ++c) {
+    const std::vector<double> proportions =
+        gen.dirichlet(alpha, train.num_classes);
+    fill_client(proportions_to_counts(proportions, config.samples_per_client),
+                config, train_pools, test_pools, partition);
+  }
+  return partition;
+}
+
+std::vector<std::vector<double>> class_proportions(const Dataset& dataset,
+                                                   const Partition& partition,
+                                                   bool train_side) {
+  const auto& shards =
+      train_side ? partition.train_indices : partition.test_indices;
+  std::vector<std::vector<double>> out;
+  out.reserve(shards.size());
+  for (const auto& shard : shards) {
+    std::vector<double> proportions(
+        static_cast<std::size_t>(dataset.num_classes), 0.0);
+    for (const int index : shard) {
+      const int label = dataset.labels[static_cast<std::size_t>(index)];
+      if (label >= 0) proportions[static_cast<std::size_t>(label)] += 1.0;
+    }
+    const double total = static_cast<double>(shard.size());
+    if (total > 0) {
+      for (auto& p : proportions) p /= total;
+    }
+    out.push_back(std::move(proportions));
+  }
+  return out;
+}
+
+}  // namespace calibre::data

@@ -1,0 +1,55 @@
+// Non-IID client partitioners (paper §V "Non-i.i.d. settings").
+//
+// * Quantity-based label non-IID, "(S, #samples)": each client holds samples
+//   from exactly S classes and the same total sample count.
+// * Distribution-based label non-IID, "(alpha, #samples)": each client's
+//   class mix is drawn from Dirichlet(alpha); alpha = 0.3 in the paper.
+//
+// Each client also receives a private *test* shard whose class distribution
+// matches its train shard ("the input x' used to predict y' is the sample of
+// the test set that has a consistent class distribution with the training
+// set" — paper §IV-A).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace calibre::data {
+
+// Index shards into a shared train/test Dataset pair, one entry per client.
+struct Partition {
+  std::vector<std::vector<int>> train_indices;
+  std::vector<std::vector<int>> test_indices;
+
+  int num_clients() const { return static_cast<int>(train_indices.size()); }
+};
+
+struct PartitionConfig {
+  int num_clients = 100;
+  int samples_per_client = 100;       // train samples per client
+  int test_samples_per_client = 60;   // test samples per client
+};
+
+// IID baseline partition (uniform class mix per client).
+Partition partition_iid(const Dataset& train, const Dataset& test,
+                        const PartitionConfig& config, rng::Generator& gen);
+
+// Quantity-based label non-IID: `classes_per_client` classes per client.
+Partition partition_quantity(const Dataset& train, const Dataset& test,
+                             const PartitionConfig& config,
+                             int classes_per_client, rng::Generator& gen);
+
+// Distribution-based label non-IID: Dirichlet(`alpha`) class proportions.
+Partition partition_dirichlet(const Dataset& train, const Dataset& test,
+                              const PartitionConfig& config, double alpha,
+                              rng::Generator& gen);
+
+// Per-client class proportions actually realised by a partition (rows sum
+// to 1); used by tests and reporting.
+std::vector<std::vector<double>> class_proportions(const Dataset& dataset,
+                                                   const Partition& partition,
+                                                   bool train_side);
+
+}  // namespace calibre::data

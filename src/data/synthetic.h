@@ -1,0 +1,91 @@
+// Synthetic stand-ins for CIFAR-10, CIFAR-100 and STL-10.
+//
+// Generative model (per DESIGN.md §2): every class k has a latent mean mu_k
+// drawn on a hypersphere of radius `class_separation`; every *instance* has a
+// latent identity u = mu_k + sigma * eps; the observed sample is a fixed
+// random two-layer tanh "rendering" of u plus observation noise. SSL methods
+// see stochastic augmented views of samples (see augment.h) and can learn the
+// latent structure from instance discrimination alone; supervised baselines
+// see the same label skew a CIFAR partition would produce. The STL-10 variant
+// adds a large *unlabeled* pool that only SSL-based methods can exploit —
+// reproducing the paper's STL-10 headline condition.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace calibre::data {
+
+struct SyntheticConfig {
+  int num_classes = 10;
+  std::int64_t input_dim = 48;
+  int latent_dim = 16;
+  int train_samples = 12000;
+  int test_samples = 4000;
+  int unlabeled_samples = 0;       // STL-10-style SSL-only pool
+  float class_separation = 4.0f;   // radius of class means in latent space
+  float within_class_stddev = 1.0f;
+  float observation_noise = 0.05f;
+  // Per-instance nuisance latent dimensions appended to the class latent:
+  // they carry no label information but dominate raw-input variance, so raw
+  // pixels are NOT linearly separable and representation learning matters
+  // (mirrors color/pose/background nuisances in natural images).
+  int nuisance_dim = 8;
+  float nuisance_stddev = 3.0f;
+  // Random-Fourier rendering frequency: higher = more nonlinear observation
+  // map (class info less linearly decodable from raw inputs).
+  float render_frequency = 1.0f;
+  // Class-latent jitter applied when generating augmented views: controls
+  // how much the augmentation graph of same-class instances overlaps (crops
+  // of two images of the same class looking alike). Larger values let SSL
+  // recover class-level structure; zero reduces SSL to pure instance
+  // discrimination.
+  float view_latent_jitter = 0.7f;
+  std::uint64_t seed = 1234;
+};
+
+// Generates stochastic augmented views of samples from their (hidden) class
+// latents: view = render(class_latent, fresh nuisance) + observation noise.
+// This is the synthetic analogue of crop/color-jitter pipelines — the
+// augmentation changes nuisance factors while preserving semantics. SSL
+// methods consume views from this oracle during training.
+class ViewOracle {
+ public:
+  ViewOracle() = default;
+  ViewOracle(tensor::Tensor w, tensor::Tensor b, const SyntheticConfig& config)
+      : w_(std::move(w)), b_(std::move(b)), config_(config) {}
+
+  // One stochastic view per row of `class_latents` ([N, latent_dim]).
+  tensor::Tensor render_view(const tensor::Tensor& class_latents,
+                             rng::Generator& gen) const;
+
+  bool valid() const { return w_.rows() > 0; }
+  std::int64_t latent_dim() const { return config_.latent_dim; }
+
+ private:
+  tensor::Tensor w_;  // [latent_dim + nuisance_dim, input_dim]
+  tensor::Tensor b_;  // [1, input_dim]
+  SyntheticConfig config_;
+};
+
+struct SyntheticDataset {
+  Dataset train;
+  Dataset test;
+  Dataset unlabeled;  // empty unless unlabeled_samples > 0
+  ViewOracle oracle;
+  SyntheticConfig config;
+};
+
+// Generates train/test/unlabeled splits from the same class structure.
+SyntheticDataset make_synthetic(const SyntheticConfig& config);
+
+// Preset configurations mirroring the paper's three datasets.
+SyntheticConfig cifar10_like();   // 10 classes, fully labeled
+SyntheticConfig cifar100_like();  // 100 classes, fully labeled
+SyntheticConfig stl10_like();     // 10 classes, small labeled + big unlabeled
+
+// Resolves a preset by name ("cifar10" | "cifar100" | "stl10").
+SyntheticConfig preset_by_name(const std::string& name);
+
+}  // namespace calibre::data

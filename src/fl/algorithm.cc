@@ -1,0 +1,49 @@
+#include "fl/algorithm.h"
+
+#include "comm/serde.h"
+#include "common/check.h"
+
+namespace calibre::fl {
+
+std::vector<std::uint8_t> serialize_update(const ClientUpdate& update) {
+  comm::Writer writer;
+  writer.write_f32_vector(update.state.values());
+  writer.write_f32(update.weight);
+  writer.write_scalar_map(update.scalars);
+  return writer.take();
+}
+
+ClientUpdate deserialize_update(const std::vector<std::uint8_t>& bytes) {
+  comm::Reader reader(bytes);
+  ClientUpdate update;
+  update.state = nn::ModelState(reader.read_f32_vector());
+  update.weight = reader.read_f32();
+  update.scalars = reader.read_scalar_map();
+  CALIBRE_CHECK_MSG(reader.exhausted(), "trailing bytes in ClientUpdate");
+  return update;
+}
+
+nn::ModelState Algorithm::aggregate(const nn::ModelState& /*global*/,
+                                    const std::vector<ClientUpdate>& updates,
+                                    int /*round*/) {
+  return fedavg_aggregate(updates);
+}
+
+nn::ModelState fedavg_aggregate(const std::vector<ClientUpdate>& updates) {
+  CALIBRE_CHECK(!updates.empty());
+  double total_weight = 0.0;
+  for (const ClientUpdate& update : updates) {
+    CALIBRE_CHECK_MSG(update.weight > 0.0f, "non-positive aggregation weight");
+    CALIBRE_CHECK(update.state.size() == updates.front().state.size());
+    total_weight += update.weight;
+  }
+  nn::ModelState result(
+      std::vector<float>(updates.front().state.size(), 0.0f));
+  for (const ClientUpdate& update : updates) {
+    result.add_scaled(update.state,
+                      static_cast<float>(update.weight / total_weight));
+  }
+  return result;
+}
+
+}  // namespace calibre::fl

@@ -1,0 +1,93 @@
+// The pluggable FL algorithm interface.
+//
+// The Runner drives: initialize() -> rounds of {local_update on sampled
+// clients, aggregate} -> personalize() on every client (participating and
+// novel). All model movement between runner and algorithm is by value
+// (ModelState), matching the serialization boundary of the comm layer.
+//
+// Thread safety: local_update and personalize are called concurrently for
+// *distinct* clients; implementations guard any cross-client shared state
+// (e.g. persistent per-client heads) with their own mutex.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "data/dataset.h"
+#include "data/synthetic.h"
+#include "fl/config.h"
+#include "nn/state.h"
+
+namespace calibre::fl {
+
+// What a client sends back after a local update.
+struct ClientUpdate {
+  nn::ModelState state;
+  // Aggregation weight before normalisation (usually the sample count).
+  float weight = 1.0f;
+  // Algorithm-specific side channel (divergence rates, control-variate
+  // norms, ...), serialized with the update.
+  std::map<std::string, float> scalars;
+};
+
+// Wire helpers for ClientUpdate (used by the comm layer and tests).
+std::vector<std::uint8_t> serialize_update(const ClientUpdate& update);
+ClientUpdate deserialize_update(const std::vector<std::uint8_t>& bytes);
+
+// Everything a client device knows during one local update.
+struct ClientContext {
+  int client_id = 0;
+  int round = 0;
+  const data::Dataset* train = nullptr;     // labeled local shard
+  const tensor::Tensor* ssl_pool = nullptr; // local SSL pool (labeled +
+                                            // unlabeled share): class latents
+                                            // when `oracle` is set, raw
+                                            // inputs otherwise
+  const data::ViewOracle* oracle = nullptr; // view generator (may be null)
+  std::uint64_t seed = 0;                   // per-(client, round) stream
+};
+
+// Everything a client knows during personalization/evaluation.
+struct PersonalizationContext {
+  int client_id = 0;
+  const data::Dataset* train = nullptr;
+  const data::Dataset* test = nullptr;
+  std::uint64_t seed = 0;
+};
+
+class Algorithm {
+ public:
+  explicit Algorithm(const FlConfig& config) : config_(config) {}
+  virtual ~Algorithm() = default;
+
+  Algorithm(const Algorithm&) = delete;
+  Algorithm& operator=(const Algorithm&) = delete;
+
+  virtual std::string name() const = 0;
+
+  // Initial global state broadcast in round 0.
+  virtual nn::ModelState initialize() = 0;
+
+  // One local update starting from `global`; returns the client's update.
+  virtual ClientUpdate local_update(const nn::ModelState& global,
+                                    const ClientContext& ctx) = 0;
+
+  // Combines updates into the next global state. Default: weighted FedAvg.
+  virtual nn::ModelState aggregate(const nn::ModelState& global,
+                                   const std::vector<ClientUpdate>& updates,
+                                   int round);
+
+  // Personalization + evaluation for one client; returns test accuracy.
+  virtual double personalize(const nn::ModelState& global,
+                             const PersonalizationContext& ctx) = 0;
+
+  const FlConfig& config() const { return config_; }
+
+ protected:
+  FlConfig config_;
+};
+
+// Weighted average of updates (weights normalised internally).
+nn::ModelState fedavg_aggregate(const std::vector<ClientUpdate>& updates);
+
+}  // namespace calibre::fl

@@ -1,0 +1,62 @@
+// Experiment configuration shared by all FL algorithms.
+#pragma once
+
+#include <cstdint>
+
+#include "data/augment.h"
+#include "nn/networks.h"
+#include "nn/optim.h"
+
+namespace calibre::fl {
+
+// Personalization stage settings (paper §V: 10 epochs, SGD lr = 0.05,
+// batch size 32, linear classifier on frozen encoder features).
+struct ProbeConfig {
+  // kLinear: the paper's linear classifier trained for `epochs`.
+  // kPrototype: training-free nearest-class-prototype head (extension).
+  enum class Head { kLinear, kPrototype };
+  Head head = Head::kLinear;
+  int epochs = 10;
+  float learning_rate = 0.05f;
+  float momentum = 0.9f;
+  int batch_size = 32;
+};
+
+struct FlConfig {
+  nn::EncoderConfig encoder;
+  int num_classes = 10;
+
+  // Federated training stage.
+  int rounds = 30;
+  int clients_per_round = 10;
+  int local_epochs = 3;
+  int batch_size = 32;
+  nn::SgdConfig supervised_opt{/*lr=*/0.05f, /*momentum=*/0.9f,
+                               /*weight_decay=*/1e-4f};
+  nn::SgdConfig ssl_opt{/*lr=*/0.10f, /*momentum=*/0.9f,
+                        /*weight_decay=*/1e-4f};
+
+  data::AugmentConfig augment;
+  // Whether supervised local training may use the dataset's ViewOracle for
+  // augmentation. Default off: supervised FL baselines use generic (weak)
+  // augmentation, while SSL methods rely on the strong semantic-preserving
+  // view pipeline — mirroring practice, where SimCLR-style pipelines are far
+  // stronger than the crop/flip used in supervised FL.
+  bool supervised_oracle_views = false;
+  ProbeConfig probe;
+
+  // Probability that a sampled client fails to deliver its update in a
+  // round (straggler / dropout simulation). The server aggregates whatever
+  // arrives; at least one client per round is guaranteed.
+  float client_dropout_rate = 0.0f;
+
+  std::uint64_t seed = 42;
+  // Worker threads for simulated client devices (0 = library default).
+  int threads = 0;
+  // Total participating clients; algorithms that need the population size
+  // (e.g. SCAFFOLD's control-variate update) read it here. The experiment
+  // driver sets it to match the FedDataset.
+  int num_train_clients = 100;
+};
+
+}  // namespace calibre::fl

@@ -1,0 +1,64 @@
+#include "fl/fed_data.h"
+
+#include "common/check.h"
+
+namespace calibre::fl {
+
+FedDataset build_fed_dataset(const data::SyntheticDataset& synth,
+                             const data::Partition& partition,
+                             int num_train_clients, rng::Generator& gen) {
+  CALIBRE_CHECK(num_train_clients > 0 &&
+                num_train_clients <= partition.num_clients());
+  FedDataset fed;
+  fed.num_classes = synth.train.num_classes;
+  fed.input_dim = synth.train.input_dim();
+
+  for (int c = 0; c < partition.num_clients(); ++c) {
+    data::Dataset train_shard = synth.train.subset(
+        partition.train_indices[static_cast<std::size_t>(c)]);
+    data::Dataset test_shard = synth.test.subset(
+        partition.test_indices[static_cast<std::size_t>(c)]);
+    if (c < num_train_clients) {
+      fed.train.push_back(std::move(train_shard));
+      fed.test.push_back(std::move(test_shard));
+    } else {
+      fed.novel_train.push_back(std::move(train_shard));
+      fed.novel_test.push_back(std::move(test_shard));
+    }
+  }
+
+  // Per-client SSL pools: labeled inputs plus an even, shuffled share of the
+  // unlabeled pool (empty share when the dataset has none).
+  fed.ssl_pool.reserve(static_cast<std::size_t>(num_train_clients));
+  std::vector<int> unlabeled_order(
+      static_cast<std::size_t>(synth.unlabeled.size()));
+  for (std::size_t i = 0; i < unlabeled_order.size(); ++i) {
+    unlabeled_order[i] = static_cast<int>(i);
+  }
+  gen.shuffle(unlabeled_order);
+  const std::size_t share = unlabeled_order.size() /
+                            static_cast<std::size_t>(num_train_clients);
+  // With a ViewOracle the pools hold class latents (views are rendered on
+  // demand); without one they hold raw pixels for generic augmentation.
+  fed.pool_is_latent = synth.oracle.valid();
+  fed.oracle = synth.oracle;
+  for (int c = 0; c < num_train_clients; ++c) {
+    const data::Dataset& labeled = fed.train[static_cast<std::size_t>(c)];
+    const tensor::Tensor& labeled_pool =
+        fed.pool_is_latent ? labeled.latents : labeled.x;
+    if (share == 0) {
+      fed.ssl_pool.push_back(labeled_pool);
+      continue;
+    }
+    const std::vector<int> slice(
+        unlabeled_order.begin() + static_cast<std::ptrdiff_t>(c * share),
+        unlabeled_order.begin() + static_cast<std::ptrdiff_t>((c + 1) * share));
+    const tensor::Tensor& unlabeled_pool =
+        fed.pool_is_latent ? synth.unlabeled.latents : synth.unlabeled.x;
+    fed.ssl_pool.push_back(tensor::concat_rows(
+        {labeled_pool, tensor::take_rows(unlabeled_pool, slice)}));
+  }
+  return fed;
+}
+
+}  // namespace calibre::fl

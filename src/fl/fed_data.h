@@ -1,0 +1,43 @@
+// Federated view of a dataset: materialised per-client shards.
+//
+// Built from a SyntheticDataset plus a Partition over (participating +
+// novel) clients. Novel clients never appear during federated training; they
+// only download the final global model and personalize (paper §V-D). For
+// STL-10-style datasets the unlabeled pool is split evenly across
+// participating clients and concatenated with their labeled inputs to form
+// the per-client SSL pool.
+#pragma once
+
+#include <vector>
+
+#include "data/partition.h"
+#include "data/synthetic.h"
+
+namespace calibre::fl {
+
+struct FedDataset {
+  std::vector<data::Dataset> train;       // per participating client
+  std::vector<data::Dataset> test;
+  std::vector<data::Dataset> novel_train; // per novel client
+  std::vector<data::Dataset> novel_test;
+  std::vector<tensor::Tensor> ssl_pool;   // per participating client
+  // True when ssl_pool rows are class latents to be rendered through
+  // `oracle`; false when they are raw inputs for pixel augmentation.
+  bool pool_is_latent = false;
+  data::ViewOracle oracle;
+  int num_classes = 0;
+  std::int64_t input_dim = 0;
+
+  int num_train_clients() const { return static_cast<int>(train.size()); }
+  int num_novel_clients() const {
+    return static_cast<int>(novel_train.size());
+  }
+};
+
+// Splits `partition` (over num_train_clients + novel clients) into the
+// participating/novel shards and materialises all client datasets.
+FedDataset build_fed_dataset(const data::SyntheticDataset& synth,
+                             const data::Partition& partition,
+                             int num_train_clients, rng::Generator& gen);
+
+}  // namespace calibre::fl

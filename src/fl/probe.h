@@ -1,0 +1,32 @@
+// Linear-probe personalization: the paper's personalization stage. The
+// encoder is frozen; a fresh linear classifier is trained for `epochs` on the
+// client's extracted features and evaluated on its local test set.
+#pragma once
+
+#include "data/dataset.h"
+#include "fl/config.h"
+
+namespace calibre::fl {
+
+// Trains a linear classifier on (train_features, train_labels) and returns
+// top-1 accuracy on (test_features, test_labels).
+double linear_probe_accuracy(const tensor::Tensor& train_features,
+                             const std::vector<int>& train_labels,
+                             const tensor::Tensor& test_features,
+                             const std::vector<int>& test_labels,
+                             int num_classes, const ProbeConfig& config,
+                             std::uint64_t seed);
+
+// ProtoNet-style personalization (an extension in the spirit of the paper's
+// prototype theme and its p(y=k|x) = softmax(-d(z, v_k)) formulation):
+// class prototypes are the mean train feature per class; test samples are
+// classified by the nearest prototype. Parameter-free and training-free —
+// the cheapest possible personalized head. Classes absent from the client's
+// train set are never predicted.
+double prototype_probe_accuracy(const tensor::Tensor& train_features,
+                                const std::vector<int>& train_labels,
+                                const tensor::Tensor& test_features,
+                                const std::vector<int>& test_labels,
+                                int num_classes);
+
+}  // namespace calibre::fl

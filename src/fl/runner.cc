@@ -1,0 +1,183 @@
+#include "fl/runner.h"
+
+#include <chrono>
+#include <future>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "common/thread_pool.h"
+
+namespace calibre::fl {
+namespace {
+
+std::size_t resolve_threads(const FlConfig& config) {
+  return config.threads > 0 ? static_cast<std::size_t>(config.threads)
+                            : common::ThreadPool::default_parallelism();
+}
+
+}  // namespace
+
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t a,
+                          std::uint64_t b) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (a + 1) +
+                    0xbf58476d1ce4e5b9ULL * (b + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+RunResult run_federated(Algorithm& algorithm, const FedDataset& fed,
+                        bool personalize_novel) {
+  const FlConfig& config = algorithm.config();
+  CALIBRE_CHECK(fed.num_train_clients() > 0);
+  CALIBRE_CHECK_MSG(config.clients_per_round <= fed.num_train_clients(),
+                    "cannot sample " << config.clients_per_round << " of "
+                                     << fed.num_train_clients() << " clients");
+  const auto start_time = std::chrono::steady_clock::now();
+
+  comm::Router router(resolve_threads(config));
+
+  // Register one device endpoint per participating client. The handler runs
+  // on the device pool: deserialize global -> local update -> reply.
+  for (int c = 0; c < fed.num_train_clients(); ++c) {
+    router.register_endpoint(c, [&, c](const comm::Message& request) {
+      CALIBRE_CHECK(request.type == comm::MessageType::kTrainRequest);
+      const nn::ModelState global =
+          nn::ModelState::from_bytes(request.payload);
+      ClientContext ctx;
+      ctx.client_id = c;
+      ctx.round = request.round;
+      ctx.train = &fed.train[static_cast<std::size_t>(c)];
+      ctx.ssl_pool = &fed.ssl_pool[static_cast<std::size_t>(c)];
+      ctx.oracle = fed.pool_is_latent ? &fed.oracle : nullptr;
+      ctx.seed = derive_seed(config.seed,
+                             static_cast<std::uint64_t>(request.round),
+                             static_cast<std::uint64_t>(c));
+      const ClientUpdate update = algorithm.local_update(global, ctx);
+
+      comm::Message response;
+      response.type = comm::MessageType::kTrainResponse;
+      response.sender = c;
+      response.receiver = comm::kServerEndpoint;
+      response.round = request.round;
+      response.payload = serialize_update(update);
+      router.send(std::move(response));
+    });
+  }
+
+  // --- Training stage -------------------------------------------------------
+  nn::ModelState state = algorithm.initialize();
+  rng::Generator sampler(derive_seed(config.seed, 0xC1, 0xE57));
+  RunResult result;
+  result.algorithm = algorithm.name();
+  for (int round = 0; round < config.rounds; ++round) {
+    std::vector<int> selected = sampler.sample_without_replacement(
+        fed.num_train_clients(), config.clients_per_round);
+    // Dropout simulation: sampled clients may fail to respond. Keep at
+    // least one participant so the round stays well-defined.
+    int dropped = 0;
+    if (config.client_dropout_rate > 0.0f) {
+      std::vector<int> alive;
+      for (const int client : selected) {
+        if (sampler.uniform() < config.client_dropout_rate) {
+          ++dropped;
+        } else {
+          alive.push_back(client);
+        }
+      }
+      if (alive.empty()) {
+        alive.push_back(selected.front());
+        --dropped;
+      }
+      selected = std::move(alive);
+    }
+    for (const int client : selected) {
+      comm::Message request;
+      request.type = comm::MessageType::kTrainRequest;
+      request.sender = comm::kServerEndpoint;
+      request.receiver = client;
+      request.round = round;
+      request.payload = state.to_bytes();
+      router.send(std::move(request));
+    }
+    std::vector<ClientUpdate> updates;
+    updates.reserve(selected.size());
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+      const auto response = router.server_mailbox().pop();
+      CALIBRE_CHECK_MSG(response.has_value(), "server mailbox closed early");
+      CALIBRE_CHECK(response->type == comm::MessageType::kTrainResponse);
+      updates.push_back(deserialize_update(response->payload));
+    }
+    state = algorithm.aggregate(state, updates, round);
+
+    RoundStats round_stats;
+    round_stats.round = round;
+    round_stats.participants = static_cast<int>(updates.size());
+    round_stats.dropped = dropped;
+    double divergence_total = 0.0;
+    int divergence_count = 0;
+    double norm_total = 0.0;
+    for (const ClientUpdate& update : updates) {
+      const auto it = update.scalars.find("divergence");
+      if (it != update.scalars.end()) {
+        divergence_total += it->second;
+        ++divergence_count;
+      }
+      norm_total += update.state.norm();
+    }
+    if (divergence_count > 0) {
+      round_stats.mean_divergence =
+          static_cast<float>(divergence_total / divergence_count);
+    }
+    round_stats.mean_update_norm = updates.empty()
+        ? 0.0f
+        : static_cast<float>(norm_total / static_cast<double>(updates.size()));
+    result.history.push_back(round_stats);
+    log::debug() << algorithm.name() << " round " << round + 1 << "/"
+                 << config.rounds << " aggregated "
+                 << updates.size() << " updates";
+  }
+
+  // --- Personalization stage -------------------------------------------------
+  {
+    common::ThreadPool pool(resolve_threads(config));
+    auto personalize_set =
+        [&](const std::vector<data::Dataset>& train_sets,
+            const std::vector<data::Dataset>& test_sets,
+            std::uint64_t salt, int id_offset) {
+          std::vector<std::future<double>> futures;
+          futures.reserve(train_sets.size());
+          for (std::size_t c = 0; c < train_sets.size(); ++c) {
+            futures.push_back(pool.submit([&, c] {
+              PersonalizationContext ctx;
+              ctx.client_id = id_offset + static_cast<int>(c);
+              ctx.train = &train_sets[c];
+              ctx.test = &test_sets[c];
+              ctx.seed = derive_seed(config.seed, salt,
+                                     static_cast<std::uint64_t>(c));
+              return algorithm.personalize(state, ctx);
+            }));
+          }
+          std::vector<double> accuracies;
+          accuracies.reserve(futures.size());
+          for (auto& future : futures) accuracies.push_back(future.get());
+          return accuracies;
+        };
+    result.train_accuracies = personalize_set(fed.train, fed.test, 0xA11, /*id_offset=*/0);
+    if (personalize_novel && fed.num_novel_clients() > 0) {
+      result.novel_accuracies =
+          personalize_set(fed.novel_train, fed.novel_test, 0xB22,
+                          /*id_offset=*/fed.num_train_clients());
+    }
+  }
+
+  result.traffic = router.stats();
+  result.final_state = std::move(state);
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time)
+          .count();
+  return result;
+}
+
+}  // namespace calibre::fl

@@ -1,0 +1,48 @@
+// The federated round loop.
+//
+// Runner wires an Algorithm to a FedDataset through the comm layer: every
+// global model broadcast and every client update crosses a serialized
+// message boundary and executes on a device thread pool, as it would in a
+// real deployment. After the training stage it runs the personalization
+// stage on every participating and novel client and collects per-client
+// accuracies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "comm/router.h"
+#include "fl/algorithm.h"
+#include "fl/fed_data.h"
+
+namespace calibre::fl {
+
+// Per-round progress record (one entry per federated round).
+struct RoundStats {
+  int round = 0;
+  int participants = 0;       // clients that delivered an update
+  int dropped = 0;            // sampled clients lost to dropout
+  float mean_divergence = 0.0f;  // mean of the updates' "divergence" scalar
+                                 // (0 when the algorithm does not report it)
+  float mean_update_norm = 0.0f;
+};
+
+struct RunResult {
+  std::string algorithm;
+  std::vector<double> train_accuracies;  // per participating client
+  std::vector<double> novel_accuracies;  // per novel client
+  std::vector<RoundStats> history;       // one entry per round
+  comm::TrafficStats traffic;
+  double wall_seconds = 0.0;
+  nn::ModelState final_state;            // trained global state
+};
+
+// Deterministic per-(seed, round, client) sub-stream seed.
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t a, std::uint64_t b);
+
+// Runs training + personalization. `personalize_novel` controls whether the
+// novel-client pass (paper Fig. 4 right column) is executed.
+RunResult run_federated(Algorithm& algorithm, const FedDataset& fed,
+                        bool personalize_novel = true);
+
+}  // namespace calibre::fl

@@ -1,0 +1,55 @@
+#include "metrics/fairness.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "metrics/stats.h"
+
+namespace calibre::metrics {
+
+FairnessReport compute_fairness(const std::vector<double>& accuracies) {
+  CALIBRE_CHECK_MSG(!accuracies.empty(), "compute_fairness on empty input");
+  FairnessReport report;
+  const AccuracyStats stats = compute_stats(accuracies);
+  report.variance = stats.variance;
+  report.stddev = stats.stddev;
+  report.range = stats.max - stats.min;
+
+  const std::size_t n = accuracies.size();
+  double total = 0.0;
+  double total_sq = 0.0;
+  for (const double a : accuracies) {
+    total += a;
+    total_sq += a * a;
+  }
+  report.jain_index =
+      total_sq > 0.0 ? (total * total) / (static_cast<double>(n) * total_sq)
+                     : 1.0;
+
+  // Gini over sorted accuracies: sum_i (2i - n - 1) x_i / (n * sum x).
+  std::vector<double> sorted = accuracies;
+  std::sort(sorted.begin(), sorted.end());
+  if (total > 0.0) {
+    double weighted = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      weighted += (2.0 * static_cast<double>(i + 1) -
+                   static_cast<double>(n) - 1.0) *
+                  sorted[i];
+    }
+    report.gini = weighted / (static_cast<double>(n) * total);
+  }
+
+  const std::size_t decile = std::max<std::size_t>(1, n / 10);
+  double worst = 0.0;
+  double best = 0.0;
+  for (std::size_t i = 0; i < decile; ++i) {
+    worst += sorted[i];
+    best += sorted[n - 1 - i];
+  }
+  report.worst_decile_mean = worst / static_cast<double>(decile);
+  report.best_decile_mean = best / static_cast<double>(decile);
+  return report;
+}
+
+}  // namespace calibre::metrics

@@ -1,0 +1,24 @@
+// Fairness metrics beyond plain variance (paper §III-A defines fairness as
+// low accuracy variance; the fairness-in-FL literature uses several
+// complementary views, all computed here over per-client accuracies).
+#pragma once
+
+#include <vector>
+
+namespace calibre::metrics {
+
+struct FairnessReport {
+  double variance = 0.0;        // the paper's fairness metric
+  double stddev = 0.0;
+  double jain_index = 0.0;      // (sum x)^2 / (n * sum x^2), 1 = perfectly fair
+  double gini = 0.0;            // 0 = perfectly fair, 1 = maximally unfair
+  double worst_decile_mean = 0.0;  // mean accuracy of the worst 10% clients
+  double best_decile_mean = 0.0;   // mean accuracy of the best 10% clients
+  double range = 0.0;           // max - min
+};
+
+// Computes all fairness statistics over per-client accuracies. Requires a
+// non-empty input; accuracies are expected in [0, 1].
+FairnessReport compute_fairness(const std::vector<double>& accuracies);
+
+}  // namespace calibre::metrics

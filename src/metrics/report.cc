@@ -1,0 +1,74 @@
+#include "metrics/report.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace calibre::metrics {
+
+void print_result_table(std::ostream& os, const std::string& title,
+                        const std::vector<ResultRow>& rows) {
+  os << "\n== " << title << " ==\n";
+  os << std::left << std::setw(26) << "method" << std::setw(18)
+     << "acc mean±std(%)" << std::setw(12) << "variance" << std::setw(18)
+     << "paper mean±std" << "note\n";
+  os << std::string(86, '-') << "\n";
+  for (const ResultRow& row : rows) {
+    char variance[32];
+    std::snprintf(variance, sizeof(variance), "%.4f", row.stats.variance);
+    std::string paper = "—";
+    if (row.paper_mean >= 0.0) {
+      char buffer[48];
+      if (row.paper_std >= 0.0) {
+        std::snprintf(buffer, sizeof(buffer), "%5.2f ± %5.2f", row.paper_mean,
+                      row.paper_std);
+      } else {
+        std::snprintf(buffer, sizeof(buffer), "%5.2f", row.paper_mean);
+      }
+      paper = buffer;
+    }
+    os << std::left << std::setw(26) << row.method << std::setw(18)
+       << format_mean_std(row.stats) << std::setw(12) << variance
+       << std::setw(18) << paper << row.note << "\n";
+  }
+  os.flush();
+}
+
+void write_embedding_csv(const std::string& path,
+                         const tensor::Tensor& embedding,
+                         const std::vector<int>& labels,
+                         const std::vector<int>& clients) {
+  std::ofstream file(path);
+  CALIBRE_CHECK_MSG(file.good(), "cannot open " << path);
+  file << "x,y";
+  if (!labels.empty()) file << ",label";
+  if (!clients.empty()) file << ",client";
+  file << "\n";
+  for (std::int64_t r = 0; r < embedding.rows(); ++r) {
+    file << embedding(r, 0) << "," << (embedding.cols() > 1 ? embedding(r, 1)
+                                                            : 0.0f);
+    if (!labels.empty()) file << "," << labels[static_cast<std::size_t>(r)];
+    if (!clients.empty()) file << "," << clients[static_cast<std::size_t>(r)];
+    file << "\n";
+  }
+}
+
+void print_quality_table(std::ostream& os, const std::string& title,
+                         const std::vector<RepresentationQuality>& rows) {
+  os << "\n== " << title << " ==\n";
+  os << std::left << std::setw(26) << "method" << std::setw(14)
+     << "silhouette" << std::setw(10) << "purity" << std::setw(10) << "nmi"
+     << "tsne-kl\n";
+  os << std::string(66, '-') << "\n";
+  for (const RepresentationQuality& row : rows) {
+    os << std::left << std::setw(26) << row.method << std::setw(14)
+       << std::fixed << std::setprecision(4) << row.silhouette << std::setw(10)
+       << row.purity << std::setw(10) << row.nmi << row.tsne_kl << "\n";
+  }
+  os.flush();
+}
+
+}  // namespace calibre::metrics

@@ -1,0 +1,47 @@
+// Experiment reporting: fixed-width result tables (one per paper table /
+// figure) and CSV export of 2-D embeddings for external plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "metrics/stats.h"
+#include "tensor/tensor.h"
+
+namespace calibre::metrics {
+
+// One method's result in one experimental setting.
+struct ResultRow {
+  std::string method;
+  AccuracyStats stats;
+  // Optional reference values from the paper (percent); negative = absent.
+  double paper_mean = -1.0;
+  double paper_std = -1.0;
+  std::string note;
+};
+
+// Prints a titled table: method | mean±std | variance | paper mean±std.
+void print_result_table(std::ostream& os, const std::string& title,
+                        const std::vector<ResultRow>& rows);
+
+// Writes "x,y,label,client" rows for an embedding (labels/clients optional:
+// pass empty vectors to omit).
+void write_embedding_csv(const std::string& path,
+                         const tensor::Tensor& embedding,
+                         const std::vector<int>& labels,
+                         const std::vector<int>& clients);
+
+// Representation-quality summary used in place of visual t-SNE inspection.
+struct RepresentationQuality {
+  std::string method;
+  double silhouette = 0.0;   // class separation in feature space
+  double purity = 0.0;       // KMeans cluster purity vs labels
+  double nmi = 0.0;          // KMeans NMI vs labels
+  double tsne_kl = 0.0;      // final t-SNE KL (embedding faithfulness)
+};
+
+void print_quality_table(std::ostream& os, const std::string& title,
+                         const std::vector<RepresentationQuality>& rows);
+
+}  // namespace calibre::metrics

@@ -1,0 +1,41 @@
+#include "metrics/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace calibre::metrics {
+
+AccuracyStats compute_stats(const std::vector<double>& values) {
+  AccuracyStats stats;
+  stats.count = static_cast<int>(values.size());
+  if (values.empty()) return stats;
+  double total = 0.0;
+  stats.min = values.front();
+  stats.max = values.front();
+  for (const double value : values) {
+    total += value;
+    stats.min = std::min(stats.min, value);
+    stats.max = std::max(stats.max, value);
+  }
+  stats.mean = total / static_cast<double>(values.size());
+  double sq = 0.0;
+  for (const double value : values) {
+    const double d = value - stats.mean;
+    sq += d * d;
+  }
+  stats.variance = sq / static_cast<double>(values.size());
+  stats.stddev = std::sqrt(stats.variance);
+  return stats;
+}
+
+std::string format_mean_std(const AccuracyStats& stats) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%5.2f ± %5.2f",
+                stats.mean * 100.0, stats.stddev * 100.0);
+  return buffer;
+}
+
+}  // namespace calibre::metrics

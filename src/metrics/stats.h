@@ -1,0 +1,25 @@
+// Accuracy statistics: the paper evaluates every method by the MEAN of
+// per-client test accuracies (overall performance) and their VARIANCE /
+// standard deviation (model fairness, §III-A).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace calibre::metrics {
+
+struct AccuracyStats {
+  double mean = 0.0;
+  double variance = 0.0;  // population variance
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  int count = 0;
+};
+
+AccuracyStats compute_stats(const std::vector<double>& values);
+
+// "mean ± std" with accuracies rendered as percentages, e.g. "89.16 ± 10.58".
+std::string format_mean_std(const AccuracyStats& stats);
+
+}  // namespace calibre::metrics

@@ -1,0 +1,161 @@
+#include "metrics/tsne.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+
+namespace calibre::metrics {
+namespace {
+
+// Binary-searches the Gaussian bandwidth of row i so that the conditional
+// distribution p_{j|i} has the requested perplexity; writes p_{j|i} into row.
+void fit_row_perplexity(const std::vector<double>& sq_dists, std::int64_t i,
+                        double perplexity, std::vector<double>& row) {
+  const std::int64_t n = static_cast<std::int64_t>(row.size());
+  const double target_entropy = std::log(perplexity);
+  double beta = 1.0;
+  double beta_lo = 0.0;
+  double beta_hi = std::numeric_limits<double>::max();
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    double sum = 0.0;
+    for (std::int64_t j = 0; j < n; ++j) {
+      row[static_cast<std::size_t>(j)] =
+          j == i ? 0.0
+                 : std::exp(-beta *
+                            sq_dists[static_cast<std::size_t>(j)]);
+      sum += row[static_cast<std::size_t>(j)];
+    }
+    if (sum <= 0.0) {
+      beta /= 2.0;
+      continue;
+    }
+    // Entropy of the row distribution.
+    double entropy = 0.0;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const double p = row[static_cast<std::size_t>(j)] / sum;
+      if (p > 1e-12) entropy -= p * std::log(p);
+    }
+    for (std::int64_t j = 0; j < n; ++j) {
+      row[static_cast<std::size_t>(j)] /= sum;
+    }
+    const double diff = entropy - target_entropy;
+    if (std::fabs(diff) < 1e-4) return;
+    if (diff > 0) {  // too flat: increase beta
+      beta_lo = beta;
+      beta = beta_hi == std::numeric_limits<double>::max() ? beta * 2.0
+                                                           : (beta + beta_hi) / 2.0;
+    } else {
+      beta_hi = beta;
+      beta = (beta + beta_lo) / 2.0;
+    }
+  }
+}
+
+}  // namespace
+
+TsneResult tsne(const tensor::Tensor& points, const TsneConfig& config,
+                rng::Generator& gen) {
+  const std::int64_t n = points.rows();
+  CALIBRE_CHECK_MSG(n >= 5, "t-SNE needs at least 5 points");
+  const double perplexity =
+      std::min(config.perplexity, static_cast<double>(n - 1) / 3.0);
+
+  // --- symmetric joint probabilities P -------------------------------------
+  const tensor::Tensor sq = tensor::pairwise_sq_dists(points, points);
+  std::vector<double> p(static_cast<std::size_t>(n * n), 0.0);
+  {
+    std::vector<double> dist_row(static_cast<std::size_t>(n));
+    std::vector<double> p_row(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        dist_row[static_cast<std::size_t>(j)] = sq(i, j);
+      }
+      fit_row_perplexity(dist_row, i, perplexity, p_row);
+      for (std::int64_t j = 0; j < n; ++j) {
+        p[static_cast<std::size_t>(i * n + j)] =
+            p_row[static_cast<std::size_t>(j)];
+      }
+    }
+  }
+  // Symmetrise and normalise.
+  double p_total = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = i + 1; j < n; ++j) {
+      const double value = (p[static_cast<std::size_t>(i * n + j)] +
+                            p[static_cast<std::size_t>(j * n + i)]) /
+                           2.0;
+      p[static_cast<std::size_t>(i * n + j)] = value;
+      p[static_cast<std::size_t>(j * n + i)] = value;
+      p_total += 2.0 * value;
+    }
+  }
+  for (auto& value : p) value = std::max(value / p_total, 1e-12);
+
+  // --- gradient descent on the embedding --------------------------------------
+  const double learning_rate =
+      config.learning_rate > 0.0
+          ? config.learning_rate
+          : std::max(2.0, static_cast<double>(n) /
+                              (4.0 * config.early_exaggeration));
+  const int dims = config.output_dims;
+  tensor::Tensor y = tensor::Tensor::randn(n, dims, gen, 1e-2f);
+  tensor::Tensor velocity(n, dims);
+  std::vector<double> q(static_cast<std::size_t>(n * n), 0.0);
+
+  double kl = 0.0;
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    const double exaggeration =
+        iter < config.exaggeration_iters ? config.early_exaggeration : 1.0;
+    // Student-t affinities Q.
+    double q_total = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = i + 1; j < n; ++j) {
+        double sq_dist = 0.0;
+        for (int d = 0; d < dims; ++d) {
+          const double delta = static_cast<double>(y(i, d)) - y(j, d);
+          sq_dist += delta * delta;
+        }
+        const double affinity = 1.0 / (1.0 + sq_dist);
+        q[static_cast<std::size_t>(i * n + j)] = affinity;
+        q[static_cast<std::size_t>(j * n + i)] = affinity;
+        q_total += 2.0 * affinity;
+      }
+    }
+
+    kl = 0.0;
+    tensor::Tensor grad(n, dims);
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double affinity = q[static_cast<std::size_t>(i * n + j)];
+        const double q_ij = std::max(affinity / q_total, 1e-12);
+        const double p_ij =
+            exaggeration * p[static_cast<std::size_t>(i * n + j)];
+        kl += p[static_cast<std::size_t>(i * n + j)] *
+              std::log(p[static_cast<std::size_t>(i * n + j)] / q_ij);
+        const double coefficient = 4.0 * (p_ij - q_ij) * affinity;
+        for (int d = 0; d < dims; ++d) {
+          grad(i, d) += static_cast<float>(
+              coefficient * (static_cast<double>(y(i, d)) - y(j, d)));
+        }
+      }
+    }
+    // Momentum gradient descent.
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (int d = 0; d < dims; ++d) {
+        velocity(i, d) = static_cast<float>(config.momentum * velocity(i, d) -
+                                            learning_rate * grad(i, d));
+        y(i, d) += velocity(i, d);
+      }
+    }
+  }
+
+  TsneResult result;
+  result.embedding = std::move(y);
+  result.final_kl = kl;
+  return result;
+}
+
+}  // namespace calibre::metrics

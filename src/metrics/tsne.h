@@ -1,0 +1,31 @@
+// Exact (O(N^2)) t-SNE, used to regenerate the paper's qualitative figures
+// (Figs. 1, 2, 5, 6, 7, 8): 2-D embeddings of encoder representations.
+#pragma once
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace calibre::metrics {
+
+struct TsneConfig {
+  int output_dims = 2;
+  double perplexity = 20.0;
+  int iterations = 350;
+  // <= 0 selects an automatic rate of max(2, N / (4 * early_exaggeration)),
+  // which stays stable for the small point counts typical here.
+  double learning_rate = 0.0;
+  double momentum = 0.8;
+  double early_exaggeration = 4.0;
+  int exaggeration_iters = 80;
+};
+
+struct TsneResult {
+  tensor::Tensor embedding;  // [N, output_dims]
+  double final_kl = 0.0;     // KL(P || Q) after the last iteration
+};
+
+// Embeds `points` ([N, D], N >= 5) into `output_dims` dimensions.
+TsneResult tsne(const tensor::Tensor& points, const TsneConfig& config,
+                rng::Generator& gen);
+
+}  // namespace calibre::metrics

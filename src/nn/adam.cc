@@ -1,0 +1,65 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace calibre::nn {
+
+Adam::Adam(std::vector<ag::VarPtr> params, const AdamConfig& config)
+    : params_(std::move(params)), config_(config) {
+  first_moment_.reserve(params_.size());
+  second_moment_.reserve(params_.size());
+  for (const ag::VarPtr& p : params_) {
+    first_moment_.emplace_back(p->value.rows(), p->value.cols());
+    second_moment_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::step() {
+  ++steps_;
+  const float bias1 =
+      1.0f - std::pow(config_.beta1, static_cast<float>(steps_));
+  const float bias2 =
+      1.0f - std::pow(config_.beta2, static_cast<float>(steps_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    ag::VarPtr& p = params_[i];
+    if (p->grad.size() == 0) continue;
+    tensor::Tensor& m = first_moment_[i];
+    tensor::Tensor& v = second_moment_[i];
+    float* m_data = m.data();
+    float* v_data = v.data();
+    const float* g = p->grad.data();
+    float* w = p->value.data();
+    for (std::int64_t j = 0; j < p->value.size(); ++j) {
+      m_data[j] = config_.beta1 * m_data[j] + (1.0f - config_.beta1) * g[j];
+      v_data[j] =
+          config_.beta2 * v_data[j] + (1.0f - config_.beta2) * g[j] * g[j];
+      const float m_hat = m_data[j] / bias1;
+      const float v_hat = v_data[j] / bias2;
+      w[j] -= config_.learning_rate *
+              (m_hat / (std::sqrt(v_hat) + config_.epsilon) +
+               config_.weight_decay * w[j]);
+    }
+  }
+}
+
+void Adam::zero_grad() {
+  for (const ag::VarPtr& p : params_) p->zero_grad();
+}
+
+float cosine_lr(float base_lr, float final_lr, int step, int total_steps) {
+  CALIBRE_CHECK(total_steps > 0);
+  if (step >= total_steps) return final_lr;
+  const float progress =
+      static_cast<float>(step) / static_cast<float>(total_steps);
+  return final_lr + 0.5f * (base_lr - final_lr) *
+                        (1.0f + std::cos(progress * static_cast<float>(M_PI)));
+}
+
+float step_lr(float base_lr, float gamma, int step, int step_size) {
+  CALIBRE_CHECK(step_size > 0);
+  return base_lr * std::pow(gamma, static_cast<float>(step / step_size));
+}
+
+}  // namespace calibre::nn

@@ -1,0 +1,46 @@
+// Adam optimizer (Kingma & Ba, 2015) — an alternative to SGD for the
+// personalization stage and for users adopting the library beyond the
+// paper's exact recipe.
+#pragma once
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace calibre::nn {
+
+struct AdamConfig {
+  float learning_rate = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+  float weight_decay = 0.0f;  // decoupled (AdamW-style)
+};
+
+class Adam {
+ public:
+  Adam(std::vector<ag::VarPtr> params, const AdamConfig& config);
+
+  // One update from the gradients currently stored in the parameters.
+  void step();
+  void zero_grad();
+
+  void set_learning_rate(float lr) { config_.learning_rate = lr; }
+  float learning_rate() const { return config_.learning_rate; }
+  int steps_taken() const { return steps_; }
+
+ private:
+  std::vector<ag::VarPtr> params_;
+  AdamConfig config_;
+  std::vector<tensor::Tensor> first_moment_;
+  std::vector<tensor::Tensor> second_moment_;
+  int steps_ = 0;
+};
+
+// Learning-rate schedules usable with either optimizer.
+// Cosine decay from `base_lr` to `final_lr` over `total_steps`.
+float cosine_lr(float base_lr, float final_lr, int step, int total_steps);
+// Step decay: base_lr * gamma^(step / step_size).
+float step_lr(float base_lr, float gamma, int step, int step_size);
+
+}  // namespace calibre::nn

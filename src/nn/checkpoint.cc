@@ -1,0 +1,29 @@
+#include "nn/checkpoint.h"
+
+#include <fstream>
+
+#include "common/check.h"
+
+namespace calibre::nn {
+
+void save_state(const std::string& path, const ModelState& state) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  CALIBRE_CHECK_MSG(file.good(), "cannot open " << path << " for writing");
+  const auto bytes = state.to_bytes();
+  file.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  CALIBRE_CHECK_MSG(file.good(), "write to " << path << " failed");
+}
+
+ModelState load_state(const std::string& path) {
+  std::ifstream file(path, std::ios::binary | std::ios::ate);
+  CALIBRE_CHECK_MSG(file.good(), "cannot open " << path << " for reading");
+  const std::streamsize size = file.tellg();
+  file.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  file.read(reinterpret_cast<char*>(bytes.data()), size);
+  CALIBRE_CHECK_MSG(file.good(), "read from " << path << " failed");
+  return ModelState::from_bytes(bytes);
+}
+
+}  // namespace calibre::nn

@@ -1,0 +1,19 @@
+// Model-state checkpointing: persist a trained global model to disk and
+// reload it later (the "novel client downloads the trained encoder" flow
+// without re-running training).
+#pragma once
+
+#include <string>
+
+#include "nn/state.h"
+
+namespace calibre::nn {
+
+// Writes the state's wire format to `path` (overwrites). Throws CheckError
+// on I/O failure.
+void save_state(const std::string& path, const ModelState& state);
+
+// Reads a state previously written by save_state.
+ModelState load_state(const std::string& path);
+
+}  // namespace calibre::nn

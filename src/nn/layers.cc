@@ -1,0 +1,60 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace calibre::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features,
+               rng::Generator& gen, bool bias)
+    : in_features_(in_features), out_features_(out_features) {
+  CALIBRE_CHECK(in_features > 0 && out_features > 0);
+  const float k = 1.0f / std::sqrt(static_cast<float>(in_features));
+  weight_ = ag::parameter(
+      tensor::Tensor::rand_uniform(in_features, out_features, gen, -k, k));
+  if (bias) {
+    bias_ = ag::parameter(
+        tensor::Tensor::rand_uniform(1, out_features, gen, -k, k));
+  }
+}
+
+ag::VarPtr Linear::forward(const ag::VarPtr& x) {
+  CALIBRE_CHECK_MSG(x->value.cols() == in_features_,
+                    "Linear expects " << in_features_ << " features, got "
+                                      << x->value.shape_string());
+  ag::VarPtr out = ag::matmul(x, weight_);
+  if (bias_) out = ag::add(out, bias_);
+  return out;
+}
+
+void Linear::collect_parameters(std::vector<ag::VarPtr>& out) const {
+  out.push_back(weight_);
+  if (bias_) out.push_back(bias_);
+}
+
+LayerNorm::LayerNorm(std::int64_t features, float eps)
+    : features_(features), eps_(eps) {
+  CALIBRE_CHECK(features > 0);
+  gamma_ = ag::parameter(tensor::Tensor::ones(1, features));
+  beta_ = ag::parameter(tensor::Tensor::zeros(1, features));
+}
+
+ag::VarPtr LayerNorm::forward(const ag::VarPtr& x) {
+  CALIBRE_CHECK_MSG(x->value.cols() == features_,
+                    "LayerNorm expects " << features_ << " features, got "
+                                         << x->value.shape_string());
+  const ag::VarPtr mean = ag::row_mean(x);                      // [N,1]
+  const ag::VarPtr centered = ag::sub(x, mean);                 // [N,D]
+  const ag::VarPtr variance = ag::row_mean(ag::square(centered));
+  const ag::VarPtr stddev = ag::sqrt(ag::add_scalar(variance, eps_));
+  const ag::VarPtr normalized = ag::div(centered, stddev);
+  return ag::add(ag::mul(normalized, gamma_), beta_);
+}
+
+void LayerNorm::collect_parameters(std::vector<ag::VarPtr>& out) const {
+  out.push_back(gamma_);
+  out.push_back(beta_);
+}
+
+}  // namespace calibre::nn

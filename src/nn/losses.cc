@@ -1,0 +1,64 @@
+#include "nn/losses.h"
+
+#include "common/check.h"
+
+namespace calibre::nn {
+
+ag::VarPtr ntxent(const ag::VarPtr& embeddings, float temperature) {
+  const std::int64_t total = embeddings->value.rows();
+  CALIBRE_CHECK_MSG(total >= 4 && total % 2 == 0,
+                    "ntxent expects [2N, D] with N >= 2, got "
+                        << embeddings->value.shape_string());
+  CALIBRE_CHECK(temperature > 0.0f);
+  const std::int64_t n = total / 2;
+
+  const ag::VarPtr z = ag::l2_normalize(embeddings);
+  ag::VarPtr sim = ag::mul_scalar(ag::matmul(z, ag::transpose(z)),
+                                  1.0f / temperature);
+  // Mask self-similarity so a row cannot pick itself as its positive.
+  tensor::Tensor diag_mask(total, total);
+  for (std::int64_t i = 0; i < total; ++i) diag_mask(i, i) = -1e9f;
+  sim = ag::add(sim, ag::constant(diag_mask));
+
+  std::vector<int> positives(static_cast<std::size_t>(total));
+  for (std::int64_t i = 0; i < total; ++i) {
+    positives[static_cast<std::size_t>(i)] =
+        static_cast<int>((i + n) % total);
+  }
+  return ag::cross_entropy(sim, positives);
+}
+
+ag::VarPtr negative_cosine(const ag::VarPtr& p, const ag::VarPtr& z) {
+  CALIBRE_CHECK_MSG(p->value.rows() == z->value.rows() &&
+                        p->value.cols() == z->value.cols(),
+                    "negative_cosine shape mismatch: "
+                        << p->value.shape_string() << " vs "
+                        << z->value.shape_string());
+  const ag::VarPtr pn = ag::l2_normalize(p);
+  const ag::VarPtr zn = ag::l2_normalize(z);
+  const ag::VarPtr cosines = ag::row_sum(ag::mul(pn, zn));  // [N,1]
+  return ag::neg(ag::mean_all(cosines));
+}
+
+ag::VarPtr info_nce(const ag::VarPtr& q, const ag::VarPtr& k_pos,
+                    const tensor::Tensor& negatives, float temperature) {
+  CALIBRE_CHECK(temperature > 0.0f);
+  CALIBRE_CHECK_MSG(negatives.rows() > 0, "info_nce needs a negative bank");
+  CALIBRE_CHECK(q->value.cols() == negatives.cols());
+  const ag::VarPtr qn = ag::l2_normalize(q);
+  const ag::VarPtr kn = ag::l2_normalize(k_pos);
+  const ag::VarPtr neg_bank =
+      ag::constant(tensor::l2_normalize_rows(negatives));
+
+  const ag::VarPtr l_pos = ag::row_sum(ag::mul(qn, kn));        // [N,1]
+  const ag::VarPtr l_neg =
+      ag::matmul(qn, ag::transpose(neg_bank));                  // [N,M]
+  ag::VarPtr logits = ag::concat_cols({l_pos, l_neg});
+  logits = ag::mul_scalar(logits, 1.0f / temperature);
+
+  const std::vector<int> labels(
+      static_cast<std::size_t>(q->value.rows()), 0);
+  return ag::cross_entropy(logits, labels);
+}
+
+}  // namespace calibre::nn

@@ -1,0 +1,32 @@
+// Loss functions shared by the SSL methods and Calibre.
+//
+// Supervised cross-entropy lives in autograd/ops.h (ag::cross_entropy);
+// here are the self-supervised objectives.
+#pragma once
+
+#include <vector>
+
+#include "autograd/ops.h"
+
+namespace calibre::nn {
+
+// NT-Xent (normalized temperature-scaled cross entropy, SimCLR eq. 1).
+//
+// `embeddings` is [2N, D] laid out as [view1 rows; view2 rows]: the positive
+// of row i is row (i + N) mod 2N. Rows are L2-normalised internally, the
+// similarity matrix is divided by `temperature`, self-similarities are masked
+// out, and the loss is the mean cross entropy of each row against its
+// positive.
+ag::VarPtr ntxent(const ag::VarPtr& embeddings, float temperature);
+
+// Negative cosine similarity -mean_i cos(p_i, z_i), the BYOL/SimSiam
+// objective. The caller is responsible for detaching `z` (stop-gradient).
+ag::VarPtr negative_cosine(const ag::VarPtr& p, const ag::VarPtr& z);
+
+// InfoNCE with an explicit positive column and a fixed negative bank
+// (MoCo eq. 1): logits = [q.k_pos, q.Neg^T] / temperature, label 0.
+// `negatives` is a constant [M, D] queue; q and k_pos are [N, D].
+ag::VarPtr info_nce(const ag::VarPtr& q, const ag::VarPtr& k_pos,
+                    const tensor::Tensor& negatives, float temperature);
+
+}  // namespace calibre::nn

@@ -1,0 +1,59 @@
+#include "nn/optim.h"
+
+#include "common/check.h"
+
+namespace calibre::nn {
+
+Sgd::Sgd(std::vector<ag::VarPtr> params, const SgdConfig& config)
+    : params_(std::move(params)), config_(config) {
+  if (config_.momentum != 0.0f) {
+    momentum_buffers_.reserve(params_.size());
+    for (const ag::VarPtr& p : params_) {
+      momentum_buffers_.emplace_back(p->value.rows(), p->value.cols());
+    }
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    ag::VarPtr& p = params_[i];
+    if (p->grad.size() == 0) continue;  // parameter unused in this graph
+    tensor::Tensor g = p->grad;
+    if (config_.weight_decay != 0.0f) {
+      g.axpy_(config_.weight_decay, p->value);
+    }
+    if (config_.momentum != 0.0f) {
+      tensor::Tensor& buf = momentum_buffers_[i];
+      buf.scale_(config_.momentum);
+      buf.add_(g);
+      p->value.axpy_(-config_.learning_rate, buf);
+    } else {
+      p->value.axpy_(-config_.learning_rate, g);
+    }
+  }
+}
+
+void Sgd::zero_grad() {
+  for (const ag::VarPtr& p : params_) p->zero_grad();
+}
+
+void ema_update(const std::vector<ag::VarPtr>& target,
+                const std::vector<ag::VarPtr>& online, float m) {
+  CALIBRE_CHECK(target.size() == online.size());
+  for (std::size_t i = 0; i < target.size(); ++i) {
+    CALIBRE_CHECK(target[i]->value.same_shape(online[i]->value));
+    target[i]->value.scale_(m);
+    target[i]->value.axpy_(1.0f - m, online[i]->value);
+  }
+}
+
+void copy_parameters(const std::vector<ag::VarPtr>& dst,
+                     const std::vector<ag::VarPtr>& src) {
+  CALIBRE_CHECK(dst.size() == src.size());
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    CALIBRE_CHECK(dst[i]->value.same_shape(src[i]->value));
+    dst[i]->value = src[i]->value;
+  }
+}
+
+}  // namespace calibre::nn

@@ -1,0 +1,122 @@
+#include "nn/state.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace calibre::nn {
+namespace {
+
+constexpr std::uint32_t kMagic = 0xCA11B4E5;
+
+}  // namespace
+
+ModelState ModelState::from_parameters(const std::vector<ag::VarPtr>& params) {
+  std::size_t total = 0;
+  for (const ag::VarPtr& p : params) {
+    total += static_cast<std::size_t>(p->value.size());
+  }
+  std::vector<float> values;
+  values.reserve(total);
+  for (const ag::VarPtr& p : params) {
+    const std::vector<float>& storage = p->value.storage();
+    values.insert(values.end(), storage.begin(), storage.end());
+  }
+  return ModelState(std::move(values));
+}
+
+void ModelState::apply_to(const std::vector<ag::VarPtr>& params) const {
+  std::size_t offset = 0;
+  for (const ag::VarPtr& p : params) {
+    const std::size_t count = static_cast<std::size_t>(p->value.size());
+    CALIBRE_CHECK_MSG(offset + count <= values_.size(),
+                      "ModelState too small: have " << values_.size());
+    std::copy(values_.begin() + static_cast<std::ptrdiff_t>(offset),
+              values_.begin() + static_cast<std::ptrdiff_t>(offset + count),
+              p->value.storage().begin());
+    offset += count;
+  }
+  CALIBRE_CHECK_MSG(offset == values_.size(),
+                    "ModelState size mismatch: state " << values_.size()
+                                                       << " vs params "
+                                                       << offset);
+}
+
+ModelState ModelState::zeros_like(const std::vector<ag::VarPtr>& params) {
+  std::size_t total = 0;
+  for (const ag::VarPtr& p : params) {
+    total += static_cast<std::size_t>(p->value.size());
+  }
+  return ModelState(std::vector<float>(total, 0.0f));
+}
+
+void ModelState::add_scaled(const ModelState& other, float alpha) {
+  CALIBRE_CHECK(values_.size() == other.values_.size());
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    values_[i] += alpha * other.values_[i];
+  }
+}
+
+void ModelState::scale(float alpha) {
+  for (float& value : values_) value *= alpha;
+}
+
+void ModelState::ema_merge(const ModelState& other, float m) {
+  CALIBRE_CHECK(values_.size() == other.values_.size());
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    values_[i] = m * values_[i] + (1.0f - m) * other.values_[i];
+  }
+}
+
+float ModelState::l2_distance(const ModelState& other) const {
+  CALIBRE_CHECK(values_.size() == other.values_.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    const double d = static_cast<double>(values_[i]) - other.values_[i];
+    total += d * d;
+  }
+  return static_cast<float>(std::sqrt(total));
+}
+
+float ModelState::norm() const {
+  double total = 0.0;
+  for (float value : values_) total += static_cast<double>(value) * value;
+  return static_cast<float>(std::sqrt(total));
+}
+
+std::vector<std::uint8_t> ModelState::to_bytes() const {
+  std::vector<std::uint8_t> bytes(sizeof(std::uint32_t) +
+                                  sizeof(std::uint64_t) +
+                                  values_.size() * sizeof(float));
+  std::size_t offset = 0;
+  std::memcpy(bytes.data() + offset, &kMagic, sizeof(kMagic));
+  offset += sizeof(kMagic);
+  const std::uint64_t count = values_.size();
+  std::memcpy(bytes.data() + offset, &count, sizeof(count));
+  offset += sizeof(count);
+  std::memcpy(bytes.data() + offset, values_.data(),
+              values_.size() * sizeof(float));
+  return bytes;
+}
+
+ModelState ModelState::from_bytes(const std::vector<std::uint8_t>& bytes) {
+  CALIBRE_CHECK_MSG(
+      bytes.size() >= sizeof(std::uint32_t) + sizeof(std::uint64_t),
+      "ModelState::from_bytes: truncated header");
+  std::size_t offset = 0;
+  std::uint32_t magic = 0;
+  std::memcpy(&magic, bytes.data() + offset, sizeof(magic));
+  offset += sizeof(magic);
+  CALIBRE_CHECK_MSG(magic == kMagic, "ModelState::from_bytes: bad magic");
+  std::uint64_t count = 0;
+  std::memcpy(&count, bytes.data() + offset, sizeof(count));
+  offset += sizeof(count);
+  CALIBRE_CHECK_MSG(bytes.size() == offset + count * sizeof(float),
+                    "ModelState::from_bytes: payload size mismatch");
+  std::vector<float> values(count);
+  std::memcpy(values.data(), bytes.data() + offset, count * sizeof(float));
+  return ModelState(std::move(values));
+}
+
+}  // namespace calibre::nn

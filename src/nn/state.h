@@ -1,0 +1,55 @@
+// Serializable flat parameter state.
+//
+// ModelState is the unit shipped between FL server and clients: a flat float
+// vector holding every parameter of a module (or a subset — each algorithm
+// decides which parameters it federates). It supports the vector algebra
+// aggregation needs plus a compact binary wire format used by the comm layer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace calibre::nn {
+
+class ModelState {
+ public:
+  ModelState() = default;
+  explicit ModelState(std::vector<float> values) : values_(std::move(values)) {}
+
+  // Snapshots the current values of `params` into a flat state.
+  static ModelState from_parameters(const std::vector<ag::VarPtr>& params);
+
+  // Writes this state back into `params` (total sizes must match).
+  void apply_to(const std::vector<ag::VarPtr>& params) const;
+
+  // A zero state with the same dimension as `params`.
+  static ModelState zeros_like(const std::vector<ag::VarPtr>& params);
+
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  const std::vector<float>& values() const { return values_; }
+  std::vector<float>& values() { return values_; }
+
+  // --- algebra used by aggregation ----------------------------------------
+  // this += alpha * other.
+  void add_scaled(const ModelState& other, float alpha);
+  // this *= alpha.
+  void scale(float alpha);
+  // this = m * this + (1 - m) * other (EMA merge; FedEMA).
+  void ema_merge(const ModelState& other, float m);
+  // Euclidean distance to another state (model divergence).
+  float l2_distance(const ModelState& other) const;
+  float norm() const;
+
+  // --- wire format -----------------------------------------------------------
+  // Layout: u32 magic | u64 count | count * f32 (little-endian).
+  std::vector<std::uint8_t> to_bytes() const;
+  static ModelState from_bytes(const std::vector<std::uint8_t>& bytes);
+
+ private:
+  std::vector<float> values_;
+};
+
+}  // namespace calibre::nn

@@ -1,0 +1,91 @@
+#include "ssl/method.h"
+
+#include "common/check.h"
+#include "ssl/byol.h"
+#include "ssl/mocov2.h"
+#include "ssl/simclr.h"
+#include "ssl/simsiam.h"
+#include "ssl/smog.h"
+#include "ssl/swav.h"
+
+namespace calibre::ssl {
+
+std::string kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kSimClr:
+      return "SimCLR";
+    case Kind::kByol:
+      return "BYOL";
+    case Kind::kSimSiam:
+      return "SimSiam";
+    case Kind::kMoCoV2:
+      return "MoCoV2";
+    case Kind::kSwav:
+      return "SwAV";
+    case Kind::kSmog:
+      return "SMoG";
+  }
+  return "?";
+}
+
+SslMethod::SslMethod(const nn::EncoderConfig& encoder_config,
+                     const SslConfig& config, std::uint64_t seed)
+    : config_(config), gen_(seed) {
+  encoder_ = std::make_unique<nn::MlpEncoder>(encoder_config, gen_);
+  projector_ = std::make_unique<nn::ProjectionHead>(
+      encoder_config.feature_dim, config.proj_hidden, config.proj_dim, gen_);
+}
+
+std::vector<ag::VarPtr> SslMethod::trainable_parameters() const {
+  std::vector<ag::VarPtr> params;
+  encoder_->collect_parameters(params);
+  projector_->collect_parameters(params);
+  return params;
+}
+
+std::vector<ag::VarPtr> SslMethod::shared_parameters() const {
+  return trainable_parameters();
+}
+
+tensor::Tensor SslMethod::encode(const tensor::Tensor& batch) {
+  return encoder_->forward(ag::constant(batch))->value;
+}
+
+void SslMethod::encode_views(const tensor::Tensor& view1,
+                             const tensor::Tensor& view2, SslForward& out) {
+  CALIBRE_CHECK(view1.rows() == view2.rows());
+  out.z1 = encoder_->forward(ag::constant(view1));
+  out.z2 = encoder_->forward(ag::constant(view2));
+  out.h1 = projector_->forward(out.z1);
+  out.h2 = projector_->forward(out.z2);
+}
+
+void freeze(const nn::Module& module) {
+  for (const ag::VarPtr& p : module.parameters()) {
+    p->requires_grad = false;
+  }
+}
+
+std::unique_ptr<SslMethod> make_method(Kind kind,
+                                       const nn::EncoderConfig& encoder_config,
+                                       const SslConfig& config,
+                                       std::uint64_t seed) {
+  switch (kind) {
+    case Kind::kSimClr:
+      return std::make_unique<SimClr>(encoder_config, config, seed);
+    case Kind::kByol:
+      return std::make_unique<Byol>(encoder_config, config, seed);
+    case Kind::kSimSiam:
+      return std::make_unique<SimSiam>(encoder_config, config, seed);
+    case Kind::kMoCoV2:
+      return std::make_unique<MoCoV2>(encoder_config, config, seed);
+    case Kind::kSwav:
+      return std::make_unique<Swav>(encoder_config, config, seed);
+    case Kind::kSmog:
+      return std::make_unique<Smog>(encoder_config, config, seed);
+  }
+  CALIBRE_CHECK_MSG(false, "unknown SSL kind");
+  return nullptr;
+}
+
+}  // namespace calibre::ssl

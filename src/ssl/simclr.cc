@@ -1,0 +1,16 @@
+#include "ssl/simclr.h"
+
+#include "nn/losses.h"
+
+namespace calibre::ssl {
+
+SslForward SimClr::forward(const tensor::Tensor& view1,
+                           const tensor::Tensor& view2) {
+  SslForward out;
+  encode_views(view1, view2, out);
+  out.loss = nn::ntxent(ag::concat_rows({out.h1, out.h2}),
+                        config_.temperature);
+  return out;
+}
+
+}  // namespace calibre::ssl

@@ -1,0 +1,22 @@
+// SimCLR (Chen et al., ICML 2020): NT-Xent over the projections of the two
+// augmented views. The basis of Calibre (SimCLR), the paper's best variant.
+#pragma once
+
+#include "ssl/method.h"
+
+namespace calibre::ssl {
+
+class SimClr : public SslMethod {
+ public:
+  SimClr(const nn::EncoderConfig& encoder_config, const SslConfig& config,
+         std::uint64_t seed)
+      : SslMethod(encoder_config, config, seed) {}
+
+  std::string name() const override { return "SimCLR"; }
+  Kind kind() const override { return Kind::kSimClr; }
+
+  SslForward forward(const tensor::Tensor& view1,
+                     const tensor::Tensor& view2) override;
+};
+
+}  // namespace calibre::ssl

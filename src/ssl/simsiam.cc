@@ -1,0 +1,32 @@
+#include "ssl/simsiam.h"
+
+#include "nn/losses.h"
+
+namespace calibre::ssl {
+
+SimSiam::SimSiam(const nn::EncoderConfig& encoder_config,
+                 const SslConfig& config, std::uint64_t seed)
+    : SslMethod(encoder_config, config, seed) {
+  predictor_ = std::make_unique<nn::ProjectionHead>(
+      config.proj_dim, config.proj_hidden, config.proj_dim, gen_);
+}
+
+SslForward SimSiam::forward(const tensor::Tensor& view1,
+                            const tensor::Tensor& view2) {
+  SslForward out;
+  encode_views(view1, view2, out);
+  const ag::VarPtr p1 = predictor_->forward(out.h1);
+  const ag::VarPtr p2 = predictor_->forward(out.h2);
+  const ag::VarPtr loss1 = nn::negative_cosine(p1, ag::detach(out.h2));
+  const ag::VarPtr loss2 = nn::negative_cosine(p2, ag::detach(out.h1));
+  out.loss = ag::mul_scalar(ag::add(loss1, loss2), 0.5f);
+  return out;
+}
+
+std::vector<ag::VarPtr> SimSiam::trainable_parameters() const {
+  std::vector<ag::VarPtr> params = SslMethod::trainable_parameters();
+  predictor_->collect_parameters(params);
+  return params;
+}
+
+}  // namespace calibre::ssl

@@ -1,0 +1,26 @@
+// SimSiam (Chen & He, CVPR 2021): like BYOL but with no momentum target —
+// the stop-gradient on the opposite branch is the whole trick.
+#pragma once
+
+#include "ssl/method.h"
+
+namespace calibre::ssl {
+
+class SimSiam : public SslMethod {
+ public:
+  SimSiam(const nn::EncoderConfig& encoder_config, const SslConfig& config,
+          std::uint64_t seed);
+
+  std::string name() const override { return "SimSiam"; }
+  Kind kind() const override { return Kind::kSimSiam; }
+
+  SslForward forward(const tensor::Tensor& view1,
+                     const tensor::Tensor& view2) override;
+
+  std::vector<ag::VarPtr> trainable_parameters() const override;
+
+ private:
+  std::unique_ptr<nn::ProjectionHead> predictor_;
+};
+
+}  // namespace calibre::ssl

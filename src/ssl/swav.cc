@@ -1,0 +1,96 @@
+#include "ssl/swav.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace calibre::ssl {
+
+tensor::Tensor sinkhorn(const tensor::Tensor& scores, float epsilon,
+                        int iterations) {
+  CALIBRE_CHECK(epsilon > 0.0f && iterations >= 1);
+  const std::int64_t n = scores.rows();
+  const std::int64_t p = scores.cols();
+  // Stabilise: subtract the global max before exponentiating.
+  const float global_max = scores.max();
+  tensor::Tensor q(n, p);
+  for (std::int64_t r = 0; r < n; ++r) {
+    for (std::int64_t c = 0; c < p; ++c) {
+      q(r, c) = std::exp((scores(r, c) - global_max) / epsilon);
+    }
+  }
+  for (int iter = 0; iter < iterations; ++iter) {
+    // Columns to mass 1/P.
+    for (std::int64_t c = 0; c < p; ++c) {
+      double total = 0.0;
+      for (std::int64_t r = 0; r < n; ++r) total += q(r, c);
+      if (total <= 0.0) continue;
+      const float scale = static_cast<float>(1.0 / (total * p));
+      for (std::int64_t r = 0; r < n; ++r) q(r, c) *= scale;
+    }
+    // Rows to mass 1/N.
+    for (std::int64_t r = 0; r < n; ++r) {
+      double total = 0.0;
+      for (std::int64_t c = 0; c < p; ++c) total += q(r, c);
+      if (total <= 0.0) continue;
+      const float scale = static_cast<float>(1.0 / (total * n));
+      for (std::int64_t c = 0; c < p; ++c) q(r, c) *= scale;
+    }
+  }
+  // Final targets: rows sum to 1.
+  for (std::int64_t r = 0; r < n; ++r) {
+    double total = 0.0;
+    for (std::int64_t c = 0; c < p; ++c) total += q(r, c);
+    if (total <= 0.0) continue;
+    for (std::int64_t c = 0; c < p; ++c) {
+      q(r, c) = static_cast<float>(q(r, c) / total);
+    }
+  }
+  return q;
+}
+
+Swav::Swav(const nn::EncoderConfig& encoder_config, const SslConfig& config,
+           std::uint64_t seed)
+    : SslMethod(encoder_config, config, seed) {
+  prototypes_ = ag::parameter(tensor::l2_normalize_rows(
+      tensor::Tensor::randn(config.num_prototypes, config.proj_dim, gen_)));
+}
+
+SslForward Swav::forward(const tensor::Tensor& view1,
+                         const tensor::Tensor& view2) {
+  SslForward out;
+  encode_views(view1, view2, out);
+  const ag::VarPtr zn1 = ag::l2_normalize(out.h1);
+  const ag::VarPtr zn2 = ag::l2_normalize(out.h2);
+  const ag::VarPtr proto_t = ag::transpose(ag::l2_normalize(prototypes_));
+  const ag::VarPtr scores1 = ag::matmul(zn1, proto_t);  // [N, P]
+  const ag::VarPtr scores2 = ag::matmul(zn2, proto_t);
+
+  // Targets from the opposite view, no gradient through the assignment.
+  const tensor::Tensor q1 =
+      sinkhorn(scores1->value, config_.sinkhorn_epsilon,
+               config_.sinkhorn_iters);
+  const tensor::Tensor q2 =
+      sinkhorn(scores2->value, config_.sinkhorn_epsilon,
+               config_.sinkhorn_iters);
+
+  const float inv_temp = 1.0f / config_.swav_temperature;
+  const ag::VarPtr loss1 =
+      ag::cross_entropy_soft(ag::mul_scalar(scores1, inv_temp), q2);
+  const ag::VarPtr loss2 =
+      ag::cross_entropy_soft(ag::mul_scalar(scores2, inv_temp), q1);
+  out.loss = ag::mul_scalar(ag::add(loss1, loss2), 0.5f);
+  return out;
+}
+
+void Swav::after_step() {
+  prototypes_->value = tensor::l2_normalize_rows(prototypes_->value);
+}
+
+std::vector<ag::VarPtr> Swav::trainable_parameters() const {
+  std::vector<ag::VarPtr> params = SslMethod::trainable_parameters();
+  params.push_back(prototypes_);
+  return params;
+}
+
+}  // namespace calibre::ssl

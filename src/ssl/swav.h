@@ -1,0 +1,39 @@
+// SwAV (Caron et al., NeurIPS 2020): online clustering — each view's
+// projections are assigned to trainable prototypes via the Sinkhorn-Knopp
+// balanced transport, and each view predicts the *other* view's assignment.
+#pragma once
+
+#include "ssl/method.h"
+
+namespace calibre::ssl {
+
+class Swav : public SslMethod {
+ public:
+  Swav(const nn::EncoderConfig& encoder_config, const SslConfig& config,
+       std::uint64_t seed);
+
+  std::string name() const override { return "SwAV"; }
+  Kind kind() const override { return Kind::kSwav; }
+
+  SslForward forward(const tensor::Tensor& view1,
+                     const tensor::Tensor& view2) override;
+
+  // Re-normalises prototype rows to the unit sphere.
+  void after_step() override;
+
+  // Encoder + projector + prototypes.
+  std::vector<ag::VarPtr> trainable_parameters() const override;
+
+  const ag::VarPtr& prototypes() const { return prototypes_; }
+
+ private:
+  ag::VarPtr prototypes_;  // [num_prototypes, proj_dim]
+};
+
+// Sinkhorn-Knopp balanced assignment (SwAV Alg. 2): given similarity scores
+// [N, P], returns soft assignments whose rows sum to 1 and whose column
+// masses are balanced. Pure tensor function; exposed for testing.
+tensor::Tensor sinkhorn(const tensor::Tensor& scores, float epsilon,
+                        int iterations);
+
+}  // namespace calibre::ssl

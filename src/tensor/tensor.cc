@@ -1,0 +1,505 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace calibre::tensor {
+
+Tensor::Tensor(std::int64_t rows, std::int64_t cols)
+    : rows_(rows),
+      cols_(cols),
+      data_(static_cast<std::size_t>(rows * cols), 0.0f) {
+  CALIBRE_CHECK(rows >= 0 && cols >= 0);
+}
+
+Tensor::Tensor(std::int64_t rows, std::int64_t cols, std::vector<float> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  CALIBRE_CHECK_MSG(
+      static_cast<std::int64_t>(data_.size()) == rows * cols,
+      "data size " << data_.size() << " != " << rows << "x" << cols);
+}
+
+Tensor Tensor::zeros(std::int64_t rows, std::int64_t cols) {
+  return Tensor(rows, cols);
+}
+
+Tensor Tensor::ones(std::int64_t rows, std::int64_t cols) {
+  return full(rows, cols, 1.0f);
+}
+
+Tensor Tensor::full(std::int64_t rows, std::int64_t cols, float value) {
+  Tensor t(rows, cols);
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::eye(std::int64_t n) {
+  Tensor t(n, n);
+  for (std::int64_t i = 0; i < n; ++i) t(i, i) = 1.0f;
+  return t;
+}
+
+Tensor Tensor::row(std::initializer_list<float> values) {
+  return Tensor(1, static_cast<std::int64_t>(values.size()),
+                std::vector<float>(values));
+}
+
+Tensor Tensor::row(const std::vector<float>& values) {
+  return Tensor(1, static_cast<std::int64_t>(values.size()), values);
+}
+
+Tensor Tensor::randn(std::int64_t rows, std::int64_t cols,
+                     rng::Generator& gen, float stddev) {
+  Tensor t(rows, cols);
+  for (auto& value : t.storage()) {
+    value = static_cast<float>(gen.normal() * stddev);
+  }
+  return t;
+}
+
+Tensor Tensor::rand_uniform(std::int64_t rows, std::int64_t cols,
+                            rng::Generator& gen, float lo, float hi) {
+  Tensor t(rows, cols);
+  for (auto& value : t.storage()) {
+    value = static_cast<float>(gen.uniform(lo, hi));
+  }
+  return t;
+}
+
+float& Tensor::operator()(std::int64_t r, std::int64_t c) {
+  CALIBRE_CHECK_MSG(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                    "index (" << r << "," << c << ") in " << shape_string());
+  return data_[static_cast<std::size_t>(r * cols_ + c)];
+}
+
+float Tensor::operator()(std::int64_t r, std::int64_t c) const {
+  CALIBRE_CHECK_MSG(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                    "index (" << r << "," << c << ") in " << shape_string());
+  return data_[static_cast<std::size_t>(r * cols_ + c)];
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::add_(const Tensor& other) {
+  CALIBRE_CHECK_MSG(same_shape(other), shape_string() << " += "
+                                                      << other.shape_string());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::axpy_(float alpha, const Tensor& other) {
+  CALIBRE_CHECK(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += alpha * other.data_[i];
+  }
+}
+
+void Tensor::scale_(float alpha) {
+  for (auto& value : data_) value *= alpha;
+}
+
+float Tensor::sum() const {
+  double total = 0.0;
+  for (float value : data_) total += value;
+  return static_cast<float>(total);
+}
+
+float Tensor::mean() const {
+  CALIBRE_CHECK(size() > 0);
+  return sum() / static_cast<float>(size());
+}
+
+float Tensor::min() const {
+  CALIBRE_CHECK(size() > 0);
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  CALIBRE_CHECK(size() > 0);
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::squared_norm() const {
+  double total = 0.0;
+  for (float value : data_) total += static_cast<double>(value) * value;
+  return static_cast<float>(total);
+}
+
+std::int64_t Tensor::argmax_row(std::int64_t r) const {
+  CALIBRE_CHECK(r >= 0 && r < rows_ && cols_ > 0);
+  const float* begin = data() + r * cols_;
+  return std::max_element(begin, begin + cols_) - begin;
+}
+
+Tensor Tensor::row_copy(std::int64_t r) const {
+  CALIBRE_CHECK(r >= 0 && r < rows_);
+  std::vector<float> values(data_.begin() + static_cast<std::ptrdiff_t>(r * cols_),
+                            data_.begin() +
+                                static_cast<std::ptrdiff_t>((r + 1) * cols_));
+  return Tensor(1, cols_, std::move(values));
+}
+
+std::string Tensor::shape_string() const {
+  std::ostringstream os;
+  os << "[" << rows_ << "," << cols_ << "]";
+  return os.str();
+}
+
+namespace {
+
+// Computes the broadcast output shape of a binary op, checking compatibility.
+void broadcast_shape(const Tensor& a, const Tensor& b, std::int64_t& rows,
+                     std::int64_t& cols) {
+  auto merge = [](std::int64_t x, std::int64_t y, const char* which) {
+    if (x == y) return x;
+    if (x == 1) return y;
+    if (y == 1) return x;
+    CALIBRE_CHECK_MSG(false, "broadcast mismatch in " << which << ": " << x
+                                                      << " vs " << y);
+    return std::int64_t{0};
+  };
+  rows = merge(a.rows(), b.rows(), "rows");
+  cols = merge(a.cols(), b.cols(), "cols");
+}
+
+template <typename Fn>
+Tensor broadcast_binary(const Tensor& a, const Tensor& b, Fn fn) {
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  broadcast_shape(a, b, rows, cols);
+  Tensor out(rows, cols);
+  const bool a_row1 = a.rows() == 1;
+  const bool a_col1 = a.cols() == 1;
+  const bool b_row1 = b.rows() == 1;
+  const bool b_col1 = b.cols() == 1;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const std::int64_t ar = a_row1 ? 0 : r;
+    const std::int64_t br = b_row1 ? 0 : r;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const std::int64_t ac = a_col1 ? 0 : c;
+      const std::int64_t bc = b_col1 ? 0 : c;
+      out(r, c) = fn(a(ar, ac), b(br, bc));
+    }
+  }
+  return out;
+}
+
+template <typename Fn>
+Tensor unary(const Tensor& a, Fn fn) {
+  Tensor out(a.rows(), a.cols());
+  const float* src = a.data();
+  float* dst = out.data();
+  for (std::int64_t i = 0; i < a.size(); ++i) dst[i] = fn(src[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return broadcast_binary(a, b, [](float x, float y) { return x + y; });
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return broadcast_binary(a, b, [](float x, float y) { return x - y; });
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return broadcast_binary(a, b, [](float x, float y) { return x * y; });
+}
+
+Tensor div(const Tensor& a, const Tensor& b) {
+  return broadcast_binary(a, b, [](float x, float y) { return x / y; });
+}
+
+Tensor reduce_to_shape(const Tensor& grad, std::int64_t rows,
+                       std::int64_t cols) {
+  CALIBRE_CHECK_MSG(
+      (rows == grad.rows() || rows == 1) && (cols == grad.cols() || cols == 1),
+      "cannot reduce " << grad.shape_string() << " to [" << rows << "," << cols
+                       << "]");
+  if (rows == grad.rows() && cols == grad.cols()) return grad;
+  Tensor out(rows, cols);
+  for (std::int64_t r = 0; r < grad.rows(); ++r) {
+    const std::int64_t tr = rows == 1 ? 0 : r;
+    for (std::int64_t c = 0; c < grad.cols(); ++c) {
+      const std::int64_t tc = cols == 1 ? 0 : c;
+      out(tr, tc) += grad(r, c);
+    }
+  }
+  return out;
+}
+
+Tensor add_scalar(const Tensor& a, float s) {
+  return unary(a, [s](float x) { return x + s; });
+}
+
+Tensor mul_scalar(const Tensor& a, float s) {
+  return unary(a, [s](float x) { return x * s; });
+}
+
+Tensor neg(const Tensor& a) {
+  return unary(a, [](float x) { return -x; });
+}
+
+Tensor exp(const Tensor& a) {
+  return unary(a, [](float x) { return std::exp(x); });
+}
+
+Tensor log(const Tensor& a) {
+  return unary(a, [](float x) { return std::log(x); });
+}
+
+Tensor sqrt(const Tensor& a) {
+  return unary(a, [](float x) { return std::sqrt(x); });
+}
+
+Tensor relu(const Tensor& a) {
+  return unary(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+
+Tensor relu_mask(const Tensor& a) {
+  return unary(a, [](float x) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor tanh(const Tensor& a) {
+  return unary(a, [](float x) { return std::tanh(x); });
+}
+
+Tensor square(const Tensor& a) {
+  return unary(a, [](float x) { return x * x; });
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  CALIBRE_CHECK_MSG(a.cols() == b.rows(), "matmul " << a.shape_string() << " x "
+                                                    << b.shape_string());
+  const std::int64_t n = a.rows();
+  const std::int64_t k = a.cols();
+  const std::int64_t m = b.cols();
+  Tensor out(n, m);
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* od = out.data();
+  // i-k-j loop order: streams through b and out rows, cache friendly.
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float aik = ad[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = bd + kk * m;
+      float* orow = od + i * m;
+      for (std::int64_t j = 0; j < m; ++j) {
+        orow[j] += aik * brow[j];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor transpose(const Tensor& a) {
+  Tensor out(a.cols(), a.rows());
+  for (std::int64_t r = 0; r < a.rows(); ++r) {
+    for (std::int64_t c = 0; c < a.cols(); ++c) {
+      out(c, r) = a(r, c);
+    }
+  }
+  return out;
+}
+
+Tensor row_sum(const Tensor& a) {
+  Tensor out(a.rows(), 1);
+  for (std::int64_t r = 0; r < a.rows(); ++r) {
+    double total = 0.0;
+    for (std::int64_t c = 0; c < a.cols(); ++c) total += a(r, c);
+    out(r, 0) = static_cast<float>(total);
+  }
+  return out;
+}
+
+Tensor col_sum(const Tensor& a) {
+  Tensor out(1, a.cols());
+  for (std::int64_t r = 0; r < a.rows(); ++r) {
+    for (std::int64_t c = 0; c < a.cols(); ++c) out(0, c) += a(r, c);
+  }
+  return out;
+}
+
+Tensor sum_all(const Tensor& a) {
+  Tensor out(1, 1);
+  out(0, 0) = a.sum();
+  return out;
+}
+
+Tensor row_max(const Tensor& a) {
+  CALIBRE_CHECK(a.cols() > 0);
+  Tensor out(a.rows(), 1);
+  for (std::int64_t r = 0; r < a.rows(); ++r) {
+    float best = a(r, 0);
+    for (std::int64_t c = 1; c < a.cols(); ++c) best = std::max(best, a(r, c));
+    out(r, 0) = best;
+  }
+  return out;
+}
+
+Tensor concat_rows(const std::vector<Tensor>& parts) {
+  CALIBRE_CHECK(!parts.empty());
+  const std::int64_t cols = parts.front().cols();
+  std::int64_t rows = 0;
+  for (const Tensor& part : parts) {
+    CALIBRE_CHECK_MSG(part.cols() == cols, "concat_rows col mismatch");
+    rows += part.rows();
+  }
+  Tensor out(rows, cols);
+  std::int64_t offset = 0;
+  for (const Tensor& part : parts) {
+    std::copy(part.data(), part.data() + part.size(),
+              out.data() + offset * cols);
+    offset += part.rows();
+  }
+  return out;
+}
+
+Tensor concat_cols(const std::vector<Tensor>& parts) {
+  CALIBRE_CHECK(!parts.empty());
+  const std::int64_t rows = parts.front().rows();
+  std::int64_t cols = 0;
+  for (const Tensor& part : parts) {
+    CALIBRE_CHECK_MSG(part.rows() == rows, "concat_cols row mismatch");
+    cols += part.cols();
+  }
+  Tensor out(rows, cols);
+  std::int64_t offset = 0;
+  for (const Tensor& part : parts) {
+    for (std::int64_t r = 0; r < rows; ++r) {
+      std::copy(part.data() + r * part.cols(),
+                part.data() + (r + 1) * part.cols(),
+                out.data() + r * cols + offset);
+    }
+    offset += part.cols();
+  }
+  return out;
+}
+
+Tensor slice_rows(const Tensor& a, std::int64_t begin, std::int64_t end) {
+  CALIBRE_CHECK_MSG(begin >= 0 && begin <= end && end <= a.rows(),
+                    "slice_rows [" << begin << "," << end << ") of "
+                                   << a.shape_string());
+  Tensor out(end - begin, a.cols());
+  std::copy(a.data() + begin * a.cols(), a.data() + end * a.cols(),
+            out.data());
+  return out;
+}
+
+Tensor slice_cols(const Tensor& a, std::int64_t begin, std::int64_t end) {
+  CALIBRE_CHECK_MSG(begin >= 0 && begin <= end && end <= a.cols(),
+                    "slice_cols [" << begin << "," << end << ") of "
+                                   << a.shape_string());
+  Tensor out(a.rows(), end - begin);
+  for (std::int64_t r = 0; r < a.rows(); ++r) {
+    std::copy(a.data() + r * a.cols() + begin, a.data() + r * a.cols() + end,
+              out.data() + r * out.cols());
+  }
+  return out;
+}
+
+Tensor take_rows(const Tensor& a, const std::vector<int>& indices) {
+  Tensor out(static_cast<std::int64_t>(indices.size()), a.cols());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::int64_t r = indices[i];
+    CALIBRE_CHECK_MSG(r >= 0 && r < a.rows(), "take_rows index " << r);
+    std::copy(a.data() + r * a.cols(), a.data() + (r + 1) * a.cols(),
+              out.data() + static_cast<std::int64_t>(i) * a.cols());
+  }
+  return out;
+}
+
+Tensor gather_cols(const Tensor& a, const std::vector<int>& idx) {
+  CALIBRE_CHECK_MSG(static_cast<std::int64_t>(idx.size()) == a.rows(),
+                    "gather_cols needs one index per row");
+  Tensor out(a.rows(), 1);
+  for (std::int64_t r = 0; r < a.rows(); ++r) {
+    const int c = idx[static_cast<std::size_t>(r)];
+    CALIBRE_CHECK_MSG(c >= 0 && c < a.cols(), "gather_cols index " << c);
+    out(r, 0) = a(r, c);
+  }
+  return out;
+}
+
+Tensor softmax_rows(const Tensor& a) {
+  Tensor out(a.rows(), a.cols());
+  for (std::int64_t r = 0; r < a.rows(); ++r) {
+    float best = -std::numeric_limits<float>::infinity();
+    for (std::int64_t c = 0; c < a.cols(); ++c) best = std::max(best, a(r, c));
+    double total = 0.0;
+    for (std::int64_t c = 0; c < a.cols(); ++c) {
+      const float e = std::exp(a(r, c) - best);
+      out(r, c) = e;
+      total += e;
+    }
+    for (std::int64_t c = 0; c < a.cols(); ++c) {
+      out(r, c) = static_cast<float>(out(r, c) / total);
+    }
+  }
+  return out;
+}
+
+Tensor log_softmax_rows(const Tensor& a) {
+  Tensor out(a.rows(), a.cols());
+  for (std::int64_t r = 0; r < a.rows(); ++r) {
+    float best = -std::numeric_limits<float>::infinity();
+    for (std::int64_t c = 0; c < a.cols(); ++c) best = std::max(best, a(r, c));
+    double total = 0.0;
+    for (std::int64_t c = 0; c < a.cols(); ++c) {
+      total += std::exp(a(r, c) - best);
+    }
+    const float lse = best + static_cast<float>(std::log(total));
+    for (std::int64_t c = 0; c < a.cols(); ++c) {
+      out(r, c) = a(r, c) - lse;
+    }
+  }
+  return out;
+}
+
+Tensor l2_normalize_rows(const Tensor& a, float eps) {
+  Tensor out(a.rows(), a.cols());
+  for (std::int64_t r = 0; r < a.rows(); ++r) {
+    double sq = 0.0;
+    for (std::int64_t c = 0; c < a.cols(); ++c) {
+      sq += static_cast<double>(a(r, c)) * a(r, c);
+    }
+    const float norm = std::max(static_cast<float>(std::sqrt(sq)), eps);
+    for (std::int64_t c = 0; c < a.cols(); ++c) {
+      out(r, c) = a(r, c) / norm;
+    }
+  }
+  return out;
+}
+
+Tensor pairwise_sq_dists(const Tensor& a, const Tensor& b) {
+  CALIBRE_CHECK_MSG(a.cols() == b.cols(), "pairwise_sq_dists dim mismatch");
+  Tensor out(a.rows(), b.rows());
+  for (std::int64_t i = 0; i < a.rows(); ++i) {
+    for (std::int64_t j = 0; j < b.rows(); ++j) {
+      double total = 0.0;
+      for (std::int64_t c = 0; c < a.cols(); ++c) {
+        const double d = static_cast<double>(a(i, c)) - b(j, c);
+        total += d * d;
+      }
+      out(i, j) = static_cast<float>(total);
+    }
+  }
+  return out;
+}
+
+bool allclose(const Tensor& a, const Tensor& b, float atol) {
+  if (!a.same_shape(b)) return false;
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    if (std::fabs(a.data()[i] - b.data()[i]) > atol) return false;
+  }
+  return true;
+}
+
+}  // namespace calibre::tensor

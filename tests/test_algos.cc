@@ -1,0 +1,236 @@
+// Tests for the algorithm zoo: a parameterized end-to-end federation for
+// every registered method, plus algorithm-specific behavioural checks.
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "algos/fedbabu.h"
+#include "algos/lg_fedavg.h"
+#include "algos/registry.h"
+#include "algos/scaffold.h"
+#include "common/check.h"
+#include "fl/fed_data.h"
+#include "fl/runner.h"
+
+namespace calibre::algos {
+namespace {
+
+// Tiny shared workbench so the parameterized suite stays fast.
+struct TinyWorld {
+  data::SyntheticDataset synth;
+  fl::FedDataset fed;
+  fl::FlConfig config;
+};
+
+const TinyWorld& tiny_world() {
+  static const TinyWorld* world = [] {
+    auto* w = new TinyWorld();
+    data::SyntheticConfig dataset_config;
+    dataset_config.num_classes = 4;
+    dataset_config.input_dim = 16;
+    dataset_config.latent_dim = 6;
+    dataset_config.train_samples = 400;
+    dataset_config.test_samples = 200;
+    dataset_config.unlabeled_samples = 80;
+    dataset_config.seed = 77;
+    w->synth = data::make_synthetic(dataset_config);
+    data::PartitionConfig partition_config;
+    partition_config.num_clients = 5;  // 4 train + 1 novel
+    partition_config.samples_per_client = 40;
+    partition_config.test_samples_per_client = 16;
+    rng::Generator partition_gen(78);
+    const data::Partition partition = data::partition_dirichlet(
+        w->synth.train, w->synth.test, partition_config, 0.3, partition_gen);
+    rng::Generator fed_gen(79);
+    w->fed = fl::build_fed_dataset(w->synth, partition, 4, fed_gen);
+
+    w->config.encoder.input_dim = 16;
+    w->config.encoder.hidden_dims = {16};
+    w->config.encoder.feature_dim = 8;
+    w->config.num_classes = 4;
+    w->config.rounds = 2;
+    w->config.clients_per_round = 2;
+    w->config.local_epochs = 1;
+    w->config.num_train_clients = 4;
+    w->config.threads = 2;
+    return w;
+  }();
+  return *world;
+}
+
+class AlgorithmSuite : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AlgorithmSuite, EndToEndFederationProducesValidAccuracies) {
+  const TinyWorld& world = tiny_world();
+  fl::FlConfig config = world.config;
+  if (GetParam().rfind("Script-", 0) == 0) config.rounds = 0;
+  const auto algorithm = make_algorithm(GetParam(), config);
+  EXPECT_EQ(algorithm->name(), GetParam());
+  const fl::RunResult result =
+      fl::run_federated(*algorithm, world.fed, /*personalize_novel=*/true);
+  EXPECT_EQ(result.algorithm, GetParam());
+  ASSERT_EQ(result.train_accuracies.size(), 4u);
+  ASSERT_EQ(result.novel_accuracies.size(), 1u);
+  for (const double accuracy : result.train_accuracies) {
+    EXPECT_GE(accuracy, 0.0);
+    EXPECT_LE(accuracy, 1.0);
+  }
+  if (config.rounds > 0) {
+    // Two rounds x two clients, one request + one response each.
+    EXPECT_EQ(result.traffic.messages, 8u);
+    EXPECT_GT(result.traffic.bytes, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegistered, AlgorithmSuite,
+    ::testing::ValuesIn(registered_algorithms()),
+    [](const auto& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(make_algorithm("NoSuchMethod", tiny_world().config),
+               CheckError);
+  EXPECT_THROW(make_algorithm("pFL-NoSuchSsl", tiny_world().config),
+               CheckError);
+  EXPECT_THROW(make_algorithm("Calibre (NoSuchSsl)", tiny_world().config),
+               CheckError);
+}
+
+TEST(Registry, ListsAllFamilies) {
+  const auto names = registered_algorithms();
+  EXPECT_GE(names.size(), 26u);
+  const std::set<std::string> set(names.begin(), names.end());
+  EXPECT_TRUE(set.count("FedAvg"));
+  EXPECT_TRUE(set.count("Calibre (SimCLR)"));
+  EXPECT_TRUE(set.count("pFL-SMoG"));
+  // Every registered name constructs.
+  for (const auto& name : names) {
+    EXPECT_NE(make_algorithm(name, tiny_world().config), nullptr) << name;
+  }
+}
+
+TEST(FedBabuBehaviour, HeadStaysAtSharedRandomInit) {
+  // FedBABU's federated state is encoder-only; its size proves the head is
+  // not part of what clients exchange or train.
+  const TinyWorld& world = tiny_world();
+  FedBabu fedbabu(world.config);
+  const fl::EncoderHeadModel reference =
+      fl::make_encoder_head(world.config, world.config.seed);
+  const std::size_t encoder_size =
+      nn::ModelState::from_parameters(reference.encoder_parameters()).size();
+  EXPECT_EQ(fedbabu.initialize().size(), encoder_size);
+}
+
+TEST(ScaffoldBehaviour, StatePacksModelAndControl) {
+  const TinyWorld& world = tiny_world();
+  Scaffold scaffold(world.config, false);
+  const fl::EncoderHeadModel reference =
+      fl::make_encoder_head(world.config, world.config.seed);
+  const std::size_t model_size =
+      nn::ModelState::from_parameters(reference.all_parameters()).size();
+  const nn::ModelState initial = scaffold.initialize();
+  EXPECT_EQ(initial.size(), 2 * model_size);
+  // Control starts at zero.
+  for (std::size_t i = model_size; i < initial.size(); ++i) {
+    EXPECT_FLOAT_EQ(initial.values()[i], 0.0f);
+  }
+}
+
+TEST(ScaffoldBehaviour, LocalUpdateReturnsModelAndControlDelta) {
+  const TinyWorld& world = tiny_world();
+  Scaffold scaffold(world.config, false);
+  const nn::ModelState global = scaffold.initialize();
+  fl::ClientContext ctx;
+  ctx.client_id = 0;
+  ctx.train = &world.fed.train[0];
+  ctx.ssl_pool = &world.fed.ssl_pool[0];
+  ctx.seed = 5;
+  const fl::ClientUpdate update = scaffold.local_update(global, ctx);
+  EXPECT_EQ(update.state.size(), global.size());
+  // Aggregation accepts the update and moves the control variate.
+  const nn::ModelState next = scaffold.aggregate(global, {update}, 0);
+  EXPECT_EQ(next.size(), global.size());
+}
+
+TEST(LgFedAvgBehaviour, GlobalStateIsHeadOnly) {
+  const TinyWorld& world = tiny_world();
+  LgFedAvg lg(world.config);
+  const fl::EncoderHeadModel reference =
+      fl::make_encoder_head(world.config, world.config.seed);
+  EXPECT_EQ(lg.initialize().size(),
+            nn::ModelState::from_parameters(reference.head_parameters())
+                .size());
+}
+
+TEST(LgFedAvgBehaviour, ClientFeaturesUseLocalEncoder) {
+  const TinyWorld& world = tiny_world();
+  LgFedAvg lg(world.config);
+  const nn::ModelState global = lg.initialize();
+  fl::ClientContext ctx;
+  ctx.client_id = 0;
+  ctx.train = &world.fed.train[0];
+  ctx.ssl_pool = &world.fed.ssl_pool[0];
+  ctx.seed = 6;
+  (void)lg.local_update(global, ctx);
+  // Client 0 trained its encoder; client 3 never did. Their features on the
+  // same inputs must differ.
+  const tensor::Tensor x = world.fed.train[0].x;
+  EXPECT_FALSE(tensor::allclose(lg.client_features(0, x),
+                                lg.client_features(3, x), 1e-5f));
+}
+
+TEST(PersistentState, FedPerKeepsPerClientHeads) {
+  // A second local update for the same client must start from its stored
+  // head: running two updates for client 0 and one for client 1 leaves their
+  // personalized accuracies both valid but their stored heads distinct.
+  const TinyWorld& world = tiny_world();
+  const auto algorithm = make_algorithm("FedPer", world.config);
+  const nn::ModelState global = algorithm->initialize();
+  fl::ClientContext ctx0;
+  ctx0.client_id = 0;
+  ctx0.train = &world.fed.train[0];
+  ctx0.seed = 7;
+  fl::ClientContext ctx1;
+  ctx1.client_id = 1;
+  ctx1.train = &world.fed.train[1];
+  ctx1.seed = 8;
+  const fl::ClientUpdate u0 = algorithm->local_update(global, ctx0);
+  const fl::ClientUpdate u1 = algorithm->local_update(global, ctx1);
+  // Encoder states differ because local data differs.
+  EXPECT_GT(u0.state.l2_distance(u1.state), 0.0f);
+}
+
+TEST(LocalOnly, TrainingStageIsForbidden) {
+  const TinyWorld& world = tiny_world();
+  const auto script = make_algorithm("Script-Fair", world.config);
+  fl::ClientContext ctx;
+  EXPECT_THROW(script->local_update(nn::ModelState(), ctx), CheckError);
+}
+
+TEST(Determinism, SameSeedSameResult) {
+  const TinyWorld& world = tiny_world();
+  auto run_once = [&] {
+    const auto algorithm = make_algorithm("FedAvg-FT", world.config);
+    return fl::run_federated(*algorithm, world.fed, false).train_accuracies;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Determinism, CalibreSameSeedSameResult) {
+  const TinyWorld& world = tiny_world();
+  auto run_once = [&] {
+    const auto algorithm = make_algorithm("Calibre (SimCLR)", world.config);
+    return fl::run_federated(*algorithm, world.fed, false).train_accuracies;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace calibre::algos

@@ -1,0 +1,210 @@
+// Tests for the communication substrate: serde, mailbox semantics under
+// concurrency, and the router.
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "comm/mailbox.h"
+#include "comm/router.h"
+#include "comm/serde.h"
+#include "common/check.h"
+
+namespace calibre::comm {
+namespace {
+
+TEST(Serde, ScalarRoundTrip) {
+  Writer writer;
+  writer.write_u8(7);
+  writer.write_u32(0xDEADBEEF);
+  writer.write_u64(0x0123456789ABCDEFULL);
+  writer.write_f32(3.25f);
+  writer.write_string("hello");
+  const auto bytes = writer.take();
+  Reader reader(bytes);
+  EXPECT_EQ(reader.read_u8(), 7);
+  EXPECT_EQ(reader.read_u32(), 0xDEADBEEF);
+  EXPECT_EQ(reader.read_u64(), 0x0123456789ABCDEFULL);
+  EXPECT_FLOAT_EQ(reader.read_f32(), 3.25f);
+  EXPECT_EQ(reader.read_string(), "hello");
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(Serde, VectorAndMapRoundTrip) {
+  Writer writer;
+  const std::vector<float> values = {1.0f, -2.5f, 0.0f, 1e-9f};
+  writer.write_f32_vector(values);
+  const std::map<std::string, float> scalars = {{"divergence", 0.5f},
+                                                {"loss", 2.25f}};
+  writer.write_scalar_map(scalars);
+  const auto bytes = writer.take();
+  Reader reader(bytes);
+  EXPECT_EQ(reader.read_f32_vector(), values);
+  EXPECT_EQ(reader.read_scalar_map(), scalars);
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(Serde, EmptyContainers) {
+  Writer writer;
+  writer.write_f32_vector({});
+  writer.write_scalar_map({});
+  writer.write_string("");
+  const auto bytes = writer.take();
+  Reader reader(bytes);
+  EXPECT_TRUE(reader.read_f32_vector().empty());
+  EXPECT_TRUE(reader.read_scalar_map().empty());
+  EXPECT_TRUE(reader.read_string().empty());
+}
+
+TEST(Serde, UnderflowThrows) {
+  Writer writer;
+  writer.write_u32(5);
+  const auto bytes = writer.take();
+  Reader reader(bytes);
+  EXPECT_THROW(reader.read_u64(), CheckError);
+}
+
+TEST(Mailbox, FifoOrder) {
+  Mailbox mailbox;
+  for (int i = 0; i < 5; ++i) {
+    Message message;
+    message.round = i;
+    mailbox.push(std::move(message));
+  }
+  for (int i = 0; i < 5; ++i) {
+    const auto message = mailbox.pop();
+    ASSERT_TRUE(message.has_value());
+    EXPECT_EQ(message->round, i);
+  }
+  EXPECT_EQ(mailbox.size(), 0u);
+}
+
+TEST(Mailbox, TryPopOnEmpty) {
+  Mailbox mailbox;
+  EXPECT_FALSE(mailbox.try_pop().has_value());
+}
+
+TEST(Mailbox, CloseDrainsAndStops) {
+  Mailbox mailbox;
+  mailbox.push(Message{});
+  mailbox.close();
+  EXPECT_TRUE(mailbox.pop().has_value());   // drains remaining
+  EXPECT_FALSE(mailbox.pop().has_value());  // then signals closed
+  EXPECT_THROW(mailbox.push(Message{}), std::runtime_error);
+}
+
+TEST(Mailbox, ConcurrentProducersConsumersLoseNothing) {
+  Mailbox mailbox(64);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  std::atomic<int> consumed{0};
+  std::set<int> seen;
+  std::mutex seen_mutex;
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      for (;;) {
+        const auto message = mailbox.pop();
+        if (!message.has_value()) return;
+        {
+          std::lock_guard<std::mutex> lock(seen_mutex);
+          EXPECT_TRUE(seen.insert(message->round).second)
+              << "duplicate message " << message->round;
+        }
+        consumed.fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        Message message;
+        message.round = p * kPerProducer + i;
+        mailbox.push(std::move(message));
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  mailbox.close();
+  for (auto& consumer : consumers) consumer.join();
+  EXPECT_EQ(consumed.load(), kProducers * kPerProducer);
+}
+
+TEST(Router, RoutesToHandlerAndBack) {
+  Router router(2);
+  router.register_endpoint(3, [&](const Message& request) {
+    Message response;
+    response.type = MessageType::kTrainResponse;
+    response.sender = 3;
+    response.receiver = kServerEndpoint;
+    response.round = request.round + 100;
+    router.send(std::move(response));
+  });
+  Message request;
+  request.receiver = 3;
+  request.round = 7;
+  router.send(std::move(request));
+  const auto response = router.server_mailbox().pop();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->round, 107);
+  EXPECT_EQ(response->sender, 3);
+  const TrafficStats stats = router.stats();
+  EXPECT_EQ(stats.messages, 2u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(Router, UnknownEndpointThrows) {
+  Router router(1);
+  Message message;
+  message.receiver = 42;
+  EXPECT_THROW(router.send(std::move(message)), CheckError);
+}
+
+TEST(Router, DuplicateRegistrationThrows) {
+  Router router(1);
+  router.register_endpoint(1, [](const Message&) {});
+  EXPECT_THROW(router.register_endpoint(1, [](const Message&) {}),
+               CheckError);
+  EXPECT_THROW(router.register_endpoint(kServerEndpoint,
+                                        [](const Message&) {}),
+               CheckError);
+}
+
+TEST(Router, ManyConcurrentRequests) {
+  Router router(4);
+  constexpr int kEndpoints = 8;
+  constexpr int kRequestsEach = 20;
+  for (int e = 0; e < kEndpoints; ++e) {
+    router.register_endpoint(e, [&, e](const Message& request) {
+      Message response;
+      response.type = MessageType::kTrainResponse;
+      response.sender = e;
+      response.receiver = kServerEndpoint;
+      response.round = request.round;
+      router.send(std::move(response));
+    });
+  }
+  for (int i = 0; i < kRequestsEach; ++i) {
+    for (int e = 0; e < kEndpoints; ++e) {
+      Message request;
+      request.receiver = e;
+      request.round = i;
+      router.send(std::move(request));
+    }
+  }
+  std::vector<int> per_endpoint(kEndpoints, 0);
+  for (int i = 0; i < kEndpoints * kRequestsEach; ++i) {
+    const auto response = router.server_mailbox().pop();
+    ASSERT_TRUE(response.has_value());
+    ++per_endpoint[static_cast<std::size_t>(response->sender)];
+  }
+  for (const int count : per_endpoint) {
+    EXPECT_EQ(count, kRequestsEach);
+  }
+}
+
+}  // namespace
+}  // namespace calibre::comm

@@ -1,0 +1,253 @@
+// Tests for the Calibre core: prototype losses, divergence weighting, and
+// the pFL-SSL / Calibre algorithms' state handling.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/calibre.h"
+#include "core/divergence.h"
+#include "core/prototype_loss.h"
+#include "nn/optim.h"
+#include "ssl/simclr.h"
+
+namespace calibre::core {
+namespace {
+
+using tensor::Tensor;
+
+nn::EncoderConfig small_encoder() {
+  nn::EncoderConfig config;
+  config.input_dim = 12;
+  config.hidden_dims = {16};
+  config.feature_dim = 8;
+  return config;
+}
+
+ssl::SslConfig small_ssl() {
+  ssl::SslConfig config;
+  config.proj_hidden = 12;
+  config.proj_dim = 6;
+  return config;
+}
+
+ssl::SslForward make_forward(ssl::SimClr& method, std::uint64_t seed,
+                             int n = 16) {
+  rng::Generator gen(seed);
+  const Tensor v1 = Tensor::randn(n, 12, gen);
+  const Tensor v2 = Tensor::randn(n, 12, gen);
+  return method.forward(v1, v2);
+}
+
+TEST(PrototypeLoss, BothTermsPresentAndFinite) {
+  ssl::SimClr method(small_encoder(), small_ssl(), 1);
+  const ssl::SslForward fwd = make_forward(method, 2);
+  PrototypeLossConfig config;
+  rng::Generator gen(3);
+  const PrototypeLosses losses = compute_prototype_losses(fwd, config, gen);
+  ASSERT_TRUE(losses.l_n);
+  ASSERT_TRUE(losses.l_p);
+  EXPECT_TRUE(std::isfinite(losses.l_n->value(0, 0)));
+  EXPECT_TRUE(std::isfinite(losses.l_p->value(0, 0)));
+  EXPECT_GT(losses.batch_divergence, 0.0f);
+}
+
+TEST(PrototypeLoss, AblationFlagsHonored) {
+  ssl::SimClr method(small_encoder(), small_ssl(), 4);
+  const ssl::SslForward fwd = make_forward(method, 5);
+  rng::Generator gen(6);
+  PrototypeLossConfig no_ln;
+  no_ln.use_ln = false;
+  const PrototypeLosses only_lp = compute_prototype_losses(fwd, no_ln, gen);
+  EXPECT_FALSE(only_lp.l_n);
+  EXPECT_TRUE(only_lp.l_p);
+  PrototypeLossConfig no_lp;
+  no_lp.use_lp = false;
+  const PrototypeLosses only_ln = compute_prototype_losses(fwd, no_lp, gen);
+  EXPECT_TRUE(only_ln.l_n);
+  EXPECT_FALSE(only_ln.l_p);
+}
+
+TEST(PrototypeLoss, TinyBatchDegradesGracefully) {
+  ssl::SimClr method(small_encoder(), small_ssl(), 7);
+  const ssl::SslForward fwd = make_forward(method, 8, /*n=*/3);
+  rng::Generator gen(9);
+  const PrototypeLosses losses =
+      compute_prototype_losses(fwd, PrototypeLossConfig{}, gen);
+  EXPECT_FALSE(losses.l_n);
+  EXPECT_FALSE(losses.l_p);
+}
+
+TEST(PrototypeLoss, BothLnFormsAreFiniteAndDifferentiable) {
+  ssl::SimClr method(small_encoder(), small_ssl(), 10);
+  for (const LnForm form : {LnForm::kProtoNce, LnForm::kPaper}) {
+    const ssl::SslForward fwd = make_forward(method, 11);
+    PrototypeLossConfig config;
+    config.ln_form = form;
+    config.use_lp = false;
+    rng::Generator gen(12);
+    const PrototypeLosses losses = compute_prototype_losses(fwd, config, gen);
+    ASSERT_TRUE(losses.l_n);
+    for (const ag::VarPtr& p : method.trainable_parameters()) p->zero_grad();
+    ag::backward(losses.l_n);
+    // Gradient reaches the encoder.
+    double grad_norm = 0.0;
+    for (const ag::VarPtr& p : method.encoder().parameters()) {
+      grad_norm += p->grad.squared_norm();
+    }
+    EXPECT_GT(grad_norm, 0.0);
+  }
+}
+
+TEST(PrototypeLoss, FixedCentroidsPath) {
+  ssl::SimClr method(small_encoder(), small_ssl(), 13);
+  const ssl::SslForward fwd = make_forward(method, 14);
+  rng::Generator gen(15);
+  Tensor centroids = Tensor::randn(4, 8, gen);
+  const PrototypeLosses losses = compute_prototype_losses(
+      fwd, PrototypeLossConfig{}, gen, &centroids);
+  ASSERT_TRUE(losses.l_n);
+  ASSERT_TRUE(losses.l_p);
+  EXPECT_TRUE(std::isfinite(losses.l_n->value(0, 0)));
+}
+
+TEST(PrototypeLoss, RegularizersAreMinimizable) {
+  // Gradient descent on l_n + l_p alone must reduce the combined objective:
+  // the regularizers are trainable signals, not noise. (The euclidean
+  // KMeans divergence is not monotone here because the losses act on
+  // cosine-normalised features, so the loss value itself is asserted.)
+  ssl::SimClr method(small_encoder(), small_ssl(), 16);
+  nn::Sgd optimizer(method.trainable_parameters(), {0.05f, 0.9f, 0.0f});
+  rng::Generator data_gen(17);
+  const Tensor v1 = Tensor::randn(16, 12, data_gen);
+  const Tensor v2 = Tensor::randn(16, 12, data_gen);
+  float first_loss = 0.0f;
+  float last_loss = 0.0f;
+  for (int step = 0; step < 25; ++step) {
+    rng::Generator gen(18);  // same KMeans stream every step
+    optimizer.zero_grad();
+    const ssl::SslForward fwd = method.forward(v1, v2);
+    const PrototypeLosses losses =
+        compute_prototype_losses(fwd, PrototypeLossConfig{}, gen);
+    ASSERT_TRUE(losses.l_n && losses.l_p);
+    const ag::VarPtr loss = ag::add(losses.l_n, losses.l_p);
+    ag::backward(loss);
+    optimizer.step();
+    if (step == 0) first_loss = loss->value(0, 0);
+    last_loss = loss->value(0, 0);
+    ASSERT_TRUE(std::isfinite(last_loss));
+  }
+  EXPECT_LT(last_loss, first_loss);
+}
+
+// --- divergence ---------------------------------------------------------------
+
+TEST(Divergence, WeightsNormalisedAndOrdered) {
+  const std::vector<float> divergences = {0.1f, 0.4f, 0.2f};
+  const std::vector<float> samples = {1.0f, 1.0f, 1.0f};
+  const std::vector<float> weights =
+      divergence_weights(divergences, samples, DivergenceMode::kInverse);
+  double total = 0.0;
+  for (const float w : weights) total += w;
+  EXPECT_NEAR(total, 1.0, 1e-6);
+  // Inverse mode: lowest divergence -> highest weight.
+  EXPECT_GT(weights[0], weights[2]);
+  EXPECT_GT(weights[2], weights[1]);
+  // Proportional mode: reversed ordering.
+  const std::vector<float> proportional =
+      divergence_weights(divergences, samples, DivergenceMode::kProportional);
+  EXPECT_LT(proportional[0], proportional[2]);
+  EXPECT_LT(proportional[2], proportional[1]);
+}
+
+TEST(Divergence, EqualDivergencesReduceToSampleWeights) {
+  const std::vector<float> divergences = {0.3f, 0.3f};
+  const std::vector<float> samples = {1.0f, 3.0f};
+  const std::vector<float> weights =
+      divergence_weights(divergences, samples);
+  EXPECT_NEAR(weights[0], 0.25f, 1e-5f);
+  EXPECT_NEAR(weights[1], 0.75f, 1e-5f);
+}
+
+TEST(Divergence, Validation) {
+  EXPECT_THROW(divergence_weights({}, {}), CheckError);
+  EXPECT_THROW(divergence_weights({0.1f}, {1.0f, 2.0f}), CheckError);
+  EXPECT_THROW(divergence_weights({-0.1f}, {1.0f}), CheckError);
+}
+
+TEST(Divergence, ClientDivergencePositive) {
+  ssl::SimClr method(small_encoder(), small_ssl(), 19);
+  rng::Generator gen(20);
+  const Tensor inputs = Tensor::randn(30, 12, gen);
+  const float divergence = client_divergence(method, inputs, 5, gen);
+  EXPECT_GT(divergence, 0.0f);
+  // Tighter (duplicated) inputs give smaller divergence.
+  Tensor duplicated(30, 12);
+  for (std::int64_t r = 0; r < 30; ++r) {
+    for (std::int64_t c = 0; c < 12; ++c) {
+      duplicated(r, c) = inputs(r % 3, c);
+    }
+  }
+  const float tight = client_divergence(method, duplicated, 5, gen);
+  EXPECT_LT(tight, divergence);
+}
+
+// --- calibre naming / aggregation ------------------------------------------------
+
+TEST(Calibre, NameReflectsAblation) {
+  fl::FlConfig config;
+  config.encoder = small_encoder();
+  CalibreConfig full;
+  EXPECT_EQ(Calibre(config, ssl::Kind::kSimClr, full).name(),
+            "Calibre (SimCLR)");
+  CalibreConfig ln_only;
+  ln_only.prototype.use_lp = false;
+  EXPECT_EQ(Calibre(config, ssl::Kind::kSwav, ln_only).name(),
+            "Calibre (SwAV) [Ln]");
+  CalibreConfig none;
+  none.prototype.use_ln = false;
+  none.prototype.use_lp = false;
+  none.divergence_weighted_aggregation = false;
+  EXPECT_EQ(Calibre(config, ssl::Kind::kSmog, none).name(),
+            "Calibre (SMoG) [none] [fedavg]");
+}
+
+TEST(Calibre, AggregateUsesDivergences) {
+  fl::FlConfig config;
+  config.encoder = small_encoder();
+  Calibre calibre(config, ssl::Kind::kSimClr, CalibreConfig{});
+  fl::ClientUpdate tight;
+  tight.state = nn::ModelState(std::vector<float>{1.0f});
+  tight.weight = 1.0f;
+  tight.scalars["divergence"] = 0.01f;
+  fl::ClientUpdate loose;
+  loose.state = nn::ModelState(std::vector<float>{3.0f});
+  loose.weight = 1.0f;
+  loose.scalars["divergence"] = 10.0f;
+  const nn::ModelState merged =
+      calibre.aggregate(nn::ModelState(), {tight, loose}, 0);
+  // The tight client dominates: result close to 1, far from the mean 2.
+  EXPECT_LT(merged.values()[0], 1.1f);
+}
+
+TEST(Calibre, AggregateFallsBackToFedAvgWhenDisabled) {
+  fl::FlConfig config;
+  config.encoder = small_encoder();
+  CalibreConfig calibre_config;
+  calibre_config.divergence_weighted_aggregation = false;
+  Calibre calibre(config, ssl::Kind::kSimClr, calibre_config);
+  fl::ClientUpdate a;
+  a.state = nn::ModelState(std::vector<float>{1.0f});
+  a.weight = 1.0f;
+  a.scalars["divergence"] = 0.01f;
+  fl::ClientUpdate b;
+  b.state = nn::ModelState(std::vector<float>{3.0f});
+  b.weight = 1.0f;
+  b.scalars["divergence"] = 10.0f;
+  const nn::ModelState merged =
+      calibre.aggregate(nn::ModelState(), {a, b}, 0);
+  EXPECT_FLOAT_EQ(merged.values()[0], 2.0f);
+}
+
+}  // namespace
+}  // namespace calibre::core

@@ -1,0 +1,239 @@
+// Tests for the federated runtime: aggregation math, update serialization,
+// federated dataset construction, the linear probe, and the runner.
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "fl/algorithm.h"
+#include "fl/fed_data.h"
+#include "fl/model.h"
+#include "fl/probe.h"
+#include "fl/runner.h"
+
+namespace calibre::fl {
+namespace {
+
+using tensor::Tensor;
+
+TEST(Aggregate, WeightedMean) {
+  ClientUpdate a;
+  a.state = nn::ModelState(std::vector<float>{1.0f, 2.0f});
+  a.weight = 1.0f;
+  ClientUpdate b;
+  b.state = nn::ModelState(std::vector<float>{3.0f, 6.0f});
+  b.weight = 3.0f;
+  const nn::ModelState merged = fedavg_aggregate({a, b});
+  EXPECT_FLOAT_EQ(merged.values()[0], (1.0f + 3 * 3.0f) / 4.0f);
+  EXPECT_FLOAT_EQ(merged.values()[1], (2.0f + 3 * 6.0f) / 4.0f);
+}
+
+TEST(Aggregate, SingleUpdateIsIdentity) {
+  ClientUpdate a;
+  a.state = nn::ModelState(std::vector<float>{5.0f, -1.0f});
+  a.weight = 2.5f;
+  const nn::ModelState merged = fedavg_aggregate({a});
+  EXPECT_EQ(merged.values(), a.state.values());
+}
+
+TEST(Aggregate, RejectsBadInput) {
+  EXPECT_THROW(fedavg_aggregate({}), CheckError);
+  ClientUpdate a;
+  a.state = nn::ModelState(std::vector<float>{1.0f});
+  a.weight = 0.0f;
+  EXPECT_THROW(fedavg_aggregate({a}), CheckError);
+  ClientUpdate b;
+  b.state = nn::ModelState(std::vector<float>{1.0f, 2.0f});
+  b.weight = 1.0f;
+  ClientUpdate c;
+  c.state = nn::ModelState(std::vector<float>{1.0f});
+  c.weight = 1.0f;
+  EXPECT_THROW(fedavg_aggregate({b, c}), CheckError);
+}
+
+TEST(ClientUpdateSerde, RoundTrip) {
+  ClientUpdate update;
+  update.state = nn::ModelState(std::vector<float>{1.5f, -2.5f, 0.0f});
+  update.weight = 42.0f;
+  update.scalars = {{"divergence", 0.33f}, {"loss", 1.25f}};
+  const auto bytes = serialize_update(update);
+  const ClientUpdate decoded = deserialize_update(bytes);
+  EXPECT_EQ(decoded.state.values(), update.state.values());
+  EXPECT_FLOAT_EQ(decoded.weight, update.weight);
+  EXPECT_EQ(decoded.scalars, update.scalars);
+}
+
+TEST(ClientUpdateSerde, TrailingBytesRejected) {
+  ClientUpdate update;
+  update.state = nn::ModelState(std::vector<float>{1.0f});
+  auto bytes = serialize_update(update);
+  bytes.push_back(0xFF);
+  EXPECT_THROW(deserialize_update(bytes), CheckError);
+}
+
+// --- fed dataset ------------------------------------------------------------
+
+class FedDataBuilder : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::SyntheticConfig config;
+    config.num_classes = 4;
+    config.input_dim = 16;
+    config.latent_dim = 6;
+    config.train_samples = 400;
+    config.test_samples = 200;
+    config.unlabeled_samples = 120;
+    config.seed = 3;
+    synth_ = data::make_synthetic(config);
+    data::PartitionConfig partition_config;
+    partition_config.num_clients = 6;
+    partition_config.samples_per_client = 30;
+    partition_config.test_samples_per_client = 12;
+    rng::Generator gen(4);
+    partition_ = data::partition_dirichlet(synth_.train, synth_.test,
+                                           partition_config, 0.3, gen);
+  }
+
+  data::SyntheticDataset synth_;
+  data::Partition partition_;
+};
+
+TEST_F(FedDataBuilder, SplitsTrainAndNovelClients) {
+  rng::Generator gen(5);
+  const FedDataset fed = build_fed_dataset(synth_, partition_, 4, gen);
+  EXPECT_EQ(fed.num_train_clients(), 4);
+  EXPECT_EQ(fed.num_novel_clients(), 2);
+  EXPECT_EQ(fed.num_classes, 4);
+  EXPECT_EQ(fed.input_dim, 16);
+  for (const auto& shard : fed.train) EXPECT_EQ(shard.size(), 30);
+  for (const auto& shard : fed.test) EXPECT_EQ(shard.size(), 12);
+  for (const auto& shard : fed.novel_train) EXPECT_EQ(shard.size(), 30);
+}
+
+TEST_F(FedDataBuilder, SslPoolsAreLatentsPlusUnlabeledShare) {
+  rng::Generator gen(6);
+  const FedDataset fed = build_fed_dataset(synth_, partition_, 4, gen);
+  EXPECT_TRUE(fed.pool_is_latent);
+  EXPECT_TRUE(fed.oracle.valid());
+  // Each pool: 30 labeled latents + 120/4 = 30 unlabeled latents.
+  for (const auto& pool : fed.ssl_pool) {
+    EXPECT_EQ(pool.rows(), 60);
+    EXPECT_EQ(pool.cols(), 6);  // latent dim, not input dim
+  }
+}
+
+TEST_F(FedDataBuilder, NoUnlabeledPoolFallsBackToLabeledOnly) {
+  data::SyntheticConfig config = synth_.config;
+  config.unlabeled_samples = 0;
+  const data::SyntheticDataset no_pool = data::make_synthetic(config);
+  rng::Generator gen(7);
+  const FedDataset fed = build_fed_dataset(no_pool, partition_, 4, gen);
+  for (const auto& pool : fed.ssl_pool) {
+    EXPECT_EQ(pool.rows(), 30);
+  }
+}
+
+// --- probe ------------------------------------------------------------------
+
+TEST(LinearProbe, SeparableFeaturesReachHighAccuracy) {
+  // Two linearly separable blobs in feature space.
+  rng::Generator gen(8);
+  const int n = 80;
+  Tensor train_features(n, 4);
+  std::vector<int> train_labels(n);
+  Tensor test_features(40, 4);
+  std::vector<int> test_labels(40);
+  auto fill = [&](Tensor& x, std::vector<int>& y) {
+    for (std::int64_t i = 0; i < x.rows(); ++i) {
+      const int label = static_cast<int>(i % 2);
+      y[static_cast<std::size_t>(i)] = label;
+      for (std::int64_t d = 0; d < 4; ++d) {
+        x(i, d) = static_cast<float>(gen.normal()) +
+                  (label == 0 ? 3.0f : -3.0f);
+      }
+    }
+  };
+  fill(train_features, train_labels);
+  fill(test_features, test_labels);
+  ProbeConfig config;
+  const double accuracy =
+      linear_probe_accuracy(train_features, train_labels, test_features,
+                            test_labels, 2, config, 9);
+  EXPECT_GT(accuracy, 0.95);
+}
+
+TEST(LinearProbe, RandomFeaturesNearChance) {
+  rng::Generator gen(10);
+  const Tensor train_features = Tensor::randn(100, 8, gen);
+  const Tensor test_features = Tensor::randn(100, 8, gen);
+  std::vector<int> train_labels(100);
+  std::vector<int> test_labels(100);
+  for (int i = 0; i < 100; ++i) {
+    train_labels[static_cast<std::size_t>(i)] =
+        static_cast<int>(gen.uniform_index(4));
+    test_labels[static_cast<std::size_t>(i)] =
+        static_cast<int>(gen.uniform_index(4));
+  }
+  ProbeConfig config;
+  const double accuracy =
+      linear_probe_accuracy(train_features, train_labels, test_features,
+                            test_labels, 4, config, 11);
+  EXPECT_LT(accuracy, 0.45);  // 4-way chance = 0.25
+}
+
+TEST(LinearProbe, ValidatesInput) {
+  ProbeConfig config;
+  EXPECT_THROW(linear_probe_accuracy(Tensor(0, 4), {}, Tensor(1, 4), {0}, 2,
+                                     config, 1),
+               CheckError);
+}
+
+// --- model helpers --------------------------------------------------------------
+
+TEST(EncoderHeadModel, TrainSupervisedLearnsLocalData) {
+  FlConfig config;
+  config.encoder.input_dim = 8;
+  config.encoder.hidden_dims = {16};
+  config.encoder.feature_dim = 8;
+  config.num_classes = 2;
+  config.augment.noise_std = 0.02f;
+  config.augment.mask_fraction = 0.0f;
+  config.augment.scale_jitter = 0.0f;
+
+  rng::Generator gen(12);
+  data::Dataset dataset;
+  dataset.num_classes = 2;
+  dataset.x = Tensor(60, 8);
+  dataset.labels.resize(60);
+  for (int i = 0; i < 60; ++i) {
+    const int label = i % 2;
+    dataset.labels[static_cast<std::size_t>(i)] = label;
+    for (int d = 0; d < 8; ++d) {
+      dataset.x(i, d) = static_cast<float>(gen.normal()) +
+                        (label == 0 ? 2.0f : -2.0f);
+    }
+  }
+  EncoderHeadModel model = make_encoder_head(config, 13);
+  const double before = evaluate_accuracy(model, dataset);
+  rng::Generator train_gen(14);
+  train_supervised(model, model.all_parameters(), dataset, config, 20,
+                   train_gen);
+  const double after = evaluate_accuracy(model, dataset);
+  EXPECT_GT(after, 0.95);
+  EXPECT_GE(after, before);
+}
+
+TEST(DeriveSeed, DeterministicAndDistinct) {
+  EXPECT_EQ(derive_seed(1, 2, 3), derive_seed(1, 2, 3));
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t round = 0; round < 10; ++round) {
+    for (std::uint64_t client = 0; client < 10; ++client) {
+      seeds.insert(derive_seed(42, round, client));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 100u);
+}
+
+}  // namespace
+}  // namespace calibre::fl

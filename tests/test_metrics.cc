@@ -1,0 +1,151 @@
+// Tests for statistics, t-SNE and reporting.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "metrics/report.h"
+#include "metrics/stats.h"
+#include "metrics/tsne.h"
+
+namespace calibre::metrics {
+namespace {
+
+TEST(Stats, KnownValues) {
+  const AccuracyStats stats = compute_stats({0.2, 0.4, 0.6, 0.8});
+  EXPECT_DOUBLE_EQ(stats.mean, 0.5);
+  EXPECT_NEAR(stats.variance, 0.05, 1e-12);
+  EXPECT_NEAR(stats.stddev, std::sqrt(0.05), 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min, 0.2);
+  EXPECT_DOUBLE_EQ(stats.max, 0.8);
+  EXPECT_EQ(stats.count, 4);
+}
+
+TEST(Stats, SingleValueAndEmpty) {
+  const AccuracyStats one = compute_stats({0.7});
+  EXPECT_DOUBLE_EQ(one.mean, 0.7);
+  EXPECT_DOUBLE_EQ(one.variance, 0.0);
+  const AccuracyStats none = compute_stats({});
+  EXPECT_EQ(none.count, 0);
+  EXPECT_DOUBLE_EQ(none.mean, 0.0);
+}
+
+TEST(Stats, FormatMeanStd) {
+  AccuracyStats stats;
+  stats.mean = 0.8916;
+  stats.stddev = 0.1058;
+  EXPECT_EQ(format_mean_std(stats), "89.16 ± 10.58");
+}
+
+TEST(Tsne, SeparatesWellSeparatedClusters) {
+  // Two far-apart blobs in 10-D must stay separated in the 2-D embedding.
+  rng::Generator gen(1);
+  const int per_blob = 20;
+  tensor::Tensor points(2 * per_blob, 10);
+  for (int i = 0; i < 2 * per_blob; ++i) {
+    const float offset = i < per_blob ? 20.0f : -20.0f;
+    for (int d = 0; d < 10; ++d) {
+      points(i, d) = offset + static_cast<float>(gen.normal());
+    }
+  }
+  TsneConfig config;
+  config.iterations = 150;
+  const TsneResult result = tsne(points, config, gen);
+  EXPECT_EQ(result.embedding.rows(), 2 * per_blob);
+  EXPECT_EQ(result.embedding.cols(), 2);
+  EXPECT_TRUE(std::isfinite(result.final_kl));
+  // Mean embedding distance within blobs << across blobs.
+  auto mean_dist = [&](int a_begin, int a_end, int b_begin, int b_end) {
+    double total = 0.0;
+    int count = 0;
+    for (int i = a_begin; i < a_end; ++i) {
+      for (int j = b_begin; j < b_end; ++j) {
+        if (i == j) continue;
+        const double dx =
+            result.embedding(i, 0) - result.embedding(j, 0);
+        const double dy =
+            result.embedding(i, 1) - result.embedding(j, 1);
+        total += std::sqrt(dx * dx + dy * dy);
+        ++count;
+      }
+    }
+    return total / count;
+  };
+  const double within = mean_dist(0, per_blob, 0, per_blob);
+  const double across = mean_dist(0, per_blob, per_blob, 2 * per_blob);
+  EXPECT_GT(across, 2.0 * within);
+}
+
+TEST(Tsne, RequiresMinimumPoints) {
+  rng::Generator gen(2);
+  const tensor::Tensor points = tensor::Tensor::randn(3, 4, gen);
+  EXPECT_THROW(tsne(points, TsneConfig{}, gen), CheckError);
+}
+
+TEST(Report, ResultTableRendersAllRows) {
+  std::ostringstream os;
+  ResultRow row;
+  row.method = "Calibre (SimCLR)";
+  row.stats = compute_stats({0.9, 0.88});
+  row.paper_mean = 89.16;
+  row.paper_std = 10.58;
+  row.note = "reference";
+  ResultRow no_paper;
+  no_paper.method = "FedAvg";
+  no_paper.stats = compute_stats({0.5});
+  print_result_table(os, "unit-test table", {row, no_paper});
+  const std::string text = os.str();
+  EXPECT_NE(text.find("unit-test table"), std::string::npos);
+  EXPECT_NE(text.find("Calibre (SimCLR)"), std::string::npos);
+  EXPECT_NE(text.find("89.16"), std::string::npos);
+  EXPECT_NE(text.find("FedAvg"), std::string::npos);
+  EXPECT_NE(text.find("reference"), std::string::npos);
+}
+
+TEST(Report, QualityTableRenders) {
+  std::ostringstream os;
+  RepresentationQuality quality;
+  quality.method = "pFL-SimCLR";
+  quality.silhouette = 0.123;
+  quality.purity = 0.5;
+  quality.nmi = 0.25;
+  quality.tsne_kl = 1.5;
+  print_quality_table(os, "quality", {quality});
+  EXPECT_NE(os.str().find("pFL-SimCLR"), std::string::npos);
+  EXPECT_NE(os.str().find("0.1230"), std::string::npos);
+}
+
+TEST(Report, EmbeddingCsvRoundTrip) {
+  const std::string path = "/tmp/calibre_test_embedding.csv";
+  tensor::Tensor embedding(2, 2, {1.5f, 2.5f, -3.0f, 4.0f});
+  write_embedding_csv(path, embedding, {0, 1}, {7, 8});
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::string header;
+  std::getline(file, header);
+  EXPECT_EQ(header, "x,y,label,client");
+  std::string first;
+  std::getline(file, first);
+  EXPECT_EQ(first, "1.5,2.5,0,7");
+  std::string second;
+  std::getline(file, second);
+  EXPECT_EQ(second, "-3,4,1,8");
+  std::remove(path.c_str());
+}
+
+TEST(Report, EmbeddingCsvWithoutLabels) {
+  const std::string path = "/tmp/calibre_test_embedding2.csv";
+  tensor::Tensor embedding(1, 2, {1.0f, 2.0f});
+  write_embedding_csv(path, embedding, {}, {});
+  std::ifstream file(path);
+  std::string header;
+  std::getline(file, header);
+  EXPECT_EQ(header, "x,y");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace calibre::metrics

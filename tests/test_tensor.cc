@@ -1,0 +1,307 @@
+// Unit tests for the tensor library: construction, elementwise ops with
+// broadcasting, linear algebra, reductions, structural ops and error paths.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "tensor/tensor.h"
+
+namespace calibre::tensor {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.rows(), 0);
+  EXPECT_EQ(t.cols(), 0);
+  EXPECT_EQ(t.size(), 0);
+}
+
+TEST(Tensor, ZerosOnesFullEye) {
+  EXPECT_FLOAT_EQ(Tensor::zeros(2, 3).sum(), 0.0f);
+  EXPECT_FLOAT_EQ(Tensor::ones(2, 3).sum(), 6.0f);
+  EXPECT_FLOAT_EQ(Tensor::full(2, 2, 2.5f).sum(), 10.0f);
+  const Tensor eye = Tensor::eye(3);
+  EXPECT_FLOAT_EQ(eye.sum(), 3.0f);
+  EXPECT_FLOAT_EQ(eye(1, 1), 1.0f);
+  EXPECT_FLOAT_EQ(eye(0, 1), 0.0f);
+}
+
+TEST(Tensor, RowFactoryAndAccess) {
+  const Tensor r = Tensor::row({1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(r.rows(), 1);
+  EXPECT_EQ(r.cols(), 3);
+  EXPECT_FLOAT_EQ(r(0, 2), 3.0f);
+}
+
+TEST(Tensor, ConstructorValidatesDataSize) {
+  EXPECT_THROW(Tensor(2, 3, std::vector<float>(5)), CheckError);
+}
+
+TEST(Tensor, OutOfBoundsAccessThrows) {
+  const Tensor t(2, 2);
+  EXPECT_THROW(t(2, 0), CheckError);
+  EXPECT_THROW(t(0, -1), CheckError);
+}
+
+TEST(Tensor, InPlaceOps) {
+  Tensor a = Tensor::full(2, 2, 1.0f);
+  a.add_(Tensor::full(2, 2, 2.0f));
+  EXPECT_FLOAT_EQ(a(0, 0), 3.0f);
+  a.axpy_(0.5f, Tensor::full(2, 2, 4.0f));
+  EXPECT_FLOAT_EQ(a(1, 1), 5.0f);
+  a.scale_(2.0f);
+  EXPECT_FLOAT_EQ(a(0, 1), 10.0f);
+  EXPECT_THROW(a.add_(Tensor(3, 2)), CheckError);
+}
+
+TEST(Tensor, Reductions) {
+  const Tensor t(2, 3, {1, -2, 3, 4, 5, -6});
+  EXPECT_FLOAT_EQ(t.sum(), 5.0f);
+  EXPECT_FLOAT_EQ(t.mean(), 5.0f / 6.0f);
+  EXPECT_FLOAT_EQ(t.min(), -6.0f);
+  EXPECT_FLOAT_EQ(t.max(), 5.0f);
+  EXPECT_FLOAT_EQ(t.squared_norm(), 1 + 4 + 9 + 16 + 25 + 36);
+  EXPECT_EQ(t.argmax_row(0), 2);
+  EXPECT_EQ(t.argmax_row(1), 1);
+}
+
+TEST(Tensor, RowCopy) {
+  const Tensor t(2, 2, {1, 2, 3, 4});
+  const Tensor r = t.row_copy(1);
+  EXPECT_EQ(r.rows(), 1);
+  EXPECT_FLOAT_EQ(r(0, 0), 3.0f);
+}
+
+// --- broadcasting -----------------------------------------------------------
+
+TEST(TensorBroadcast, SameShape) {
+  const Tensor a(2, 2, {1, 2, 3, 4});
+  const Tensor b(2, 2, {10, 20, 30, 40});
+  EXPECT_TRUE(allclose(add(a, b), Tensor(2, 2, {11, 22, 33, 44})));
+  EXPECT_TRUE(allclose(sub(b, a), Tensor(2, 2, {9, 18, 27, 36})));
+  EXPECT_TRUE(allclose(mul(a, a), Tensor(2, 2, {1, 4, 9, 16})));
+  EXPECT_TRUE(allclose(div(b, a), Tensor(2, 2, {10, 10, 10, 10})));
+}
+
+TEST(TensorBroadcast, RowVector) {
+  const Tensor a(2, 3, {1, 2, 3, 4, 5, 6});
+  const Tensor row = Tensor::row({10, 20, 30});
+  EXPECT_TRUE(
+      allclose(add(a, row), Tensor(2, 3, {11, 22, 33, 14, 25, 36})));
+}
+
+TEST(TensorBroadcast, ColVector) {
+  const Tensor a(2, 3, {1, 2, 3, 4, 5, 6});
+  const Tensor col(2, 1, {10, 100});
+  EXPECT_TRUE(
+      allclose(mul(a, col), Tensor(2, 3, {10, 20, 30, 400, 500, 600})));
+}
+
+TEST(TensorBroadcast, OuterProductShapes) {
+  const Tensor col(3, 1, {1, 2, 3});
+  const Tensor row = Tensor::row({10, 20});
+  const Tensor out = add(col, row);
+  EXPECT_EQ(out.rows(), 3);
+  EXPECT_EQ(out.cols(), 2);
+  EXPECT_FLOAT_EQ(out(2, 1), 23.0f);
+}
+
+TEST(TensorBroadcast, MismatchThrows) {
+  EXPECT_THROW(add(Tensor(2, 3), Tensor(3, 3)), CheckError);
+  EXPECT_THROW(mul(Tensor(2, 3), Tensor(2, 4)), CheckError);
+}
+
+TEST(TensorBroadcast, ReduceToShape) {
+  const Tensor grad(2, 3, {1, 2, 3, 4, 5, 6});
+  const Tensor to_row = reduce_to_shape(grad, 1, 3);
+  EXPECT_TRUE(allclose(to_row, Tensor::row({5, 7, 9})));
+  const Tensor to_col = reduce_to_shape(grad, 2, 1);
+  EXPECT_TRUE(allclose(to_col, Tensor(2, 1, {6, 15})));
+  const Tensor to_scalar = reduce_to_shape(grad, 1, 1);
+  EXPECT_FLOAT_EQ(to_scalar(0, 0), 21.0f);
+  EXPECT_THROW(reduce_to_shape(grad, 3, 3), CheckError);
+}
+
+// --- linear algebra ----------------------------------------------------------
+
+TEST(TensorLinalg, Matmul) {
+  const Tensor a(2, 3, {1, 2, 3, 4, 5, 6});
+  const Tensor b(3, 2, {7, 8, 9, 10, 11, 12});
+  const Tensor c = matmul(a, b);
+  EXPECT_TRUE(allclose(c, Tensor(2, 2, {58, 64, 139, 154})));
+  EXPECT_THROW(matmul(a, a), CheckError);
+}
+
+TEST(TensorLinalg, MatmulIdentity) {
+  rng::Generator gen(3);
+  const Tensor a = Tensor::randn(4, 4, gen);
+  EXPECT_TRUE(allclose(matmul(a, Tensor::eye(4)), a));
+  EXPECT_TRUE(allclose(matmul(Tensor::eye(4), a), a));
+}
+
+TEST(TensorLinalg, Transpose) {
+  const Tensor a(2, 3, {1, 2, 3, 4, 5, 6});
+  const Tensor at = transpose(a);
+  EXPECT_EQ(at.rows(), 3);
+  EXPECT_EQ(at.cols(), 2);
+  EXPECT_FLOAT_EQ(at(2, 1), 6.0f);
+  EXPECT_TRUE(allclose(transpose(at), a));
+}
+
+// --- reductions to tensors ----------------------------------------------------
+
+TEST(TensorReduce, RowColSumMax) {
+  const Tensor a(2, 3, {1, 5, 3, 4, 2, 6});
+  EXPECT_TRUE(allclose(row_sum(a), Tensor(2, 1, {9, 12})));
+  EXPECT_TRUE(allclose(col_sum(a), Tensor::row({5, 7, 9})));
+  EXPECT_FLOAT_EQ(sum_all(a)(0, 0), 21.0f);
+  EXPECT_TRUE(allclose(row_max(a), Tensor(2, 1, {5, 6})));
+}
+
+// --- structural ----------------------------------------------------------------
+
+TEST(TensorStructural, ConcatRowsCols) {
+  const Tensor a(1, 2, {1, 2});
+  const Tensor b(2, 2, {3, 4, 5, 6});
+  const Tensor rows = concat_rows({a, b});
+  EXPECT_EQ(rows.rows(), 3);
+  EXPECT_FLOAT_EQ(rows(2, 1), 6.0f);
+  const Tensor c(2, 1, {7, 8});
+  const Tensor cols = concat_cols({b, c});
+  EXPECT_EQ(cols.cols(), 3);
+  EXPECT_FLOAT_EQ(cols(1, 2), 8.0f);
+  EXPECT_THROW(concat_rows({a, Tensor(2, 3)}), CheckError);
+  EXPECT_THROW(concat_cols({b, Tensor(3, 1)}), CheckError);
+}
+
+TEST(TensorStructural, SliceRowsCols) {
+  const Tensor a(3, 3, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  EXPECT_TRUE(allclose(slice_rows(a, 1, 3),
+                       Tensor(2, 3, {4, 5, 6, 7, 8, 9})));
+  EXPECT_TRUE(allclose(slice_cols(a, 0, 2),
+                       Tensor(3, 2, {1, 2, 4, 5, 7, 8})));
+  EXPECT_THROW(slice_rows(a, 2, 4), CheckError);
+}
+
+TEST(TensorStructural, TakeRowsWithRepetition) {
+  const Tensor a(2, 2, {1, 2, 3, 4});
+  const Tensor taken = take_rows(a, {1, 1, 0});
+  EXPECT_EQ(taken.rows(), 3);
+  EXPECT_FLOAT_EQ(taken(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(taken(2, 1), 2.0f);
+  EXPECT_THROW(take_rows(a, {2}), CheckError);
+}
+
+TEST(TensorStructural, GatherCols) {
+  const Tensor a(2, 3, {1, 2, 3, 4, 5, 6});
+  const Tensor g = gather_cols(a, {2, 0});
+  EXPECT_FLOAT_EQ(g(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(g(1, 0), 4.0f);
+  EXPECT_THROW(gather_cols(a, {3, 0}), CheckError);
+  EXPECT_THROW(gather_cols(a, {0}), CheckError);
+}
+
+// --- numeric helpers -------------------------------------------------------------
+
+TEST(TensorNumeric, SoftmaxRows) {
+  const Tensor logits(1, 3, {0.0f, 0.0f, 0.0f});
+  const Tensor sm = softmax_rows(logits);
+  EXPECT_NEAR(sm(0, 0), 1.0f / 3.0f, 1e-6f);
+  // Shift invariance.
+  const Tensor shifted(1, 3, {100.0f, 100.0f, 100.0f});
+  EXPECT_TRUE(allclose(softmax_rows(shifted), sm, 1e-6f));
+  // Rows sum to one.
+  rng::Generator gen(5);
+  const Tensor r = Tensor::randn(4, 7, gen);
+  const Tensor rsm = softmax_rows(r);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    float total = 0.0f;
+    for (std::int64_t j = 0; j < 7; ++j) total += rsm(i, j);
+    EXPECT_NEAR(total, 1.0f, 1e-5f);
+  }
+}
+
+TEST(TensorNumeric, LogSoftmaxMatchesSoftmax) {
+  rng::Generator gen(6);
+  const Tensor r = Tensor::randn(3, 5, gen, 3.0f);
+  const Tensor lsm = log_softmax_rows(r);
+  const Tensor sm = softmax_rows(r);
+  for (std::int64_t i = 0; i < r.size(); ++i) {
+    EXPECT_NEAR(std::exp(lsm.data()[i]), sm.data()[i], 1e-5f);
+  }
+}
+
+TEST(TensorNumeric, L2NormalizeRows) {
+  const Tensor a(2, 2, {3, 4, 0, 0});
+  const Tensor n = l2_normalize_rows(a);
+  EXPECT_NEAR(n(0, 0), 0.6f, 1e-6f);
+  EXPECT_NEAR(n(0, 1), 0.8f, 1e-6f);
+  // Zero rows stay finite.
+  EXPECT_FLOAT_EQ(n(1, 0), 0.0f);
+}
+
+TEST(TensorNumeric, PairwiseSqDists) {
+  const Tensor a(2, 2, {0, 0, 1, 1});
+  const Tensor b(1, 2, {3, 4});
+  const Tensor d = pairwise_sq_dists(a, b);
+  EXPECT_FLOAT_EQ(d(0, 0), 25.0f);
+  EXPECT_FLOAT_EQ(d(1, 0), 13.0f);
+  // Self-distance diagonal is zero.
+  const Tensor self = pairwise_sq_dists(a, a);
+  EXPECT_FLOAT_EQ(self(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(self(1, 1), 0.0f);
+  EXPECT_FLOAT_EQ(self(0, 1), self(1, 0));
+}
+
+TEST(TensorNumeric, AllClose) {
+  const Tensor a = Tensor::full(2, 2, 1.0f);
+  Tensor b = a;
+  EXPECT_TRUE(allclose(a, b));
+  b(1, 1) += 1e-3f;
+  EXPECT_FALSE(allclose(a, b, 1e-5f));
+  EXPECT_TRUE(allclose(a, b, 1e-2f));
+  EXPECT_FALSE(allclose(a, Tensor(2, 3)));
+}
+
+// Parameterized shape sweep: (A @ B)^T == B^T @ A^T for random shapes.
+class MatmulTransposeProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatmulTransposeProperty, TransposeOfProduct) {
+  const auto [n, k, m] = GetParam();
+  rng::Generator gen(static_cast<std::uint64_t>(n * 10000 + k * 100 + m));
+  const Tensor a = Tensor::randn(n, k, gen);
+  const Tensor b = Tensor::randn(k, m, gen);
+  EXPECT_TRUE(allclose(transpose(matmul(a, b)),
+                       matmul(transpose(b), transpose(a)), 1e-4f));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatmulTransposeProperty,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
+                      std::make_tuple(5, 1, 7), std::make_tuple(8, 8, 8),
+                      std::make_tuple(1, 16, 3), std::make_tuple(13, 7, 2)));
+
+// Parameterized: reduce_to_shape(broadcast(x)) equals x scaled by fan-out.
+class BroadcastRoundTrip : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(BroadcastRoundTrip, SumOverBroadcastAxes) {
+  const auto [rows, cols] = GetParam();
+  rng::Generator gen(11);
+  const Tensor small = Tensor::randn(1, cols, gen);
+  const Tensor big = Tensor::zeros(rows, cols);
+  const Tensor broadcasted = add(big, small);
+  const Tensor reduced = reduce_to_shape(broadcasted, 1, cols);
+  EXPECT_TRUE(allclose(reduced, mul_scalar(small, static_cast<float>(rows)),
+                       1e-4f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BroadcastRoundTrip,
+                         ::testing::Values(std::make_pair(1, 4),
+                                           std::make_pair(3, 4),
+                                           std::make_pair(16, 2),
+                                           std::make_pair(7, 9)));
+
+}  // namespace
+}  // namespace calibre::tensor
