@@ -2,11 +2,28 @@
 // autograd step, NT-Xent, the Calibre prototype losses, KMeans, model-state
 // serialization, and the comm router round-trip. These quantify the cost of
 // the building blocks every experiment binary is built from.
+//
+// In addition to the google-benchmark suite, main() always times the kernel
+// layer (blocked GEMM, fused-transpose variants, GEMM-based pairwise
+// distances, KMeans assignment, NT-Xent) against the seed's scalar
+// reference kernels and dumps a machine-readable BENCH_kernels.json so
+// future PRs have a perf trajectory to regress against. Run with
+// --benchmark_filter=NONE to get just the JSON dump.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
 
 #include "autograd/ops.h"
 #include "cluster/kmeans.h"
 #include "comm/router.h"
+#include "common/thread_pool.h"
 #include "core/prototype_loss.h"
 #include "fl/algorithm.h"
 #include "metrics/tsne.h"
@@ -14,6 +31,7 @@
 #include "nn/networks.h"
 #include "nn/optim.h"
 #include "ssl/simclr.h"
+#include "tensor/kernels.h"
 
 namespace {
 
@@ -30,6 +48,84 @@ void BM_TensorMatmul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_TensorMatmul)->Arg(32)->Arg(128);
+
+// --- kernel-layer benchmarks --------------------------------------------------
+
+void BM_GemmBlocked(benchmark::State& state) {
+  const auto n = state.range(0);
+  const auto k = state.range(1);
+  const auto m = state.range(2);
+  rng::Generator gen(21);
+  const auto a = tensor::Tensor::randn(n, k, gen);
+  const auto b = tensor::Tensor::randn(k, m, gen);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * k * m);
+}
+BENCHMARK(BM_GemmBlocked)->Args({256, 512, 512})->Args({128, 128, 128});
+
+void BM_GemmNaive(benchmark::State& state) {
+  const auto n = state.range(0);
+  const auto k = state.range(1);
+  const auto m = state.range(2);
+  rng::Generator gen(21);
+  const auto a = tensor::Tensor::randn(n, k, gen);
+  const auto b = tensor::Tensor::randn(k, m, gen);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::kernels::matmul_naive(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * k * m);
+}
+BENCHMARK(BM_GemmNaive)->Args({256, 512, 512})->Args({128, 128, 128});
+
+void BM_GemmNT(benchmark::State& state) {
+  const auto n = state.range(0);
+  rng::Generator gen(22);
+  const auto a = tensor::Tensor::randn(n, 512, gen);
+  const auto b = tensor::Tensor::randn(n, 512, gen);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul_nt(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * 512 * n);
+}
+BENCHMARK(BM_GemmNT)->Arg(256);
+
+void BM_GemmTN(benchmark::State& state) {
+  const auto n = state.range(0);
+  rng::Generator gen(23);
+  const auto a = tensor::Tensor::randn(512, n, gen);
+  const auto b = tensor::Tensor::randn(512, n, gen);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul_tn(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * 512 * n);
+}
+BENCHMARK(BM_GemmTN)->Arg(256);
+
+void BM_PairwiseSqDists(benchmark::State& state) {
+  rng::Generator gen(24);
+  const auto points = tensor::Tensor::randn(2048, 128, gen);
+  const auto centroids = tensor::Tensor::randn(10, 128, gen);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::pairwise_sq_dists(points, centroids));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * 2048 * 128 * 10);
+}
+BENCHMARK(BM_PairwiseSqDists);
+
+void BM_KMeansAssign(benchmark::State& state) {
+  rng::Generator gen(25);
+  const auto points = tensor::Tensor::randn(2048, 128, gen);
+  const auto centroids = tensor::Tensor::randn(10, 128, gen);
+  for (auto _ : state) {
+    float mean_distance = 0.0f;
+    benchmark::DoNotOptimize(
+        cluster::assign_to_centroids(points, centroids, &mean_distance));
+  }
+  state.SetItemsProcessed(state.iterations() * 2048 * 10);
+}
+BENCHMARK(BM_KMeansAssign);
 
 void BM_NtXentForwardBackward(benchmark::State& state) {
   const auto batch = state.range(0);
@@ -151,6 +247,207 @@ void BM_Tsne(benchmark::State& state) {
 }
 BENCHMARK(BM_Tsne);
 
+// --- BENCH_kernels.json -------------------------------------------------------
+//
+// Timed head-to-head of the blocked kernel layer against the seed's scalar
+// reference kernels (preserved verbatim in tensor/kernels.cc). Written on
+// every run so the perf trajectory is machine-readable across PRs.
+
+struct KernelEntry {
+  std::string name;
+  double flops = 0.0;          // useful flops per call (0 = not a flop kernel)
+  double seconds = 0.0;        // best-of-reps wall time, optimized kernel
+  double baseline_seconds = 0.0;  // best-of-reps wall time, seed scalar kernel
+};
+
+// Best-of-`reps` wall time of fn(), with one warmup call. Best-of is the
+// right statistic on a shared machine: noise only ever adds time.
+double time_best(const std::function<void()>& fn, int reps) {
+  fn();  // warmup
+  double best = std::numeric_limits<double>::max();
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(stop - start).count());
+  }
+  return best;
+}
+
+// The seed's KMeans assignment: per-pair bounds-checked scalar loops, kept
+// here as the baseline the blocked GEMM path is measured against.
+std::vector<int> assign_naive(const tensor::Tensor& points,
+                              const tensor::Tensor& centroids) {
+  const tensor::Tensor dists =
+      tensor::kernels::pairwise_sq_dists_naive(points, centroids);
+  std::vector<int> assignments(static_cast<std::size_t>(points.rows()), 0);
+  for (std::int64_t i = 0; i < dists.rows(); ++i) {
+    float best = dists(i, 0);
+    int arg = 0;
+    for (std::int64_t c = 1; c < dists.cols(); ++c) {
+      if (dists(i, c) < best) {
+        best = dists(i, c);
+        arg = static_cast<int>(c);
+      }
+    }
+    assignments[static_cast<std::size_t>(i)] = arg;
+  }
+  return assignments;
+}
+
+void dump_kernel_json(const char* path) {
+  rng::Generator gen(97);
+  std::vector<KernelEntry> entries;
+
+  // GEMM 256x512x512 — the ISSUE acceptance shape (target >=3x vs seed).
+  {
+    const auto a = tensor::Tensor::randn(256, 512, gen);
+    const auto b = tensor::Tensor::randn(512, 512, gen);
+    KernelEntry e;
+    e.name = "gemm_256x512x512";
+    e.flops = 2.0 * 256 * 512 * 512;
+    e.seconds = time_best(
+        [&] { benchmark::DoNotOptimize(tensor::matmul(a, b)); }, 5);
+    e.baseline_seconds = time_best(
+        [&] { benchmark::DoNotOptimize(tensor::kernels::matmul_naive(a, b)); },
+        3);
+    entries.push_back(e);
+  }
+
+  // Fused-transpose variants vs transpose-copy + naive GEMM (what the
+  // autograd backward passes did before the kernel layer).
+  {
+    const auto a = tensor::Tensor::randn(256, 512, gen);
+    const auto b = tensor::Tensor::randn(256, 512, gen);
+    KernelEntry e;
+    e.name = "matmul_nt_256x512x256";
+    e.flops = 2.0 * 256 * 512 * 256;
+    e.seconds = time_best(
+        [&] { benchmark::DoNotOptimize(tensor::matmul_nt(a, b)); }, 5);
+    e.baseline_seconds = time_best(
+        [&] {
+          benchmark::DoNotOptimize(
+              tensor::kernels::matmul_naive(a, tensor::transpose(b)));
+        },
+        3);
+    entries.push_back(e);
+  }
+  {
+    const auto a = tensor::Tensor::randn(512, 256, gen);
+    const auto b = tensor::Tensor::randn(512, 256, gen);
+    KernelEntry e;
+    e.name = "matmul_tn_256x512x256";
+    e.flops = 2.0 * 256 * 512 * 256;
+    e.seconds = time_best(
+        [&] { benchmark::DoNotOptimize(tensor::matmul_tn(a, b)); }, 5);
+    e.baseline_seconds = time_best(
+        [&] {
+          benchmark::DoNotOptimize(
+              tensor::kernels::matmul_naive(tensor::transpose(a), b));
+        },
+        3);
+    entries.push_back(e);
+  }
+
+  // Pairwise squared distances + KMeans assignment on the ISSUE acceptance
+  // shape: 2048 points x 128 dims vs 10 centroids (target >=2x vs seed).
+  {
+    const auto points = tensor::Tensor::randn(2048, 128, gen);
+    const auto centroids = tensor::Tensor::randn(10, 128, gen);
+    {
+      KernelEntry e;
+      e.name = "pairwise_sq_dists_2048x128_k10";
+      e.flops = 2.0 * 2048 * 128 * 10;
+      e.seconds = time_best(
+          [&] {
+            benchmark::DoNotOptimize(
+                tensor::pairwise_sq_dists(points, centroids));
+          },
+          7);
+      e.baseline_seconds = time_best(
+          [&] {
+            benchmark::DoNotOptimize(
+                tensor::kernels::pairwise_sq_dists_naive(points, centroids));
+          },
+          5);
+      entries.push_back(e);
+    }
+    {
+      KernelEntry e;
+      e.name = "kmeans_assign_2048x128_k10";
+      e.flops = 2.0 * 2048 * 128 * 10;
+      e.seconds = time_best(
+          [&] {
+            float mean_distance = 0.0f;
+            benchmark::DoNotOptimize(
+                cluster::assign_to_centroids(points, centroids,
+                                             &mean_distance));
+          },
+          7);
+      e.baseline_seconds = time_best(
+          [&] { benchmark::DoNotOptimize(assign_naive(points, centroids)); },
+          5);
+      entries.push_back(e);
+    }
+  }
+
+  // NT-Xent forward+backward trajectory entry (no scalar baseline kept for
+  // the full graph; baseline_seconds = 0 means "trajectory only").
+  {
+    rng::Generator g2(98);
+    const auto h = tensor::Tensor::randn(256, 64, g2);
+    KernelEntry e;
+    e.name = "ntxent_fwd_bwd_256x64";
+    e.seconds = time_best(
+        [&] {
+          const ag::VarPtr leaf = ag::parameter(h);
+          const ag::VarPtr loss = nn::ntxent(leaf, 0.5f);
+          ag::backward(loss);
+          benchmark::DoNotOptimize(leaf->grad);
+        },
+        5);
+    entries.push_back(e);
+  }
+
+  std::ofstream out(path);
+  out << "{\n  \"generated_by\": \"bench_micro\",\n  \"threads\": "
+      << common::ThreadPool::default_parallelism() << ",\n  \"entries\": [\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const KernelEntry& e = entries[i];
+    const double gflops =
+        e.seconds > 0.0 && e.flops > 0.0 ? e.flops / e.seconds / 1e9 : 0.0;
+    const double baseline_gflops =
+        e.baseline_seconds > 0.0 && e.flops > 0.0
+            ? e.flops / e.baseline_seconds / 1e9
+            : 0.0;
+    const double speedup =
+        e.seconds > 0.0 && e.baseline_seconds > 0.0
+            ? e.baseline_seconds / e.seconds
+            : 0.0;
+    char buffer[512];
+    std::snprintf(buffer, sizeof(buffer),
+                  "    {\"name\": \"%s\", \"flops\": %.0f, "
+                  "\"seconds\": %.6e, \"gflops\": %.3f, "
+                  "\"baseline_seconds\": %.6e, \"baseline_gflops\": %.3f, "
+                  "\"speedup\": %.2f}%s\n",
+                  e.name.c_str(), e.flops, e.seconds, gflops,
+                  e.baseline_seconds, baseline_gflops, speedup,
+                  i + 1 < entries.size() ? "," : "");
+    out << buffer;
+    std::printf("[kernels] %-32s %8.3f GFLOP/s  (baseline %8.3f, %.2fx)\n",
+                e.name.c_str(), gflops, baseline_gflops, speedup);
+  }
+  out << "  ]\n}\n";
+  std::printf("[kernels] wrote %s\n", path);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  dump_kernel_json("BENCH_kernels.json");
+  return 0;
+}

@@ -138,14 +138,44 @@ VarPtr square(const VarPtr& a) {
 VarPtr matmul(const VarPtr& a, const VarPtr& b) {
   return make_node(
       tensor::matmul(a->value, b->value), {a, b}, [a, b](Variable& self) {
-        push(a, tensor::matmul(self.grad, tensor::transpose(b->value)));
-        push(b, tensor::matmul(tensor::transpose(a->value), self.grad));
+        push(a, tensor::matmul_nt(self.grad, b->value));  // G·Bᵀ
+        push(b, tensor::matmul_tn(a->value, self.grad));  // Aᵀ·G
+      });
+}
+
+VarPtr matmul_nt(const VarPtr& a, const VarPtr& b) {
+  // value = A·Bᵀ with A [N,K], B [M,K].
+  return make_node(
+      tensor::matmul_nt(a->value, b->value), {a, b}, [a, b](Variable& self) {
+        push(a, tensor::matmul(self.grad, b->value));     // G·B
+        push(b, tensor::matmul_tn(self.grad, a->value));  // Gᵀ·A
+      });
+}
+
+VarPtr matmul_tn(const VarPtr& a, const VarPtr& b) {
+  // value = Aᵀ·B with A [K,N], B [K,M].
+  return make_node(
+      tensor::matmul_tn(a->value, b->value), {a, b}, [a, b](Variable& self) {
+        push(a, tensor::matmul_nt(b->value, self.grad));  // B·Gᵀ
+        push(b, tensor::matmul(a->value, self.grad));     // A·G
       });
 }
 
 VarPtr transpose(const VarPtr& a) {
   return make_node(tensor::transpose(a->value), {a}, [a](Variable& self) {
-    push(a, tensor::transpose(self.grad));
+    // The gradient of a transpose is a transpose; write it with a raw
+    // scatter loop so the closure stays free of materializing helpers.
+    const std::int64_t rows = self.grad.rows();
+    const std::int64_t cols = self.grad.cols();
+    Tensor g(cols, rows);
+    const float* src = self.grad.data();
+    float* dst = g.data();
+    for (std::int64_t r = 0; r < rows; ++r) {
+      for (std::int64_t c = 0; c < cols; ++c) {
+        dst[c * rows + r] = src[r * cols + c];
+      }
+    }
+    push(a, g);
   });
 }
 
@@ -308,10 +338,11 @@ VarPtr mse(const VarPtr& a, const tensor::Tensor& target) {
 
 VarPtr sq_dists_to(const VarPtr& a, const VarPtr& centroids) {
   // ||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2 via broadcasting:
-  // [N,1] + [1,K] - 2 [N,K].
+  // [N,1] + [1,K] - 2 [N,K]. The cross term fuses the centroid transpose
+  // into the GEMM; only the [K,1] norm vector is ever transposed.
   const VarPtr x_sq = row_sum(square(a));                       // [N,1]
   const VarPtr c_sq = transpose(row_sum(square(centroids)));    // [1,K]
-  const VarPtr cross = matmul(a, transpose(centroids));         // [N,K]
+  const VarPtr cross = matmul_nt(a, centroids);                 // [N,K]
   return add(add(x_sq, c_sq), mul_scalar(cross, -2.0f));
 }
 

@@ -36,6 +36,11 @@ VarPtr square(const VarPtr& a);
 
 // --- linear algebra ------------------------------------------------------------
 VarPtr matmul(const VarPtr& a, const VarPtr& b);
+// a [N,K] x b [M,K] -> [N,M]: A·Bᵀ with the transpose fused into the GEMM —
+// neither the forward nor the backward pass materializes a transposed copy.
+VarPtr matmul_nt(const VarPtr& a, const VarPtr& b);
+// a [K,N] x b [K,M] -> [N,M]: Aᵀ·B, likewise transpose-free.
+VarPtr matmul_tn(const VarPtr& a, const VarPtr& b);
 VarPtr transpose(const VarPtr& a);
 
 // --- reductions ------------------------------------------------------------------

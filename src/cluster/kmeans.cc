@@ -11,18 +11,37 @@ namespace {
 
 using tensor::Tensor;
 
-float sq_dist_rows(const Tensor& a, std::int64_t i, const Tensor& b,
-                   std::int64_t j) {
-  double total = 0.0;
-  for (std::int64_t c = 0; c < a.cols(); ++c) {
-    const double d = static_cast<double>(a(i, c)) - b(j, c);
-    total += d * d;
+// Argmin scan over a [N,K] distance matrix: writes the best centroid per row
+// and (optionally) the best squared distance. Raw row pointers — this runs
+// on every KMeans iteration and every prototype assignment.
+void argmin_rows(const Tensor& dists, std::vector<int>& assignments,
+                 std::vector<float>* best_sq) {
+  const std::int64_t n = dists.rows();
+  const std::int64_t k = dists.cols();
+  assignments.assign(static_cast<std::size_t>(n), 0);
+  if (best_sq != nullptr) {
+    best_sq->assign(static_cast<std::size_t>(n), 0.0f);
   }
-  return static_cast<float>(total);
+  const float* dd = dists.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = dd + i * k;
+    float best = row[0];
+    std::int64_t arg = 0;
+    for (std::int64_t c = 1; c < k; ++c) {
+      if (row[c] < best) {
+        best = row[c];
+        arg = c;
+      }
+    }
+    assignments[static_cast<std::size_t>(i)] = static_cast<int>(arg);
+    if (best_sq != nullptr) (*best_sq)[static_cast<std::size_t>(i)] = best;
+  }
 }
 
 // k-means++ seeding: first centroid uniform, the rest proportional to the
-// squared distance from the nearest chosen centroid.
+// squared distance from the nearest chosen centroid. Each round folds the
+// distances to the newest centroid (one GEMM-based pairwise column) into
+// the running minimum.
 Tensor seed_centroids(const Tensor& points, int k, rng::Generator& gen) {
   const std::int64_t n = points.rows();
   Tensor centroids(k, points.cols());
@@ -30,26 +49,28 @@ Tensor seed_centroids(const Tensor& points, int k, rng::Generator& gen) {
                              std::numeric_limits<double>::max());
   const std::int64_t first =
       static_cast<std::int64_t>(gen.uniform_index(static_cast<std::uint64_t>(n)));
-  for (std::int64_t c = 0; c < points.cols(); ++c) {
-    centroids(0, c) = points(first, c);
-  }
+  std::copy(points.data() + first * points.cols(),
+            points.data() + (first + 1) * points.cols(), centroids.data());
   for (int chosen = 1; chosen < k; ++chosen) {
+    const Tensor newest = tensor::slice_rows(centroids, chosen - 1, chosen);
+    const Tensor dists = tensor::pairwise_sq_dists(points, newest);  // [N,1]
     double total = 0.0;
     for (std::int64_t i = 0; i < n; ++i) {
-      min_sq[static_cast<std::size_t>(i)] = std::min(
-          min_sq[static_cast<std::size_t>(i)],
-          static_cast<double>(sq_dist_rows(points, i, centroids, chosen - 1)));
+      min_sq[static_cast<std::size_t>(i)] =
+          std::min(min_sq[static_cast<std::size_t>(i)],
+                   static_cast<double>(dists.data()[i]));
       total += min_sq[static_cast<std::size_t>(i)];
     }
     // Degenerate input (fewer distinct points than k): fall back to a
     // uniform draw instead of a zero-weight categorical.
-    const int next =
+    const std::int64_t next =
         total > 0.0
             ? gen.categorical(min_sq)
-            : static_cast<int>(gen.uniform_index(static_cast<std::uint64_t>(n)));
-    for (std::int64_t c = 0; c < points.cols(); ++c) {
-      centroids(chosen, c) = points(next, c);
-    }
+            : static_cast<std::int64_t>(
+                  gen.uniform_index(static_cast<std::uint64_t>(n)));
+    std::copy(points.data() + next * points.cols(),
+              points.data() + (next + 1) * points.cols(),
+              centroids.data() + chosen * points.cols());
   }
   return centroids;
 }
@@ -67,10 +88,13 @@ KMeansResult kmeans(const tensor::Tensor& points, const KMeansConfig& config,
   result.assignments.assign(static_cast<std::size_t>(n), 0);
   result.cluster_sizes.assign(static_cast<std::size_t>(k), 0);
 
+  std::vector<float> best_sq;
   for (int iter = 0; iter < config.max_iters; ++iter) {
     result.iterations = iter + 1;
-    // Assignment step.
-    result.assignments = assign_to_centroids(points, result.centroids);
+    // Assignment step: one GEMM-based [N,K] distance matrix per iteration;
+    // the per-point best distance is reused by the empty-cluster reseed.
+    const Tensor dists = tensor::pairwise_sq_dists(points, result.centroids);
+    argmin_rows(dists, result.assignments, &best_sq);
     // Update step.
     Tensor fresh = cluster_means(points, result.assignments, k);
     std::fill(result.cluster_sizes.begin(), result.cluster_sizes.end(), 0);
@@ -80,25 +104,23 @@ KMeansResult kmeans(const tensor::Tensor& points, const KMeansConfig& config,
     // Reseed empty clusters to the point farthest from its own centroid.
     for (int c = 0; c < k; ++c) {
       if (result.cluster_sizes[static_cast<std::size_t>(c)] > 0) continue;
-      std::int64_t farthest = 0;
-      float best = -1.0f;
-      for (std::int64_t i = 0; i < n; ++i) {
-        const float d = sq_dist_rows(
-            points, i, result.centroids,
-            result.assignments[static_cast<std::size_t>(i)]);
-        if (d > best) {
-          best = d;
-          farthest = i;
-        }
-      }
-      for (std::int64_t col = 0; col < points.cols(); ++col) {
-        fresh(c, col) = points(farthest, col);
-      }
+      const std::int64_t farthest =
+          std::max_element(best_sq.begin(), best_sq.end()) - best_sq.begin();
+      std::copy(points.data() + farthest * points.cols(),
+                points.data() + (farthest + 1) * points.cols(),
+                fresh.data() + c * points.cols());
     }
     // Convergence check on centroid movement.
     double movement = 0.0;
     for (int c = 0; c < k; ++c) {
-      movement += std::sqrt(sq_dist_rows(fresh, c, result.centroids, c));
+      const float* old_row = result.centroids.data() + c * points.cols();
+      const float* new_row = fresh.data() + c * points.cols();
+      double sq = 0.0;
+      for (std::int64_t col = 0; col < points.cols(); ++col) {
+        const double d = static_cast<double>(old_row[col]) - new_row[col];
+        sq += d * d;
+      }
+      movement += std::sqrt(sq);
     }
     result.centroids = std::move(fresh);
     if (movement < config.tolerance) break;
@@ -118,22 +140,16 @@ std::vector<int> assign_to_centroids(const tensor::Tensor& points,
                                      float* mean_distance_out) {
   CALIBRE_CHECK(points.cols() == centroids.cols());
   CALIBRE_CHECK(centroids.rows() > 0);
-  std::vector<int> assignments(static_cast<std::size_t>(points.rows()), 0);
-  double total_distance = 0.0;
-  for (std::int64_t i = 0; i < points.rows(); ++i) {
-    float best = std::numeric_limits<float>::max();
-    int arg = 0;
-    for (std::int64_t c = 0; c < centroids.rows(); ++c) {
-      const float d = sq_dist_rows(points, i, centroids, c);
-      if (d < best) {
-        best = d;
-        arg = static_cast<int>(c);
-      }
-    }
-    assignments[static_cast<std::size_t>(i)] = arg;
-    total_distance += std::sqrt(static_cast<double>(best));
-  }
+  const Tensor dists = tensor::pairwise_sq_dists(points, centroids);
+  std::vector<int> assignments;
+  std::vector<float> best_sq;
+  argmin_rows(dists, assignments,
+              mean_distance_out != nullptr ? &best_sq : nullptr);
   if (mean_distance_out != nullptr) {
+    double total_distance = 0.0;
+    for (const float d : best_sq) {
+      total_distance += std::sqrt(static_cast<double>(d));
+    }
     *mean_distance_out =
         points.rows() == 0
             ? 0.0f
@@ -147,20 +163,21 @@ tensor::Tensor cluster_means(const tensor::Tensor& points,
   CALIBRE_CHECK(static_cast<std::int64_t>(assignments.size()) == points.rows());
   tensor::Tensor means(k, points.cols());
   std::vector<int> counts(static_cast<std::size_t>(k), 0);
+  const std::int64_t cols = points.cols();
   for (std::int64_t i = 0; i < points.rows(); ++i) {
     const int a = assignments[static_cast<std::size_t>(i)];
     CALIBRE_CHECK(a >= 0 && a < k);
     ++counts[static_cast<std::size_t>(a)];
-    for (std::int64_t c = 0; c < points.cols(); ++c) {
-      means(a, c) += points(i, c);
-    }
+    const float* prow = points.data() + i * cols;
+    float* mrow = means.data() + a * cols;
+    for (std::int64_t c = 0; c < cols; ++c) mrow[c] += prow[c];
   }
   for (int a = 0; a < k; ++a) {
     const int count = counts[static_cast<std::size_t>(a)];
     if (count > 0) {
-      for (std::int64_t c = 0; c < points.cols(); ++c) {
-        means(a, c) /= static_cast<float>(count);
-      }
+      const float inv = 1.0f / static_cast<float>(count);
+      float* mrow = means.data() + static_cast<std::int64_t>(a) * cols;
+      for (std::int64_t c = 0; c < cols; ++c) mrow[c] *= inv;
     }
   }
   return means;

@@ -42,6 +42,42 @@ void ThreadPool::worker_loop() {
   }
 }
 
+void ThreadPool::parallel_for(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (begin >= end) return;
+  grain = std::max<std::int64_t>(1, grain);
+  const std::int64_t range = end - begin;
+  if (range <= grain || workers_.size() <= 1) {
+    fn(begin, end);  // serial fallback: no dispatch overhead
+    return;
+  }
+  const std::int64_t max_chunks = static_cast<std::int64_t>(workers_.size()) + 1;
+  const std::int64_t chunks = std::min(max_chunks, (range + grain - 1) / grain);
+  const std::int64_t chunk = (range + chunks - 1) / chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(static_cast<std::size_t>(chunks - 1));
+  for (std::int64_t c0 = begin + chunk; c0 < end; c0 += chunk) {
+    const std::int64_t c1 = std::min(c0 + chunk, end);
+    futures.push_back(submit([&fn, c0, c1] { fn(c0, c1); }));
+  }
+  // The caller works the first chunk instead of idling on the futures.
+  std::exception_ptr first_error;
+  try {
+    fn(begin, std::min(begin + chunk, end));
+  } catch (...) {
+    first_error = std::current_exception();
+  }
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
 std::size_t ThreadPool::default_parallelism() {
   const int env_value = env::get_int("CALIBRE_THREADS", 0);
   if (env_value > 0) return static_cast<std::size_t>(env_value);

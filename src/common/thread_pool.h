@@ -5,6 +5,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -43,6 +44,18 @@ class ThreadPool {
     cv_.notify_one();
     return future;
   }
+
+  // Runs `fn(chunk_begin, chunk_end)` over a partition of [begin, end).
+  // Ranges no larger than `grain` (and all ranges on a single-worker pool)
+  // run inline on the calling thread — the serial fallback that keeps small
+  // workloads free of dispatch overhead. Larger ranges are split into at
+  // most size()+1 chunks of >= grain iterations; the caller executes one
+  // chunk itself while the workers drain the rest. Blocks until every chunk
+  // has finished. If any chunk throws, the first exception is rethrown after
+  // all chunks complete. Must not be called from a task already running on
+  // this pool (the caller would block a worker the chunks need).
+  void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                    const std::function<void(std::int64_t, std::int64_t)>& fn);
 
   std::size_t size() const { return workers_.size(); }
 

@@ -88,8 +88,8 @@ PrototypeLosses compute_prototype_losses(const ssl::SslForward& fwd,
     // view-e prototypes with temperature-scaled cross entropy.
     const ag::VarPtr prototypes = ag::matmul(assign_const, fwd.z2);  // [K,D]
     const ag::VarPtr logits = ag::mul_scalar(
-        ag::matmul(ag::l2_normalize(fwd.z1),
-                   ag::transpose(ag::l2_normalize(prototypes))),
+        ag::matmul_nt(ag::l2_normalize(fwd.z1),
+                      ag::l2_normalize(prototypes)),
         1.0f / config.temperature);
     losses.l_n = ag::cross_entropy(logits, pseudo_labels);
   } else if (config.use_ln) {
@@ -102,8 +102,8 @@ PrototypeLosses compute_prototype_losses(const ssl::SslForward& fwd,
     // every non-member is pushed away from it.
     const ag::VarPtr prototypes = ag::matmul(assign_const, fwd.z2);  // [K,D]
     const ag::VarPtr sim = ag::mul_scalar(
-        ag::matmul(ag::l2_normalize(fwd.z1),
-                   ag::transpose(ag::l2_normalize(prototypes))),
+        ag::matmul_nt(ag::l2_normalize(fwd.z1),
+                      ag::l2_normalize(prototypes)),
         1.0f / config.temperature);  // [N,K]
 
     // Per-prototype log-sum-exp over NON-member samples: mask members out.

@@ -108,16 +108,13 @@ TsneResult tsne(const tensor::Tensor& points, const TsneConfig& config,
   for (int iter = 0; iter < config.iterations; ++iter) {
     const double exaggeration =
         iter < config.exaggeration_iters ? config.early_exaggeration : 1.0;
-    // Student-t affinities Q.
+    // Student-t affinities Q from one GEMM-based pairwise distance matrix.
+    const tensor::Tensor y_sq = tensor::pairwise_sq_dists(y, y);
     double q_total = 0.0;
     for (std::int64_t i = 0; i < n; ++i) {
+      const float* sq_row = y_sq.data() + i * n;
       for (std::int64_t j = i + 1; j < n; ++j) {
-        double sq_dist = 0.0;
-        for (int d = 0; d < dims; ++d) {
-          const double delta = static_cast<double>(y(i, d)) - y(j, d);
-          sq_dist += delta * delta;
-        }
-        const double affinity = 1.0 / (1.0 + sq_dist);
+        const double affinity = 1.0 / (1.0 + static_cast<double>(sq_row[j]));
         q[static_cast<std::size_t>(i * n + j)] = affinity;
         q[static_cast<std::size_t>(j * n + i)] = affinity;
         q_total += 2.0 * affinity;
@@ -126,9 +123,14 @@ TsneResult tsne(const tensor::Tensor& points, const TsneConfig& config,
 
     kl = 0.0;
     tensor::Tensor grad(n, dims);
+    const float* yd = y.data();
+    float* gd = grad.data();
     for (std::int64_t i = 0; i < n; ++i) {
+      const float* yi = yd + i * dims;
+      float* gi = gd + i * dims;
       for (std::int64_t j = 0; j < n; ++j) {
         if (i == j) continue;
+        const float* yj = yd + j * dims;
         const double affinity = q[static_cast<std::size_t>(i * n + j)];
         const double q_ij = std::max(affinity / q_total, 1e-12);
         const double p_ij =
@@ -137,8 +139,8 @@ TsneResult tsne(const tensor::Tensor& points, const TsneConfig& config,
               std::log(p[static_cast<std::size_t>(i * n + j)] / q_ij);
         const double coefficient = 4.0 * (p_ij - q_ij) * affinity;
         for (int d = 0; d < dims; ++d) {
-          grad(i, d) += static_cast<float>(
-              coefficient * (static_cast<double>(y(i, d)) - y(j, d)));
+          gi[d] += static_cast<float>(
+              coefficient * (static_cast<double>(yi[d]) - yj[d]));
         }
       }
     }

@@ -13,8 +13,9 @@ ag::VarPtr ntxent(const ag::VarPtr& embeddings, float temperature) {
   const std::int64_t n = total / 2;
 
   const ag::VarPtr z = ag::l2_normalize(embeddings);
-  ag::VarPtr sim = ag::mul_scalar(ag::matmul(z, ag::transpose(z)),
-                                  1.0f / temperature);
+  // Full [2N,2N] similarity matrix in one fused z·zᵀ GEMM (no transposed
+  // copy of the embedding matrix on either the forward or backward pass).
+  ag::VarPtr sim = ag::mul_scalar(ag::matmul_nt(z, z), 1.0f / temperature);
   // Mask self-similarity so a row cannot pick itself as its positive.
   tensor::Tensor diag_mask(total, total);
   for (std::int64_t i = 0; i < total; ++i) diag_mask(i, i) = -1e9f;
@@ -51,8 +52,7 @@ ag::VarPtr info_nce(const ag::VarPtr& q, const ag::VarPtr& k_pos,
       ag::constant(tensor::l2_normalize_rows(negatives));
 
   const ag::VarPtr l_pos = ag::row_sum(ag::mul(qn, kn));        // [N,1]
-  const ag::VarPtr l_neg =
-      ag::matmul(qn, ag::transpose(neg_bank));                  // [N,M]
+  const ag::VarPtr l_neg = ag::matmul_nt(qn, neg_bank);         // [N,M]
   ag::VarPtr logits = ag::concat_cols({l_pos, l_neg});
   logits = ag::mul_scalar(logits, 1.0f / temperature);
 

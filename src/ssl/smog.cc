@@ -33,12 +33,12 @@ SslForward Smog::forward(const tensor::Tensor& view1,
   pending_features_ = k;
 
   // Online branch: both views predict the group of their instance.
-  const ag::VarPtr groups_t = ag::transpose(ag::constant(groups_));
+  const ag::VarPtr groups = ag::constant(groups_);
   const float inv_temp = 1.0f / config_.temperature;
   const ag::VarPtr logits1 = ag::mul_scalar(
-      ag::matmul(ag::l2_normalize(out.h1), groups_t), inv_temp);
+      ag::matmul_nt(ag::l2_normalize(out.h1), groups), inv_temp);
   const ag::VarPtr logits2 = ag::mul_scalar(
-      ag::matmul(ag::l2_normalize(out.h2), groups_t), inv_temp);
+      ag::matmul_nt(ag::l2_normalize(out.h2), groups), inv_temp);
   const ag::VarPtr loss1 = ag::cross_entropy(logits1, pending_assignments_);
   const ag::VarPtr loss2 = ag::cross_entropy(logits2, pending_assignments_);
   out.loss = ag::mul_scalar(ag::add(loss1, loss2), 0.5f);

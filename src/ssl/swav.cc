@@ -62,9 +62,9 @@ SslForward Swav::forward(const tensor::Tensor& view1,
   encode_views(view1, view2, out);
   const ag::VarPtr zn1 = ag::l2_normalize(out.h1);
   const ag::VarPtr zn2 = ag::l2_normalize(out.h2);
-  const ag::VarPtr proto_t = ag::transpose(ag::l2_normalize(prototypes_));
-  const ag::VarPtr scores1 = ag::matmul(zn1, proto_t);  // [N, P]
-  const ag::VarPtr scores2 = ag::matmul(zn2, proto_t);
+  const ag::VarPtr proto_n = ag::l2_normalize(prototypes_);
+  const ag::VarPtr scores1 = ag::matmul_nt(zn1, proto_n);  // [N, P]
+  const ag::VarPtr scores2 = ag::matmul_nt(zn2, proto_n);
 
   // Targets from the opposite view, no gradient through the assignment.
   const tensor::Tensor q1 =

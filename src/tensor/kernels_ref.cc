@@ -1,0 +1,54 @@
+// Scalar reference kernels, preserved verbatim from the pre-kernel-layer
+// tree. They exist for two reasons: the golden parity tests in
+// tests/test_tensor.cc check the blocked kernels against them, and
+// bench_micro reports the blocked kernels' speedup over them in
+// BENCH_kernels.json. This file deliberately builds with the tree's default
+// flags (no -O3 override) so the baseline matches what the original build
+// actually shipped.
+#include "tensor/kernels.h"
+
+#include "common/check.h"
+
+namespace calibre::tensor::kernels {
+
+Tensor matmul_naive(const Tensor& a, const Tensor& b) {
+  CALIBRE_CHECK_MSG(a.cols() == b.rows(), "matmul " << a.shape_string() << " x "
+                                                    << b.shape_string());
+  const std::int64_t n = a.rows();
+  const std::int64_t k = a.cols();
+  const std::int64_t m = b.cols();
+  Tensor out(n, m);
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* od = out.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float aik = ad[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = bd + kk * m;
+      float* orow = od + i * m;
+      for (std::int64_t j = 0; j < m; ++j) {
+        orow[j] += aik * brow[j];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor pairwise_sq_dists_naive(const Tensor& a, const Tensor& b) {
+  CALIBRE_CHECK_MSG(a.cols() == b.cols(), "pairwise_sq_dists dim mismatch");
+  Tensor out(a.rows(), b.rows());
+  for (std::int64_t i = 0; i < a.rows(); ++i) {
+    for (std::int64_t j = 0; j < b.rows(); ++j) {
+      double total = 0.0;
+      for (std::int64_t c = 0; c < a.cols(); ++c) {
+        const double d = static_cast<double>(a(i, c)) - b(j, c);
+        total += d * d;
+      }
+      out(i, j) = static_cast<float>(total);
+    }
+  }
+  return out;
+}
+
+}  // namespace calibre::tensor::kernels

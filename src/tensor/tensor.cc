@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "tensor/kernels.h"
 
 namespace calibre::tensor {
 
@@ -173,17 +174,28 @@ Tensor broadcast_binary(const Tensor& a, const Tensor& b, Fn fn) {
   std::int64_t cols = 0;
   broadcast_shape(a, b, rows, cols);
   Tensor out(rows, cols);
-  const bool a_row1 = a.rows() == 1;
-  const bool a_col1 = a.cols() == 1;
-  const bool b_row1 = b.rows() == 1;
-  const bool b_col1 = b.cols() == 1;
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* od = out.data();
+  // Same-shape fast path: one branch-free pass over raw contiguous storage.
+  if (a.same_shape(b)) {
+    const std::int64_t size = out.size();
+    for (std::int64_t i = 0; i < size; ++i) od[i] = fn(ad[i], bd[i]);
+    return out;
+  }
+  // General broadcast: express each operand as (row stride, col stride) over
+  // its raw storage — a broadcast dimension has stride 0 — so the inner loop
+  // indexes pointers directly instead of the bounds-checked operator().
+  const std::int64_t a_rs = a.rows() == 1 ? 0 : a.cols();
+  const std::int64_t a_cs = a.cols() == 1 ? 0 : 1;
+  const std::int64_t b_rs = b.rows() == 1 ? 0 : b.cols();
+  const std::int64_t b_cs = b.cols() == 1 ? 0 : 1;
   for (std::int64_t r = 0; r < rows; ++r) {
-    const std::int64_t ar = a_row1 ? 0 : r;
-    const std::int64_t br = b_row1 ? 0 : r;
+    const float* arow = ad + r * a_rs;
+    const float* brow = bd + r * b_rs;
+    float* orow = od + r * cols;
     for (std::int64_t c = 0; c < cols; ++c) {
-      const std::int64_t ac = a_col1 ? 0 : c;
-      const std::int64_t bc = b_col1 ? 0 : c;
-      out(r, c) = fn(a(ar, ac), b(br, bc));
+      orow[c] = fn(arow[c * a_cs], brow[c * b_cs]);
     }
   }
   return out;
@@ -224,11 +236,23 @@ Tensor reduce_to_shape(const Tensor& grad, std::int64_t rows,
                        << "]");
   if (rows == grad.rows() && cols == grad.cols()) return grad;
   Tensor out(rows, cols);
-  for (std::int64_t r = 0; r < grad.rows(); ++r) {
-    const std::int64_t tr = rows == 1 ? 0 : r;
-    for (std::int64_t c = 0; c < grad.cols(); ++c) {
-      const std::int64_t tc = cols == 1 ? 0 : c;
-      out(tr, tc) += grad(r, c);
+  const float* gd = grad.data();
+  float* od = out.data();
+  // The target row/col is either identity or 0; the three reduced cases each
+  // get a contiguous raw-storage loop.
+  if (rows == 1 && cols == 1) {
+    od[0] = grad.sum();
+  } else if (rows == 1) {  // sum rows down into a [1,C] vector
+    for (std::int64_t r = 0; r < grad.rows(); ++r) {
+      const float* grow = gd + r * grad.cols();
+      for (std::int64_t c = 0; c < grad.cols(); ++c) od[c] += grow[c];
+    }
+  } else {  // cols == 1: sum each row into a [R,1] vector
+    for (std::int64_t r = 0; r < grad.rows(); ++r) {
+      const float* grow = gd + r * grad.cols();
+      float total = 0.0f;
+      for (std::int64_t c = 0; c < grad.cols(); ++c) total += grow[c];
+      od[r] = total;
     }
   }
   return out;
@@ -277,33 +301,30 @@ Tensor square(const Tensor& a) {
 Tensor matmul(const Tensor& a, const Tensor& b) {
   CALIBRE_CHECK_MSG(a.cols() == b.rows(), "matmul " << a.shape_string() << " x "
                                                     << b.shape_string());
-  const std::int64_t n = a.rows();
-  const std::int64_t k = a.cols();
-  const std::int64_t m = b.cols();
-  Tensor out(n, m);
-  const float* ad = a.data();
-  const float* bd = b.data();
-  float* od = out.data();
-  // i-k-j loop order: streams through b and out rows, cache friendly.
-  for (std::int64_t i = 0; i < n; ++i) {
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float aik = ad[i * k + kk];
-      if (aik == 0.0f) continue;
-      const float* brow = bd + kk * m;
-      float* orow = od + i * m;
-      for (std::int64_t j = 0; j < m; ++j) {
-        orow[j] += aik * brow[j];
-      }
-    }
-  }
+  Tensor out(a.rows(), b.cols());
+  kernels::gemm(a.rows(), a.cols(), b.cols(), a.data(), b.data(), out.data());
   return out;
 }
 
 Tensor transpose(const Tensor& a) {
   Tensor out(a.cols(), a.rows());
-  for (std::int64_t r = 0; r < a.rows(); ++r) {
-    for (std::int64_t c = 0; c < a.cols(); ++c) {
-      out(c, r) = a(r, c);
+  const std::int64_t rows = a.rows();
+  const std::int64_t cols = a.cols();
+  const float* ad = a.data();
+  float* od = out.data();
+  // 32x32 tiles: both the read rows and the written columns of a tile stay
+  // in L1, instead of striding through the whole output per input row.
+  constexpr std::int64_t kTile = 32;
+  for (std::int64_t r0 = 0; r0 < rows; r0 += kTile) {
+    const std::int64_t r1 = std::min(r0 + kTile, rows);
+    for (std::int64_t c0 = 0; c0 < cols; c0 += kTile) {
+      const std::int64_t c1 = std::min(c0 + kTile, cols);
+      for (std::int64_t r = r0; r < r1; ++r) {
+        const float* arow = ad + r * cols;
+        for (std::int64_t c = c0; c < c1; ++c) {
+          od[c * rows + r] = arow[c];
+        }
+      }
     }
   }
   return out;
@@ -311,18 +332,23 @@ Tensor transpose(const Tensor& a) {
 
 Tensor row_sum(const Tensor& a) {
   Tensor out(a.rows(), 1);
+  const float* ad = a.data();
   for (std::int64_t r = 0; r < a.rows(); ++r) {
+    const float* row = ad + r * a.cols();
     double total = 0.0;
-    for (std::int64_t c = 0; c < a.cols(); ++c) total += a(r, c);
-    out(r, 0) = static_cast<float>(total);
+    for (std::int64_t c = 0; c < a.cols(); ++c) total += row[c];
+    out.data()[r] = static_cast<float>(total);
   }
   return out;
 }
 
 Tensor col_sum(const Tensor& a) {
   Tensor out(1, a.cols());
+  float* od = out.data();
+  const float* ad = a.data();
   for (std::int64_t r = 0; r < a.rows(); ++r) {
-    for (std::int64_t c = 0; c < a.cols(); ++c) out(0, c) += a(r, c);
+    const float* row = ad + r * a.cols();
+    for (std::int64_t c = 0; c < a.cols(); ++c) od[c] += row[c];
   }
   return out;
 }
@@ -430,69 +456,58 @@ Tensor gather_cols(const Tensor& a, const std::vector<int>& idx) {
 
 Tensor softmax_rows(const Tensor& a) {
   Tensor out(a.rows(), a.cols());
+  const std::int64_t cols = a.cols();
   for (std::int64_t r = 0; r < a.rows(); ++r) {
+    const float* row = a.data() + r * cols;
+    float* orow = out.data() + r * cols;
     float best = -std::numeric_limits<float>::infinity();
-    for (std::int64_t c = 0; c < a.cols(); ++c) best = std::max(best, a(r, c));
+    for (std::int64_t c = 0; c < cols; ++c) best = std::max(best, row[c]);
     double total = 0.0;
-    for (std::int64_t c = 0; c < a.cols(); ++c) {
-      const float e = std::exp(a(r, c) - best);
-      out(r, c) = e;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const float e = std::exp(row[c] - best);
+      orow[c] = e;
       total += e;
     }
-    for (std::int64_t c = 0; c < a.cols(); ++c) {
-      out(r, c) = static_cast<float>(out(r, c) / total);
-    }
+    const float inv = static_cast<float>(1.0 / total);
+    for (std::int64_t c = 0; c < cols; ++c) orow[c] *= inv;
   }
   return out;
 }
 
 Tensor log_softmax_rows(const Tensor& a) {
   Tensor out(a.rows(), a.cols());
+  const std::int64_t cols = a.cols();
   for (std::int64_t r = 0; r < a.rows(); ++r) {
+    const float* row = a.data() + r * cols;
+    float* orow = out.data() + r * cols;
     float best = -std::numeric_limits<float>::infinity();
-    for (std::int64_t c = 0; c < a.cols(); ++c) best = std::max(best, a(r, c));
+    for (std::int64_t c = 0; c < cols; ++c) best = std::max(best, row[c]);
     double total = 0.0;
-    for (std::int64_t c = 0; c < a.cols(); ++c) {
-      total += std::exp(a(r, c) - best);
-    }
+    for (std::int64_t c = 0; c < cols; ++c) total += std::exp(row[c] - best);
     const float lse = best + static_cast<float>(std::log(total));
-    for (std::int64_t c = 0; c < a.cols(); ++c) {
-      out(r, c) = a(r, c) - lse;
-    }
+    for (std::int64_t c = 0; c < cols; ++c) orow[c] = row[c] - lse;
   }
   return out;
 }
 
 Tensor l2_normalize_rows(const Tensor& a, float eps) {
   Tensor out(a.rows(), a.cols());
+  const std::int64_t cols = a.cols();
   for (std::int64_t r = 0; r < a.rows(); ++r) {
+    const float* row = a.data() + r * cols;
+    float* orow = out.data() + r * cols;
     double sq = 0.0;
-    for (std::int64_t c = 0; c < a.cols(); ++c) {
-      sq += static_cast<double>(a(r, c)) * a(r, c);
+    for (std::int64_t c = 0; c < cols; ++c) {
+      sq += static_cast<double>(row[c]) * row[c];
     }
-    const float norm = std::max(static_cast<float>(std::sqrt(sq)), eps);
-    for (std::int64_t c = 0; c < a.cols(); ++c) {
-      out(r, c) = a(r, c) / norm;
-    }
+    const float inv =
+        1.0f / std::max(static_cast<float>(std::sqrt(sq)), eps);
+    for (std::int64_t c = 0; c < cols; ++c) orow[c] = row[c] * inv;
   }
   return out;
 }
 
-Tensor pairwise_sq_dists(const Tensor& a, const Tensor& b) {
-  CALIBRE_CHECK_MSG(a.cols() == b.cols(), "pairwise_sq_dists dim mismatch");
-  Tensor out(a.rows(), b.rows());
-  for (std::int64_t i = 0; i < a.rows(); ++i) {
-    for (std::int64_t j = 0; j < b.rows(); ++j) {
-      double total = 0.0;
-      for (std::int64_t c = 0; c < a.cols(); ++c) {
-        const double d = static_cast<double>(a(i, c)) - b(j, c);
-        total += d * d;
-      }
-      out(i, j) = static_cast<float>(total);
-    }
-  }
-  return out;
-}
+// pairwise_sq_dists lives in tensor/kernels.cc (GEMM-based decomposition).
 
 bool allclose(const Tensor& a, const Tensor& b, float atol) {
   if (!a.same_shape(b)) return false;

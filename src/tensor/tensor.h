@@ -118,7 +118,14 @@ Tensor tanh(const Tensor& a);
 Tensor square(const Tensor& a);
 
 // --- linear algebra ----------------------------------------------------------
+// All products run on the blocked, thread-parallel kernels in
+// tensor/kernels.h. The _nt/_tn variants fuse the transpose into the GEMM
+// loop nest, so no transposed copy of the operand is ever materialized.
 Tensor matmul(const Tensor& a, const Tensor& b);
+// a [N,K] x b [M,K] -> [N,M]: A·Bᵀ without materializing Bᵀ.
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+// a [K,N] x b [K,M] -> [N,M]: Aᵀ·B without materializing Aᵀ.
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
 Tensor transpose(const Tensor& a);
 
 // --- reductions to tensors ---------------------------------------------------

@@ -99,6 +99,49 @@ TEST(AutogradGradcheck, MatmulBothSides) {
   });
 }
 
+TEST(AutogradGradcheck, MatmulNTBothSides) {
+  // C = A @ B^T: gradient w.r.t. both operands through the fused kernel.
+  const Tensor right = test_matrix(2, 4, 46);
+  check_gradient(test_matrix(3, 4), [&](const VarPtr& x) {
+    return ag::sum_all(ag::square(ag::matmul_nt(x, ag::constant(right))));
+  });
+  const Tensor left = test_matrix(3, 4, 47);
+  check_gradient(test_matrix(2, 4), [&](const VarPtr& x) {
+    return ag::sum_all(ag::square(ag::matmul_nt(ag::constant(left), x)));
+  });
+}
+
+TEST(AutogradGradcheck, MatmulTNBothSides) {
+  // C = A^T @ B: gradient w.r.t. both operands through the fused kernel.
+  const Tensor right = test_matrix(4, 2, 48);
+  check_gradient(test_matrix(4, 3), [&](const VarPtr& x) {
+    return ag::sum_all(ag::square(ag::matmul_tn(x, ag::constant(right))));
+  });
+  const Tensor left = test_matrix(4, 3, 49);
+  check_gradient(test_matrix(4, 2), [&](const VarPtr& x) {
+    return ag::sum_all(ag::square(ag::matmul_tn(ag::constant(left), x)));
+  });
+}
+
+TEST(Autograd, FusedTransposeMatchesComposition) {
+  // ag::matmul_nt / ag::matmul_tn must equal matmul-with-explicit-transpose
+  // in both value and gradient.
+  const Tensor a_v = test_matrix(3, 5, 50);
+  const Tensor b_v = test_matrix(4, 5, 51);
+  const VarPtr a1 = ag::parameter(a_v);
+  const VarPtr b1 = ag::parameter(b_v);
+  const VarPtr fused = ag::sum_all(ag::square(ag::matmul_nt(a1, b1)));
+  ag::backward(fused);
+  const VarPtr a2 = ag::parameter(a_v);
+  const VarPtr b2 = ag::parameter(b_v);
+  const VarPtr composed =
+      ag::sum_all(ag::square(ag::matmul(a2, ag::transpose(b2))));
+  ag::backward(composed);
+  EXPECT_TRUE(tensor::allclose(fused->value, composed->value, 1e-5f));
+  EXPECT_TRUE(tensor::allclose(a1->grad, a2->grad, 1e-4f));
+  EXPECT_TRUE(tensor::allclose(b1->grad, b2->grad, 1e-4f));
+}
+
 TEST(AutogradGradcheck, Transpose) {
   check_gradient(test_matrix(3, 5), [&](const VarPtr& x) {
     return ag::sum_all(ag::square(ag::transpose(x)));

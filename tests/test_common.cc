@@ -4,6 +4,9 @@
 #include <cmath>
 #include <cstdlib>
 #include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -48,6 +51,90 @@ TEST(ThreadPool, AtLeastOneWorker) {
 
 TEST(ThreadPool, DefaultParallelismPositive) {
   EXPECT_GE(common::ThreadPool::default_parallelism(), 1u);
+}
+
+// --- parallel_for ------------------------------------------------------------
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  common::ThreadPool pool(4);
+  constexpr std::int64_t kRange = 1000;
+  std::vector<std::atomic<int>> hits(kRange);
+  for (auto& h : hits) h.store(0);
+  pool.parallel_for(0, kRange, /*grain=*/16,
+                    [&](std::int64_t begin, std::int64_t end) {
+                      for (std::int64_t i = begin; i < end; ++i) {
+                        hits[static_cast<std::size_t>(i)].fetch_add(1);
+                      }
+                    });
+  for (std::int64_t i = 0; i < kRange; ++i) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, NonZeroBeginIsRespected) {
+  common::ThreadPool pool(3);
+  std::atomic<std::int64_t> total{0};
+  pool.parallel_for(100, 200, /*grain=*/7,
+                    [&](std::int64_t begin, std::int64_t end) {
+                      for (std::int64_t i = begin; i < end; ++i) {
+                        total.fetch_add(i);
+                      }
+                    });
+  // sum of 100..199
+  EXPECT_EQ(total.load(), (100 + 199) * 100 / 2);
+}
+
+TEST(ParallelFor, SerialFallbackRunsOnCallingThread) {
+  common::ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen;
+  std::mutex mutex;
+  // Range no larger than grain: must execute inline, no task submission.
+  pool.parallel_for(0, 8, /*grain=*/8,
+                    [&](std::int64_t begin, std::int64_t end) {
+                      std::lock_guard<std::mutex> lock(mutex);
+                      seen.emplace_back(std::this_thread::get_id());
+                      EXPECT_EQ(begin, 0);
+                      EXPECT_EQ(end, 8);
+                    });
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], caller);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  common::ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(5, 5, /*grain=*/1,
+                    [&](std::int64_t, std::int64_t) { ++calls; });
+  pool.parallel_for(7, 3, /*grain=*/1,
+                    [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  common::ThreadPool pool(4);
+  std::atomic<int> chunks_run{0};
+  EXPECT_THROW(
+      pool.parallel_for(0, 1000, /*grain=*/10,
+                        [&](std::int64_t begin, std::int64_t) {
+                          chunks_run.fetch_add(1);
+                          if (begin >= 200) {
+                            throw std::runtime_error("parallel boom");
+                          }
+                        }),
+      std::runtime_error);
+  // All chunks still ran to completion before the rethrow (no torn state).
+  EXPECT_GT(chunks_run.load(), 0);
+}
+
+TEST(ParallelFor, SingleWorkerPoolStaysSerial) {
+  common::ThreadPool pool(1);
+  std::atomic<std::int64_t> total{0};
+  pool.parallel_for(0, 100, /*grain=*/1,
+                    [&](std::int64_t begin, std::int64_t end) {
+                      total.fetch_add(end - begin);
+                    });
+  EXPECT_EQ(total.load(), 100);
 }
 
 TEST(Env, IntDoubleStringFlag) {

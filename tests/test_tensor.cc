@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "common/check.h"
+#include "tensor/kernels.h"
 #include "tensor/tensor.h"
 
 namespace calibre::tensor {
@@ -262,6 +263,82 @@ TEST(TensorNumeric, AllClose) {
   EXPECT_FALSE(allclose(a, b, 1e-5f));
   EXPECT_TRUE(allclose(a, b, 1e-2f));
   EXPECT_FALSE(allclose(a, Tensor(2, 3)));
+}
+
+// --- kernel layer golden tests ----------------------------------------------
+//
+// The blocked/tiled kernels must agree with the seed's scalar reference
+// kernels (kept verbatim in tensor/kernels.cc) on awkward shapes: degenerate
+// 1xN / Nx1, shapes that are not multiples of the row tile or column block,
+// and one shape large enough to cross the parallel_for flop threshold.
+class KernelGolden : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(KernelGolden, BlockedMatmulMatchesNaive) {
+  const auto [n, k, m] = GetParam();
+  rng::Generator gen(static_cast<std::uint64_t>(n * 31 + k * 7 + m));
+  const Tensor a = Tensor::randn(n, k, gen);
+  const Tensor b = Tensor::randn(k, m, gen);
+  EXPECT_TRUE(allclose(matmul(a, b), kernels::matmul_naive(a, b), 1e-4f));
+}
+
+TEST_P(KernelGolden, MatmulNTFusesTranspose) {
+  const auto [n, k, m] = GetParam();
+  rng::Generator gen(static_cast<std::uint64_t>(n * 13 + k * 5 + m));
+  const Tensor a = Tensor::randn(n, k, gen);
+  const Tensor b = Tensor::randn(m, k, gen);  // matmul_nt contracts over cols
+  EXPECT_TRUE(allclose(matmul_nt(a, b),
+                       kernels::matmul_naive(a, transpose(b)), 1e-4f));
+}
+
+TEST_P(KernelGolden, MatmulTNFusesTranspose) {
+  const auto [n, k, m] = GetParam();
+  rng::Generator gen(static_cast<std::uint64_t>(n * 17 + k * 3 + m));
+  const Tensor a = Tensor::randn(k, n, gen);  // matmul_tn contracts over rows
+  const Tensor b = Tensor::randn(k, m, gen);
+  EXPECT_TRUE(allclose(matmul_tn(a, b),
+                       kernels::matmul_naive(transpose(a), b), 1e-4f));
+}
+
+TEST_P(KernelGolden, GemmPairwiseMatchesNaive) {
+  const auto [n, k, m] = GetParam();
+  rng::Generator gen(static_cast<std::uint64_t>(n * 23 + k * 11 + m));
+  const Tensor a = Tensor::randn(n, k, gen);
+  const Tensor b = Tensor::randn(m, k, gen);
+  EXPECT_TRUE(allclose(pairwise_sq_dists(a, b),
+                       kernels::pairwise_sq_dists_naive(a, b), 1e-4f));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, KernelGolden,
+    ::testing::Values(
+        std::make_tuple(1, 1, 1),       // smallest degenerate
+        std::make_tuple(1, 33, 5),      // single output row
+        std::make_tuple(7, 1, 9),       // K = 1
+        std::make_tuple(9, 40, 1),      // single output column
+        std::make_tuple(67, 129, 33),   // nothing divides the tile/block sizes
+        std::make_tuple(4, 64, 128),    // exact row-tile and column-block fit
+        std::make_tuple(130, 70, 131),  // one past the column block
+        std::make_tuple(128, 128, 128)  // crosses parallel_flop_threshold()
+        ));
+
+TEST(KernelGolden, PairwiseIsNonNegativeOnDuplicateRows) {
+  // The GEMM decomposition |a|^2 + |b|^2 - 2ab can go epsilon-negative under
+  // float cancellation when a == b; the kernel must clamp to zero. The
+  // diagonal is only zero up to cancellation residue, never negative.
+  rng::Generator gen(41);
+  const Tensor a = Tensor::randn(17, 29, gen, 5.0f);
+  const Tensor d = pairwise_sq_dists(a, a);
+  for (std::int64_t i = 0; i < d.rows(); ++i) {
+    for (std::int64_t j = 0; j < d.cols(); ++j) {
+      EXPECT_GE(d(i, j), 0.0f);
+    }
+    EXPECT_NEAR(d(i, i), 0.0f, 1e-3f);
+  }
+}
+
+TEST(KernelGolden, MatmulNTShapeChecks) {
+  EXPECT_THROW(matmul_nt(Tensor(2, 3), Tensor(4, 5)), CheckError);
+  EXPECT_THROW(matmul_tn(Tensor(2, 3), Tensor(4, 3)), CheckError);
 }
 
 // Parameterized shape sweep: (A @ B)^T == B^T @ A^T for random shapes.
