@@ -19,6 +19,12 @@
 //   --clients-per-round sampled clients per round              (5)
 //   --local-epochs      local epochs per round                 (3)
 //   --dropout           per-round client dropout probability   (0)
+//   --round-deadline-ms per-round deadline; 0 waits for all    (0)
+//   --min-participants  quorum of updates before the deadline
+//                       may cut stragglers loose               (1)
+//   --retries           per-round retries of a failed client   (0)
+//   --fault-rate        injected handler-failure probability   (0)
+//   --fault-latency-ms  injected per-dispatch latency cap      (0)
 //   --seed              experiment seed                        (42)
 //   --threads           device worker threads (0 = auto)       (0)
 //   --save              write the trained global state to a file
@@ -92,6 +98,11 @@ int main(int argc, char** argv) {
   config.local_epochs = args.get_int("local-epochs", 3);
   config.client_dropout_rate =
       static_cast<float>(args.get_double("dropout", 0.0));
+  config.round_deadline_ms = args.get_int("round-deadline-ms", 0);
+  config.min_participants = args.get_int("min-participants", 1);
+  config.max_client_retries = args.get_int("retries", 0);
+  config.fault_rate = static_cast<float>(args.get_double("fault-rate", 0.0));
+  config.fault_latency_ms = args.get_int("fault-latency-ms", 0);
   config.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
   config.threads = args.get_int("threads", 0);
   config.num_train_clients = train_clients;
@@ -134,10 +145,12 @@ int main(int argc, char** argv) {
   }
 
   if (print_history) {
-    std::cout << "round  participants  dropped  mean_divergence  update_norm\n";
+    std::cout << "round  participants  dropped  failed  retried  timed_out"
+                 "  late  mean_divergence  update_norm\n";
     for (const fl::RoundStats& r : result.history) {
-      std::printf("%5d  %12d  %7d  %15.4f  %11.3f\n", r.round,
-                  r.participants, r.dropped, r.mean_divergence,
+      std::printf("%5d  %12d  %7d  %6d  %7d  %9d  %4d  %15.4f  %11.3f\n",
+                  r.round, r.participants, r.dropped, r.failures, r.retries,
+                  r.timeouts, r.late_dropped, r.mean_divergence,
                   r.mean_update_norm);
     }
   }
@@ -159,6 +172,19 @@ int main(int argc, char** argv) {
   if (result.traffic.messages > 0) {
     std::cout << "  traffic: " << result.traffic.messages << " messages, "
               << static_cast<double>(result.traffic.bytes) / 1e6 << " MB\n";
+  }
+  long total_failures = 0, total_retries = 0, total_timeouts = 0,
+       total_late = 0;
+  for (const fl::RoundStats& r : result.history) {
+    total_failures += r.failures;
+    total_retries += r.retries;
+    total_timeouts += r.timeouts;
+    total_late += r.late_dropped;
+  }
+  if (total_failures + total_retries + total_timeouts + total_late > 0) {
+    std::cout << "  faults: " << total_failures << " failed updates, "
+              << total_retries << " retried, " << total_timeouts
+              << " timed out, " << total_late << " late replies dropped\n";
   }
   return 0;
 }

@@ -2,6 +2,7 @@
 // in the federated runtime; also usable per-endpoint.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -25,11 +26,25 @@ class Mailbox {
   // Returns nullopt only in the latter case.
   std::optional<Message> pop();
 
-  // Non-blocking pop.
+  // Blocks until a message is available, `deadline` passes, or the box is
+  // closed+empty. Returns nullopt on timeout or closed+empty — use closed()
+  // to tell the two apart.
+  std::optional<Message> pop_until(
+      std::chrono::steady_clock::time_point deadline);
+
+  // pop_until() relative to now.
+  std::optional<Message> pop_for(std::chrono::milliseconds timeout);
+
+  // Non-blocking pop. Returns nullopt when momentarily empty *or* when the
+  // box is closed and drained; closed() disambiguates.
   std::optional<Message> try_pop();
 
   // Closes the mailbox: pushes throw, pops drain then return nullopt.
   void close();
+
+  // True once close() has been called. A nullopt pop on a closed mailbox
+  // means shutdown (drained), not starvation.
+  bool closed() const;
 
   std::size_t size() const;
 

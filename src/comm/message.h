@@ -19,6 +19,7 @@ enum class MessageType : std::uint8_t {
   kTrainRequest = 1,   // server -> client: global state, please run local update
   kTrainResponse = 2,  // client -> server: serialized ClientUpdate
   kShutdown = 3,       // server -> client: stop serving
+  kTrainError = 4,     // client -> server: local update failed (payload: what())
 };
 
 struct Message {

@@ -1,8 +1,31 @@
 #include "comm/router.h"
 
+#include <chrono>
+#include <thread>
+
+#include "comm/serde.h"
 #include "common/check.h"
 
 namespace calibre::comm {
+namespace {
+
+// SplitMix64-style mix of the fault seed with per-dispatch coordinates;
+// independent of rng::Generator so fault draws never perturb experiment
+// streams.
+std::uint64_t mix(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                  std::uint64_t c) {
+  std::uint64_t z = seed ^ (a * 0x9e3779b97f4a7c15ULL) ^
+                    (b * 0xbf58476d1ce4e5b9ULL) ^ (c * 0x94d049bb133111ebULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double unit_double(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
 
 Router::Router(std::size_t num_threads) : pool_(num_threads) {}
 
@@ -11,6 +34,14 @@ void Router::register_endpoint(int endpoint, Handler handler) {
                     "server endpoint uses the mailbox, not a handler");
   const auto [it, inserted] = handlers_.emplace(endpoint, std::move(handler));
   CALIBRE_CHECK_MSG(inserted, "endpoint " << endpoint << " already registered");
+}
+
+void Router::set_fault_injection(FaultConfig config) {
+  CALIBRE_CHECK_MSG(config.failure_rate >= 0.0f && config.failure_rate <= 1.0f,
+                    "failure_rate must be in [0, 1], got "
+                        << config.failure_rate);
+  CALIBRE_CHECK_MSG(config.latency_ms >= 0, "latency_ms must be >= 0");
+  fault_ = config;
 }
 
 void Router::send(Message message) {
@@ -24,15 +55,84 @@ void Router::send(Message message) {
   CALIBRE_CHECK_MSG(it != handlers_.end(),
                     "no endpoint registered for client " << message.receiver);
   Handler& handler = it->second;
+
+  // Roll the fault dice on the sending thread: per-endpoint attempt counters
+  // advance in send order, so decisions are deterministic no matter how the
+  // pool interleaves execution.
+  bool inject_failure = false;
+  int delay_ms = 0;
+  if (fault_.failure_rate > 0.0f || fault_.latency_ms > 0) {
+    std::uint64_t attempt = 0;
+    {
+      std::lock_guard<std::mutex> lock(attempts_mutex_);
+      attempt = attempts_[message.receiver]++;
+    }
+    const auto receiver = static_cast<std::uint64_t>(message.receiver);
+    const auto round = static_cast<std::uint64_t>(message.round);
+    inject_failure =
+        fault_.failure_rate > 0.0f &&
+        unit_double(mix(fault_.seed, receiver, round, attempt * 2)) <
+            static_cast<double>(fault_.failure_rate);
+    if (fault_.latency_ms > 0) {
+      delay_ms = static_cast<int>(mix(fault_.seed, receiver, round,
+                                      attempt * 2 + 1) %
+                                  static_cast<std::uint64_t>(
+                                      fault_.latency_ms + 1));
+    }
+  }
+
   // The handler reference stays valid: registration is frozen before sending.
-  pool_.submit([&handler, message = std::move(message)]() mutable {
-    handler(message);
+  // A throwing handler (or an injected fault) must never strand the server:
+  // every dispatch produces exactly one reply, success or kTrainError.
+  pool_.submit([this, &handler, inject_failure, delay_ms,
+                message = std::move(message)]() mutable {
+    const int client = message.receiver;
+    const int round = message.round;
+    if (delay_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    }
+    try {
+      if (inject_failure) {
+        throw std::runtime_error("injected handler fault");
+      }
+      handler(message);
+    } catch (const std::exception& error) {
+      try {
+        send(make_error_reply(client, round, error.what()));
+      } catch (...) {
+        // Server mailbox closed during shutdown; nothing left to notify.
+      }
+    } catch (...) {
+      try {
+        send(make_error_reply(client, round, "unknown error"));
+      } catch (...) {
+      }
+    }
   });
 }
 
 TrafficStats Router::stats() const {
   return TrafficStats{messages_.load(std::memory_order_relaxed),
                       bytes_.load(std::memory_order_relaxed)};
+}
+
+Message Router::make_error_reply(int client, int round,
+                                 const std::string& what) {
+  Writer writer;
+  writer.write_string(what);
+  Message reply;
+  reply.type = MessageType::kTrainError;
+  reply.sender = client;
+  reply.receiver = kServerEndpoint;
+  reply.round = round;
+  reply.payload = writer.take();
+  return reply;
+}
+
+std::string Router::error_text(const Message& message) {
+  CALIBRE_CHECK(message.type == MessageType::kTrainError);
+  Reader reader(message.payload);
+  return reader.read_string();
 }
 
 }  // namespace calibre::comm

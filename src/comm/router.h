@@ -5,11 +5,20 @@
 // addressed to the server land in the server mailbox, which the round loop
 // drains synchronously. Traffic counters expose the communication cost of an
 // experiment.
+//
+// Fault tolerance: a handler that throws never vanishes silently — the
+// router catches the exception and replies to the server with a
+// kTrainError message carrying the error text, so the round loop can
+// account for the failure instead of blocking forever. An optional fault
+// injector (seeded, deterministic) simulates flaky devices by failing a
+// configurable fraction of dispatches and adding artificial latency.
 #pragma once
 
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <unordered_map>
 
 #include "comm/mailbox.h"
@@ -20,6 +29,17 @@ namespace calibre::comm {
 struct TrafficStats {
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
+};
+
+// Deterministic fault injection applied to client-addressed dispatches.
+// Decisions are a pure function of (seed, receiver, round, attempt), where
+// attempt counts dispatches to that endpoint — so a run is reproducible
+// bit-for-bit from its seed, and a retry of a failed client re-rolls the
+// dice instead of failing forever.
+struct FaultConfig {
+  float failure_rate = 0.0f;  // P(dispatch fails before the handler runs)
+  int latency_ms = 0;         // per-dispatch artificial delay in [0, latency_ms]
+  std::uint64_t seed = 0;     // fault stream seed
 };
 
 class Router {
@@ -35,8 +55,14 @@ class Router {
   // Must not be called after sends to that endpoint have started.
   void register_endpoint(int endpoint, Handler handler);
 
+  // Enables fault injection for subsequent client-addressed sends.
+  // Must not be called concurrently with send().
+  void set_fault_injection(FaultConfig config);
+
   // Routes `message`: server-addressed messages go to the server mailbox;
   // client-addressed ones are dispatched to the endpoint handler on the pool.
+  // A handler that throws (or an injected fault) produces a kTrainError
+  // reply to the server instead of a lost message.
   // Throws when the receiver is unknown.
   void send(Message message);
 
@@ -45,12 +71,24 @@ class Router {
 
   TrafficStats stats() const;
 
+  // kTrainError reply from `client` for `round`; payload carries `what`.
+  static Message make_error_reply(int client, int round,
+                                  const std::string& what);
+  // Error text carried by a kTrainError message.
+  static std::string error_text(const Message& message);
+
  private:
-  common::ThreadPool pool_;
   Mailbox server_mailbox_;
   std::unordered_map<int, Handler> handlers_;
+  FaultConfig fault_;
+  std::mutex attempts_mutex_;
+  std::unordered_map<int, std::uint64_t> attempts_;  // dispatches per endpoint
   std::atomic<std::uint64_t> messages_{0};
   std::atomic<std::uint64_t> bytes_{0};
+  // Declared last => destroyed first: ~ThreadPool drains straggler handler
+  // tasks (which touch the mailbox and handlers_) before the rest of the
+  // router goes away.
+  common::ThreadPool pool_;
 };
 
 }  // namespace calibre::comm

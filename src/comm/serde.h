@@ -77,6 +77,12 @@ class Reader {
 
   std::string read_string() {
     const std::uint32_t size = read_u32();
+    // Validate against the remaining bytes *before* allocating: a corrupt
+    // length must fail cleanly, not request a multi-GB buffer.
+    CALIBRE_CHECK_MSG(size <= remaining(),
+                      "serde corrupt string length " << size << " with "
+                                                     << remaining()
+                                                     << " bytes remaining");
     std::string value(size, '\0');
     read_raw(value.data(), size);
     return value;
@@ -84,6 +90,13 @@ class Reader {
 
   std::vector<float> read_f32_vector() {
     const std::uint64_t count = read_u64();
+    // Checked as count <= remaining/4 (not count*4 <= remaining): an
+    // untrusted u64 count can wrap the multiplication and slip past the
+    // underflow check in read_raw with an absurd allocation.
+    CALIBRE_CHECK_MSG(count <= remaining() / sizeof(float),
+                      "serde corrupt f32 count " << count << " with "
+                                                 << remaining()
+                                                 << " bytes remaining");
     std::vector<float> values(count);
     read_raw(values.data(), count * sizeof(float));
     return values;
@@ -102,6 +115,8 @@ class Reader {
   bool exhausted() const { return cursor_ == bytes_.size(); }
 
  private:
+  std::size_t remaining() const { return bytes_.size() - cursor_; }
+
   void read_raw(void* out, std::size_t size) {
     CALIBRE_CHECK_MSG(cursor_ + size <= bytes_.size(),
                       "serde underflow: want " << size << " at " << cursor_

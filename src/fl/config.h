@@ -50,6 +50,25 @@ struct FlConfig {
   // arrives; at least one client per round is guaranteed.
   float client_dropout_rate = 0.0f;
 
+  // --- Fault tolerance -------------------------------------------------------
+  // Wall-clock budget per round, measured from the broadcast. When it
+  // expires the server aggregates whatever arrived (partial aggregation);
+  // stragglers are counted as timeouts and their eventual replies are
+  // discarded by round tag. 0 = wait for every reply (no deadline).
+  int round_deadline_ms = 0;
+  // Minimum successful updates per round: the deadline only fires once this
+  // many updates arrived (clamped to the number of sampled clients). Keeps
+  // a late-but-quorate round meaningful instead of aggregating nothing.
+  int min_participants = 1;
+  // Bounded retry: a client whose update fails (kTrainError) is re-sent the
+  // request up to this many times within the same round.
+  int max_client_retries = 0;
+  // Fault injection (comm::FaultConfig): probability that a dispatched
+  // client update fails, and per-dispatch artificial latency in
+  // [0, fault_latency_ms]. Seeded from `seed`; 0/0 disables injection.
+  float fault_rate = 0.0f;
+  int fault_latency_ms = 0;
+
   std::uint64_t seed = 42;
   // Worker threads for simulated client devices (0 = library default).
   int threads = 0;

@@ -1,7 +1,10 @@
 #include "fl/runner.h"
 
+#include <algorithm>
 #include <chrono>
 #include <future>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "common/check.h"
 #include "common/log.h"
@@ -36,6 +39,13 @@ RunResult run_federated(Algorithm& algorithm, const FedDataset& fed,
   const auto start_time = std::chrono::steady_clock::now();
 
   comm::Router router(resolve_threads(config));
+  if (config.fault_rate > 0.0f || config.fault_latency_ms > 0) {
+    comm::FaultConfig fault;
+    fault.failure_rate = config.fault_rate;
+    fault.latency_ms = config.fault_latency_ms;
+    fault.seed = derive_seed(config.seed, 0xFA01, 0);
+    router.set_fault_injection(fault);
+  }
 
   // Register one device endpoint per participating client. The handler runs
   // on the device pool: deserialize global -> local update -> reply.
@@ -71,15 +81,22 @@ RunResult run_federated(Algorithm& algorithm, const FedDataset& fed,
   RunResult result;
   result.algorithm = algorithm.name();
   for (int round = 0; round < config.rounds; ++round) {
+    RoundStats round_stats;
+    round_stats.round = round;
     std::vector<int> selected = sampler.sample_without_replacement(
         fed.num_train_clients(), config.clients_per_round);
     // Dropout simulation: sampled clients may fail to respond. Keep at
-    // least one participant so the round stays well-defined.
+    // least one participant so the round stays well-defined. Dropout coins
+    // come from their own per-round stream, NOT from `sampler`: drawing
+    // them from the sampling stream would make --dropout silently change
+    // which clients are sampled in every later round.
     int dropped = 0;
     if (config.client_dropout_rate > 0.0f) {
+      rng::Generator dropout_gen(
+          derive_seed(config.seed, 0xD80, static_cast<std::uint64_t>(round)));
       std::vector<int> alive;
       for (const int client : selected) {
-        if (sampler.uniform() < config.client_dropout_rate) {
+        if (dropout_gen.uniform() < config.client_dropout_rate) {
           ++dropped;
         } else {
           alive.push_back(client);
@@ -91,7 +108,7 @@ RunResult run_federated(Algorithm& algorithm, const FedDataset& fed,
       }
       selected = std::move(alive);
     }
-    for (const int client : selected) {
+    auto send_request = [&](int client) {
       comm::Message request;
       request.type = comm::MessageType::kTrainRequest;
       request.sender = comm::kServerEndpoint;
@@ -99,19 +116,81 @@ RunResult run_federated(Algorithm& algorithm, const FedDataset& fed,
       request.round = round;
       request.payload = state.to_bytes();
       router.send(std::move(request));
-    }
+    };
+    for (const int client : selected) send_request(client);
+
+    // Deadline-aware receive with a minimum-participation quorum. Every
+    // dispatch is guaranteed exactly one reply (success or kTrainError), so
+    // waiting on `pending` cannot hang; the deadline merely lets the round
+    // cut stragglers loose once `quorum` updates are in. Replies tagged
+    // with an earlier round are stragglers from a timed-out round —
+    // discarded, never aggregated into the wrong round.
+    const bool has_deadline = config.round_deadline_ms > 0;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(config.round_deadline_ms);
+    const int quorum =
+        std::min(std::max(config.min_participants, 1),
+                 static_cast<int>(selected.size()));
+    std::unordered_set<int> pending(selected.begin(), selected.end());
+    std::unordered_map<int, int> retries_used;
+    bool deadline_fired = false;
     std::vector<ClientUpdate> updates;
     updates.reserve(selected.size());
-    for (std::size_t i = 0; i < selected.size(); ++i) {
-      const auto response = router.server_mailbox().pop();
+    while (!pending.empty()) {
+      std::optional<comm::Message> response;
+      if (has_deadline && !deadline_fired) {
+        response = router.server_mailbox().pop_until(deadline);
+        if (!response.has_value() && !router.server_mailbox().closed()) {
+          deadline_fired = true;
+          if (static_cast<int>(updates.size()) >= quorum) break;
+          continue;  // below quorum: keep waiting, replies are guaranteed
+        }
+      } else {
+        response = router.server_mailbox().pop();
+      }
       CALIBRE_CHECK_MSG(response.has_value(), "server mailbox closed early");
+      if (response->round != round) {
+        ++round_stats.late_dropped;
+        log::debug() << algorithm.name() << " round " << round
+                     << " discarded late reply from client "
+                     << response->sender << " (round " << response->round
+                     << ")";
+        continue;
+      }
+      if (response->type == comm::MessageType::kTrainError) {
+        ++round_stats.failures;
+        const int client = response->sender;
+        if (pending.count(client) == 0) continue;  // already resolved
+        int& used = retries_used[client];
+        if (used < config.max_client_retries) {
+          ++used;
+          ++round_stats.retries;
+          send_request(client);
+        } else {
+          pending.erase(client);
+          log::debug() << algorithm.name() << " round " << round
+                       << " client " << client << " failed: "
+                       << comm::Router::error_text(*response);
+        }
+        continue;
+      }
       CALIBRE_CHECK(response->type == comm::MessageType::kTrainResponse);
+      if (pending.erase(response->sender) == 0) continue;
       updates.push_back(deserialize_update(response->payload));
+      if (deadline_fired && static_cast<int>(updates.size()) >= quorum) break;
     }
-    state = algorithm.aggregate(state, updates, round);
+    round_stats.timeouts = static_cast<int>(pending.size());
 
-    RoundStats round_stats;
-    round_stats.round = round;
+    // Partial aggregation: whatever arrived forms the next global state. A
+    // fully failed round (every client errored out) keeps the state as-is
+    // rather than aggregating nothing.
+    if (!updates.empty()) {
+      state = algorithm.aggregate(state, updates, round);
+    } else {
+      log::warn() << algorithm.name() << " round " << round
+                  << ": no updates arrived; keeping previous global state";
+    }
+
     round_stats.participants = static_cast<int>(updates.size());
     round_stats.dropped = dropped;
     double divergence_total = 0.0;
@@ -134,8 +213,10 @@ RunResult run_federated(Algorithm& algorithm, const FedDataset& fed,
         : static_cast<float>(norm_total / static_cast<double>(updates.size()));
     result.history.push_back(round_stats);
     log::debug() << algorithm.name() << " round " << round + 1 << "/"
-                 << config.rounds << " aggregated "
-                 << updates.size() << " updates";
+                 << config.rounds << " aggregated " << updates.size()
+                 << " updates (" << round_stats.failures << " failures, "
+                 << round_stats.timeouts << " timeouts, "
+                 << round_stats.late_dropped << " late-dropped)";
   }
 
   // --- Personalization stage -------------------------------------------------

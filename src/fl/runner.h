@@ -22,6 +22,11 @@ struct RoundStats {
   int round = 0;
   int participants = 0;       // clients that delivered an update
   int dropped = 0;            // sampled clients lost to dropout
+  int failures = 0;           // kTrainError replies (thrown handlers,
+                              // injected faults); includes retried attempts
+  int retries = 0;            // requests re-sent after a failure
+  int timeouts = 0;           // clients still pending when the deadline fired
+  int late_dropped = 0;       // stale replies from earlier rounds discarded
   float mean_divergence = 0.0f;  // mean of the updates' "divergence" scalar
                                  // (0 when the algorithm does not report it)
   float mean_update_norm = 0.0f;

@@ -143,9 +143,17 @@ inline void gemm_block(std::int64_t i0, std::int64_t i1, std::int64_t k,
 // templates above flattened in) for AVX-512, AVX2 and baseline x86-64; the
 // loader picks the widest clone the CPU supports, so the binary stays
 // portable while the hot loops use the full vector width of the machine.
+// ThreadSanitizer cannot coexist with the ifunc resolvers target_clones
+// emits (they run during relocation, before the TSan runtime initializes,
+// and crash at startup), so sanitized builds compile the default ISA only —
+// they are correctness artifacts, not perf artifacts.
+#if defined(__SANITIZE_THREAD__)
+#define CALIBRE_KERNEL_CLONES __attribute__((flatten))
+#else
 #define CALIBRE_KERNEL_CLONES \
   __attribute__((target_clones("arch=x86-64-v4", "arch=x86-64-v3", \
                                "default"), flatten))
+#endif
 
 CALIBRE_KERNEL_CLONES
 void gemm_chunk_nn(std::int64_t i0, std::int64_t i1, std::int64_t k,

@@ -1,8 +1,10 @@
 // Tests for the communication substrate: serde, mailbox semantics under
 // concurrency, and the router.
 #include <atomic>
+#include <chrono>
 #include <set>
 #include <thread>
+#include <tuple>
 
 #include <gtest/gtest.h>
 
@@ -65,6 +67,45 @@ TEST(Serde, UnderflowThrows) {
   EXPECT_THROW(reader.read_u64(), CheckError);
 }
 
+TEST(Serde, TruncatedF32VectorRejectedWithoutAllocation) {
+  Writer writer;
+  writer.write_f32_vector({1.0f, 2.0f, 3.0f});
+  auto bytes = writer.take();
+  bytes.resize(bytes.size() - 4);  // drop the last float
+  Reader reader(bytes);
+  EXPECT_THROW(reader.read_f32_vector(), CheckError);
+}
+
+TEST(Serde, CorruptF32CountRejectedWithoutAllocation) {
+  // A count whose byte size wraps the 64-bit multiplication: 2^62 + 1
+  // floats "need" 4 bytes after wrapping, which would slip past a naive
+  // `cursor + count*4 <= size` underflow check and allocate absurdly.
+  Writer writer;
+  writer.write_u64((1ULL << 62) + 1);
+  writer.write_f32(0.0f);
+  const auto bytes = writer.take();
+  Reader reader(bytes);
+  EXPECT_THROW(reader.read_f32_vector(), CheckError);
+}
+
+TEST(Serde, CorruptStringLengthRejectedWithoutAllocation) {
+  Writer writer;
+  writer.write_u32(0xFFFFFFFFu);  // 4 GB "string", no bytes behind it
+  const auto bytes = writer.take();
+  Reader reader(bytes);
+  EXPECT_THROW(reader.read_string(), CheckError);
+}
+
+TEST(Serde, CorruptPayloadRoundTrip) {
+  // Flipping the count of an otherwise valid payload must fail cleanly.
+  Writer writer;
+  writer.write_f32_vector({1.0f, 2.0f});
+  auto bytes = writer.take();
+  bytes[0] = 0xFF;  // little-endian low byte of the u64 count
+  Reader reader(bytes);
+  EXPECT_THROW(reader.read_f32_vector(), CheckError);
+}
+
 TEST(Mailbox, FifoOrder) {
   Mailbox mailbox;
   for (int i = 0; i < 5; ++i) {
@@ -92,6 +133,55 @@ TEST(Mailbox, CloseDrainsAndStops) {
   EXPECT_TRUE(mailbox.pop().has_value());   // drains remaining
   EXPECT_FALSE(mailbox.pop().has_value());  // then signals closed
   EXPECT_THROW(mailbox.push(Message{}), std::runtime_error);
+}
+
+TEST(Mailbox, PopForTimesOutOnEmpty) {
+  Mailbox mailbox;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(mailbox.pop_for(std::chrono::milliseconds(30)).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(25));
+  EXPECT_FALSE(mailbox.closed());  // timeout, not shutdown
+}
+
+TEST(Mailbox, PopForDeliversBeforeTimeout) {
+  Mailbox mailbox;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    Message message;
+    message.round = 9;
+    mailbox.push(std::move(message));
+  });
+  const auto message = mailbox.pop_for(std::chrono::seconds(10));
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(message->round, 9);
+  producer.join();
+}
+
+TEST(Mailbox, PopForOnClosedDrainedReportsShutdownNotStarvation) {
+  Mailbox mailbox;
+  mailbox.push(Message{});
+  mailbox.close();
+  EXPECT_TRUE(mailbox.closed());
+  EXPECT_TRUE(mailbox.pop_for(std::chrono::seconds(10)).has_value());
+  // Drained + closed: returns immediately (no timeout wait), and closed()
+  // tells the caller this is shutdown rather than an empty moment.
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(mailbox.pop_for(std::chrono::seconds(10)).has_value());
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(5));
+  EXPECT_TRUE(mailbox.closed());
+}
+
+TEST(Mailbox, TryPopDistinguishesClosedFromEmpty) {
+  Mailbox mailbox;
+  EXPECT_FALSE(mailbox.try_pop().has_value());
+  EXPECT_FALSE(mailbox.closed());  // momentarily empty
+  mailbox.push(Message{});
+  mailbox.close();
+  EXPECT_TRUE(mailbox.try_pop().has_value());   // close still drains
+  EXPECT_FALSE(mailbox.try_pop().has_value());
+  EXPECT_TRUE(mailbox.closed());  // closed and drained: shutdown
 }
 
 TEST(Mailbox, ConcurrentProducersConsumersLoseNothing) {
@@ -171,6 +261,112 @@ TEST(Router, DuplicateRegistrationThrows) {
   EXPECT_THROW(router.register_endpoint(kServerEndpoint,
                                         [](const Message&) {}),
                CheckError);
+}
+
+// Regression for the silent client-failure deadlock: a handler that throws
+// used to vanish into an abandoned future, leaving the server blocked in
+// pop() forever. It must now produce a kTrainError reply carrying the
+// exception text. Bounded by pop_for so a regression fails instead of
+// hanging the suite.
+TEST(Router, ThrowingHandlerRepliesWithTrainError) {
+  Router router(2);
+  router.register_endpoint(5, [](const Message&) {
+    throw std::runtime_error("boom");
+  });
+  Message request;
+  request.receiver = 5;
+  request.round = 3;
+  router.send(std::move(request));
+  const auto reply = router.server_mailbox().pop_for(std::chrono::seconds(30));
+  ASSERT_TRUE(reply.has_value()) << "error reply never arrived (deadlock bug)";
+  EXPECT_EQ(reply->type, MessageType::kTrainError);
+  EXPECT_EQ(reply->sender, 5);
+  EXPECT_EQ(reply->round, 3);
+  EXPECT_EQ(Router::error_text(*reply), "boom");
+}
+
+TEST(Router, NonStdExceptionAlsoRepliesWithTrainError) {
+  Router router(1);
+  router.register_endpoint(0, [](const Message&) { throw 42; });
+  Message request;
+  request.receiver = 0;
+  router.send(std::move(request));
+  const auto reply = router.server_mailbox().pop_for(std::chrono::seconds(30));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, MessageType::kTrainError);
+  EXPECT_EQ(Router::error_text(*reply), "unknown error");
+}
+
+TEST(Router, FaultInjectionRateOneFailsEveryDispatch) {
+  Router router(2);
+  std::atomic<int> handler_runs{0};
+  for (int e = 0; e < 4; ++e) {
+    router.register_endpoint(e, [&](const Message&) { ++handler_runs; });
+  }
+  FaultConfig fault;
+  fault.failure_rate = 1.0f;
+  fault.seed = 17;
+  router.set_fault_injection(fault);
+  for (int e = 0; e < 4; ++e) {
+    Message request;
+    request.receiver = e;
+    router.send(std::move(request));
+  }
+  for (int i = 0; i < 4; ++i) {
+    const auto reply =
+        router.server_mailbox().pop_for(std::chrono::seconds(30));
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->type, MessageType::kTrainError);
+    EXPECT_EQ(Router::error_text(*reply), "injected handler fault");
+  }
+  EXPECT_EQ(handler_runs.load(), 0);
+}
+
+TEST(Router, FaultInjectionIsDeterministicPerSeed) {
+  // Same seed => identical (sender, round, outcome) set; the decision is a
+  // pure function of the fault stream, independent of pool interleaving.
+  auto run = [](std::uint64_t seed) {
+    Router router(3);
+    for (int e = 0; e < 6; ++e) {
+      router.register_endpoint(e, [&router, e](const Message& request) {
+        Message response;
+        response.type = MessageType::kTrainResponse;
+        response.sender = e;
+        response.receiver = kServerEndpoint;
+        response.round = request.round;
+        router.send(std::move(response));
+      });
+    }
+    FaultConfig fault;
+    fault.failure_rate = 0.5f;
+    fault.seed = seed;
+    router.set_fault_injection(fault);
+    for (int round = 0; round < 4; ++round) {
+      for (int e = 0; e < 6; ++e) {
+        Message request;
+        request.receiver = e;
+        request.round = round;
+        router.send(std::move(request));
+      }
+    }
+    std::set<std::tuple<int, int, bool>> outcomes;
+    for (int i = 0; i < 24; ++i) {
+      const auto reply =
+          router.server_mailbox().pop_for(std::chrono::seconds(30));
+      EXPECT_TRUE(reply.has_value());
+      if (!reply.has_value()) break;
+      outcomes.emplace(reply->sender, reply->round,
+                       reply->type == MessageType::kTrainError);
+    }
+    return outcomes;
+  };
+  const auto first = run(99);
+  const auto second = run(99);
+  EXPECT_EQ(first, second);
+  int failures = 0;
+  for (const auto& [sender, round, failed] : first) failures += failed ? 1 : 0;
+  EXPECT_GT(failures, 0);   // p = 0.5 over 24 draws
+  EXPECT_LT(failures, 24);
 }
 
 TEST(Router, ManyConcurrentRequests) {

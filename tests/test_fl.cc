@@ -1,7 +1,14 @@
 // Tests for the federated runtime: aggregation math, update serialization,
-// federated dataset construction, the linear probe, and the runner.
+// federated dataset construction, the linear probe, the runner, and the
+// fault-tolerant round loop.
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <functional>
+#include <map>
+#include <mutex>
 #include <set>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -222,6 +229,211 @@ TEST(EncoderHeadModel, TrainSupervisedLearnsLocalData) {
   const double after = evaluate_accuracy(model, dataset);
   EXPECT_GT(after, 0.95);
   EXPECT_GE(after, before);
+}
+
+// --- fault-tolerant round loop ----------------------------------------------
+
+// Minimal algorithm for runner fault-tolerance tests: a trivial
+// two-parameter model with a per-update callback for injecting failures,
+// latency, or recording which clients actually trained.
+class ToyAlgorithm : public Algorithm {
+ public:
+  using UpdateHook = std::function<void(const ClientContext&)>;
+  explicit ToyAlgorithm(const FlConfig& config, UpdateHook hook = nullptr)
+      : Algorithm(config), hook_(std::move(hook)) {}
+  std::string name() const override { return "Toy"; }
+  nn::ModelState initialize() override {
+    return nn::ModelState(std::vector<float>{1.0f, -1.0f});
+  }
+  ClientUpdate local_update(const nn::ModelState& global,
+                            const ClientContext& ctx) override {
+    if (hook_) hook_(ctx);
+    ClientUpdate update;
+    std::vector<float> values = global.values();
+    for (float& value : values) {
+      value += 0.5f + 0.25f * static_cast<float>(ctx.client_id);
+    }
+    update.state = nn::ModelState(std::move(values));
+    return update;
+  }
+  double personalize(const nn::ModelState&,
+                     const PersonalizationContext&) override {
+    return 0.5;
+  }
+
+ private:
+  UpdateHook hook_;
+};
+
+FedDataset toy_fed(int clients) {
+  FedDataset fed;
+  fed.train.resize(static_cast<std::size_t>(clients));
+  fed.test.resize(static_cast<std::size_t>(clients));
+  fed.ssl_pool.resize(static_cast<std::size_t>(clients));
+  fed.num_classes = 2;
+  fed.input_dim = 1;
+  return fed;
+}
+
+FlConfig toy_config(int clients) {
+  FlConfig config;
+  config.rounds = 2;
+  config.clients_per_round = clients;
+  config.num_train_clients = clients;
+  config.threads = 3;
+  config.seed = 21;
+  return config;
+}
+
+// Regression for the silent client-failure deadlock: a local_update that
+// throws used to strand the server in pop() forever. The round must now
+// complete with a recorded failure, not a timeout and not a hang (the
+// deadline below only bounds the damage if the bug ever resurfaces).
+TEST(RunnerFaults, ThrowingClientYieldsFailedRoundNotDeadlock) {
+  const int clients = 4;
+  FlConfig config = toy_config(clients);
+  config.rounds = 3;
+  config.round_deadline_ms = 30000;
+  ToyAlgorithm algorithm(config, [](const ClientContext& ctx) {
+    if (ctx.client_id == 0) throw std::runtime_error("synthetic failure");
+  });
+  const FedDataset fed = toy_fed(clients);
+  const RunResult result = run_federated(algorithm, fed, false);
+  ASSERT_EQ(result.history.size(), 3u);
+  for (const RoundStats& round : result.history) {
+    EXPECT_EQ(round.participants, 3);
+    EXPECT_EQ(round.failures, 1);
+    EXPECT_EQ(round.timeouts, 0) << "failure was lost instead of replied";
+    EXPECT_EQ(round.retries, 0);
+  }
+}
+
+TEST(RunnerFaults, BoundedRetryRecoversTransientFailure) {
+  const int clients = 3;
+  FlConfig config = toy_config(clients);
+  config.rounds = 1;
+  config.max_client_retries = 1;
+  std::atomic<int> attempts{0};
+  ToyAlgorithm algorithm(config, [&](const ClientContext& ctx) {
+    if (ctx.client_id == 1 && attempts.fetch_add(1) == 0) {
+      throw std::runtime_error("transient");
+    }
+  });
+  const FedDataset fed = toy_fed(clients);
+  const RunResult result = run_federated(algorithm, fed, false);
+  ASSERT_EQ(result.history.size(), 1u);
+  EXPECT_EQ(result.history[0].participants, 3);
+  EXPECT_EQ(result.history[0].failures, 1);
+  EXPECT_EQ(result.history[0].retries, 1);
+  EXPECT_EQ(result.history[0].timeouts, 0);
+}
+
+TEST(RunnerFaults, FullyFailedRoundKeepsGlobalState) {
+  const int clients = 3;
+  FlConfig config = toy_config(clients);
+  config.rounds = 2;
+  ToyAlgorithm algorithm(config, [](const ClientContext& ctx) {
+    if (ctx.round == 0) throw std::runtime_error("bad round");
+  });
+  const FedDataset fed = toy_fed(clients);
+  const RunResult result = run_federated(algorithm, fed, false);
+  ASSERT_EQ(result.history.size(), 2u);
+  EXPECT_EQ(result.history[0].participants, 0);
+  EXPECT_EQ(result.history[0].failures, 3);
+  EXPECT_EQ(result.history[1].participants, 3);
+  EXPECT_EQ(result.history[1].failures, 0);
+  // Round 1 aggregated on top of the *initial* state, untouched by round 0.
+  // Mean client bump: 0.5 + 0.25 * mean(client_id) = 0.75.
+  EXPECT_FLOAT_EQ(result.final_state.values()[0], 1.75f);
+  EXPECT_FLOAT_EQ(result.final_state.values()[1], -0.25f);
+}
+
+TEST(RunnerFaults, DeadlineCutsStragglersAndDiscardsLateReplies) {
+  const int clients = 4;
+  FlConfig config = toy_config(clients);
+  config.rounds = 2;
+  config.round_deadline_ms = 800;
+  config.min_participants = 3;
+  // Round 0: client 0 outlives the deadline, replying mid-round-1.
+  // Round 1: client 1 outlives the deadline and the whole run.
+  ToyAlgorithm algorithm(config, [](const ClientContext& ctx) {
+    if (ctx.round == 0 && ctx.client_id == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1200));
+    }
+    if (ctx.round == 1 && ctx.client_id == 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(3000));
+    }
+  });
+  const FedDataset fed = toy_fed(clients);
+  const RunResult result = run_federated(algorithm, fed, false);
+  ASSERT_EQ(result.history.size(), 2u);
+  EXPECT_EQ(result.history[0].participants, 3);
+  EXPECT_EQ(result.history[0].timeouts, 1);
+  EXPECT_EQ(result.history[0].late_dropped, 0);
+  EXPECT_EQ(result.history[1].participants, 3);
+  EXPECT_EQ(result.history[1].timeouts, 1);
+  // Client 0's stale round-0 reply arrived during round 1 and was
+  // discarded by round tag instead of corrupting the aggregation.
+  EXPECT_EQ(result.history[1].late_dropped, 1);
+}
+
+TEST(RunnerFaults, InjectedFaultsAreDeterministicAcrossRuns) {
+  const int clients = 5;
+  FlConfig config = toy_config(clients);
+  config.rounds = 3;
+  config.fault_rate = 0.4f;
+  config.max_client_retries = 1;
+  const FedDataset fed = toy_fed(clients);
+  auto run = [&] {
+    ToyAlgorithm algorithm(config);
+    return run_federated(algorithm, fed, false);
+  };
+  const RunResult first = run();
+  const RunResult second = run();
+  ASSERT_EQ(first.history.size(), second.history.size());
+  int total_failures = 0;
+  for (std::size_t r = 0; r < first.history.size(); ++r) {
+    EXPECT_EQ(first.history[r].participants, second.history[r].participants);
+    EXPECT_EQ(first.history[r].failures, second.history[r].failures);
+    EXPECT_EQ(first.history[r].retries, second.history[r].retries);
+    total_failures += first.history[r].failures;
+  }
+  EXPECT_GT(total_failures, 0);  // p = 0.4 over 15+ dispatches
+  EXPECT_EQ(first.final_state.values(), second.final_state.values());
+}
+
+TEST(RunnerDropout, DropoutStreamDoesNotPerturbSampling) {
+  // Dropout coins must come from their own stream: with a shared stream,
+  // merely changing --dropout changed *which clients are sampled* in every
+  // later round. The dropped-out run's per-round participants must be a
+  // subset of the fault-free run's samples.
+  const int clients = 6;
+  auto participants_by_round = [&](float dropout) {
+    FlConfig config = toy_config(clients);
+    config.rounds = 6;
+    config.clients_per_round = 3;
+    config.client_dropout_rate = dropout;
+    std::mutex mutex;
+    std::map<int, std::set<int>> by_round;
+    ToyAlgorithm algorithm(config, [&](const ClientContext& ctx) {
+      std::lock_guard<std::mutex> lock(mutex);
+      by_round[ctx.round].insert(ctx.client_id);
+    });
+    const FedDataset fed = toy_fed(clients);
+    run_federated(algorithm, fed, false);
+    return by_round;
+  };
+  const auto full = participants_by_round(0.0f);
+  const auto dropped = participants_by_round(0.45f);
+  ASSERT_EQ(full.size(), 6u);
+  for (const auto& [round, ids] : dropped) {
+    const auto& sampled = full.at(round);
+    for (const int id : ids) {
+      EXPECT_TRUE(sampled.count(id))
+          << "round " << round << ": client " << id
+          << " trained only because dropout perturbed the sampling stream";
+    }
+  }
 }
 
 TEST(DeriveSeed, DeterministicAndDistinct) {
