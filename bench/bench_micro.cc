@@ -24,6 +24,7 @@
 #include "cluster/kmeans.h"
 #include "comm/router.h"
 #include "common/thread_pool.h"
+#include "core/pfl_ssl.h"
 #include "core/prototype_loss.h"
 #include "fl/algorithm.h"
 #include "metrics/tsne.h"
@@ -32,6 +33,7 @@
 #include "nn/optim.h"
 #include "ssl/simclr.h"
 #include "tensor/kernels.h"
+#include "tensor/pool.h"
 
 namespace {
 
@@ -295,7 +297,7 @@ std::vector<int> assign_naive(const tensor::Tensor& points,
   return assignments;
 }
 
-void dump_kernel_json(const char* path) {
+std::vector<KernelEntry> collect_kernel_entries() {
   rng::Generator gen(97);
   std::vector<KernelEntry> entries;
 
@@ -391,13 +393,17 @@ void dump_kernel_json(const char* path) {
     }
   }
 
-  // NT-Xent forward+backward trajectory entry (no scalar baseline kept for
-  // the full graph; baseline_seconds = 0 means "trajectory only").
+  // NT-Xent forward+backward trajectory entry. No scalar baseline exists
+  // for the full autograd graph, so the JSON writer omits the baseline and
+  // speedup fields for this entry instead of reporting zeros. The flop
+  // count covers the three dominating GEMMs (z·zᵀ forward, G·z + Gᵀ·z
+  // backward), so gflops understates the true rate slightly.
   {
     rng::Generator g2(98);
     const auto h = tensor::Tensor::randn(256, 64, g2);
     KernelEntry e;
     e.name = "ntxent_fwd_bwd_256x64";
+    e.flops = 3.0 * 2.0 * 256.0 * 256.0 * 64.0;
     e.seconds = time_best(
         [&] {
           const ag::VarPtr leaf = ag::parameter(h);
@@ -409,45 +415,248 @@ void dump_kernel_json(const char* path) {
     entries.push_back(e);
   }
 
-  std::ofstream out(path);
-  out << "{\n  \"generated_by\": \"bench_micro\",\n  \"threads\": "
-      << common::ThreadPool::default_parallelism() << ",\n  \"entries\": [\n";
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    const KernelEntry& e = entries[i];
-    const double gflops =
-        e.seconds > 0.0 && e.flops > 0.0 ? e.flops / e.seconds / 1e9 : 0.0;
+  return entries;
+}
+
+// One "{...}" JSON object line for a kernel entry. Entries without a
+// baseline (baseline_seconds == 0) drop the baseline/speedup fields rather
+// than reporting meaningless zeros.
+std::string kernel_entry_json(const KernelEntry& e, bool last) {
+  const double gflops =
+      e.seconds > 0.0 && e.flops > 0.0 ? e.flops / e.seconds / 1e9 : 0.0;
+  char buffer[512];
+  if (e.baseline_seconds > 0.0) {
     const double baseline_gflops =
-        e.baseline_seconds > 0.0 && e.flops > 0.0
-            ? e.flops / e.baseline_seconds / 1e9
-            : 0.0;
+        e.flops > 0.0 ? e.flops / e.baseline_seconds / 1e9 : 0.0;
     const double speedup =
-        e.seconds > 0.0 && e.baseline_seconds > 0.0
-            ? e.baseline_seconds / e.seconds
-            : 0.0;
-    char buffer[512];
+        e.seconds > 0.0 ? e.baseline_seconds / e.seconds : 0.0;
     std::snprintf(buffer, sizeof(buffer),
-                  "    {\"name\": \"%s\", \"flops\": %.0f, "
+                  "      {\"name\": \"%s\", \"flops\": %.0f, "
                   "\"seconds\": %.6e, \"gflops\": %.3f, "
                   "\"baseline_seconds\": %.6e, \"baseline_gflops\": %.3f, "
                   "\"speedup\": %.2f}%s\n",
                   e.name.c_str(), e.flops, e.seconds, gflops,
                   e.baseline_seconds, baseline_gflops, speedup,
-                  i + 1 < entries.size() ? "," : "");
-    out << buffer;
+                  last ? "" : ",");
     std::printf("[kernels] %-32s %8.3f GFLOP/s  (baseline %8.3f, %.2fx)\n",
                 e.name.c_str(), gflops, baseline_gflops, speedup);
+  } else {
+    std::snprintf(buffer, sizeof(buffer),
+                  "      {\"name\": \"%s\", \"flops\": %.0f, "
+                  "\"seconds\": %.6e, \"gflops\": %.3f}%s\n",
+                  e.name.c_str(), e.flops, e.seconds, gflops,
+                  last ? "" : ",");
+    std::printf("[kernels] %-32s %8.3f GFLOP/s  (no baseline)\n",
+                e.name.c_str(), gflops);
   }
+  return buffer;
+}
+
+// Times the kernel suite twice — single-threaded (parallelism forced off)
+// and at default parallelism — and writes both runs to one JSON file:
+//   {"runs": [{"threads": 1, "entries": [...]},
+//             {"threads": N, "entries": [...]}]}
+void dump_kernel_json(const char* path) {
+  std::ofstream out(path);
+  out << "{\n  \"generated_by\": \"bench_micro\",\n  \"runs\": [\n";
+  const int default_threads =
+      static_cast<int>(common::ThreadPool::default_parallelism());
+  const struct {
+    int threads;
+    std::int64_t override_value;
+  } runs[] = {{1, -1}, {default_threads, 0}};
+  for (std::size_t r = 0; r < 2; ++r) {
+    std::printf("[kernels] --- threads=%d ---\n", runs[r].threads);
+    tensor::kernels::set_parallel_threshold_override(runs[r].override_value);
+    const std::vector<KernelEntry> entries = collect_kernel_entries();
+    out << "    {\"threads\": " << runs[r].threads << ", \"entries\": [\n";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      out << kernel_entry_json(entries[i], i + 1 == entries.size());
+    }
+    out << "    ]}" << (r + 1 < 2 ? "," : "") << "\n";
+  }
+  tensor::kernels::set_parallel_threshold_override(0);
   out << "  ]\n}\n";
   std::printf("[kernels] wrote %s\n", path);
+}
+
+// --- BENCH_train_step.json ---------------------------------------------------
+//
+// End-to-end cost of one full PflSsl::local_update (Algorithm 1's client
+// step: augment two views, SSL forward, backward, SGD step) per SSL method,
+// in three configurations:
+//  * "pooled"   — fused graphs + tensor pool (this tree's training step);
+//  * "pool_off" — fused graphs, CALIBRE_TENSOR_POOL kill-switch off (every
+//                 buffer freshly allocated and zeroed), isolating the pool;
+//  * "baseline" — composite graphs (ag::set_fused_graphs(false)) AND pool
+//                 off: the step as it ran before the pooled-storage +
+//                 fused-op layer existed, which is what the headline
+//                 "speedup" compares against.
+// steps/sec counts optimizer steps; allocations/step is the pool's miss
+// counter (real heap allocations on the calling thread) divided by the
+// optimizer steps in one call.
+
+struct TrainStepRun {
+  double seconds_per_call = 0.0;
+  double steps_per_sec = 0.0;
+  double allocs_per_step = 0.0;
+};
+
+struct TrainStepEntry {
+  std::string method;
+  int steps_per_call = 0;
+  TrainStepRun pooled;
+  TrainStepRun pool_off;
+  TrainStepRun baseline;
+};
+
+TrainStepEntry time_train_step(ssl::Kind kind) {
+  fl::FlConfig config;
+  config.local_epochs = 1;
+  config.batch_size = 32;
+  config.seed = 1234;
+  core::PflSsl algo(config, kind);
+  const nn::ModelState global = algo.initialize();
+
+  rng::Generator gen(55);
+  const tensor::Tensor ssl_pool =
+      tensor::Tensor::randn(256, config.encoder.input_dim, gen);
+  fl::ClientContext ctx;
+  ctx.client_id = 0;
+  ctx.round = 0;
+  ctx.ssl_pool = &ssl_pool;
+  ctx.seed = 77;
+
+  TrainStepEntry entry;
+  entry.method = ssl::kind_name(kind);
+  entry.steps_per_call =
+      static_cast<int>((ssl_pool.rows() + config.batch_size - 1) /
+                       config.batch_size) *
+      config.local_epochs;
+
+  const auto one_call = [&] {
+    benchmark::DoNotOptimize(algo.local_update(global, ctx));
+  };
+  const auto measure = [&](bool fused, bool pooled) {
+    ag::set_fused_graphs(fused);
+    tensor::pool::set_enabled(pooled);
+    one_call();  // warmup: populates (or drains) the free lists
+    tensor::pool::reset_thread_stats();
+    one_call();
+    const tensor::pool::Stats stats = tensor::pool::thread_stats();
+    TrainStepRun run;
+    run.allocs_per_step = static_cast<double>(stats.misses) /
+                          static_cast<double>(entry.steps_per_call);
+    run.seconds_per_call = time_best(one_call, 5);
+    run.steps_per_sec =
+        static_cast<double>(entry.steps_per_call) / run.seconds_per_call;
+    return run;
+  };
+  entry.baseline = measure(/*fused=*/false, /*pooled=*/false);
+  entry.pool_off = measure(/*fused=*/true, /*pooled=*/false);
+  entry.pooled = measure(/*fused=*/true, /*pooled=*/true);
+  ag::set_fused_graphs(true);
+  tensor::pool::set_enabled(true);
+  return entry;
+}
+
+void dump_train_step_json(const char* path) {
+  const ssl::Kind kinds[] = {ssl::Kind::kSimClr, ssl::Kind::kByol,
+                             ssl::Kind::kSimSiam};
+  std::vector<TrainStepEntry> entries;
+  for (const ssl::Kind kind : kinds) entries.push_back(time_train_step(kind));
+
+  std::ofstream out(path);
+  out << "{\n  \"generated_by\": \"bench_micro\",\n"
+      << "  \"suite\": \"train_step\",\n"
+      << "  \"threads\": " << common::ThreadPool::default_parallelism()
+      << ",\n  \"local_epochs\": 1,\n  \"batch_size\": 32,\n"
+      << "  \"pool_rows\": 256,\n  \"methods\": [\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const TrainStepEntry& e = entries[i];
+    const double speedup = e.baseline.steps_per_sec > 0.0
+                               ? e.pooled.steps_per_sec /
+                                     e.baseline.steps_per_sec
+                               : 0.0;
+    const double pool_only_speedup =
+        e.pool_off.steps_per_sec > 0.0
+            ? e.pooled.steps_per_sec / e.pool_off.steps_per_sec
+            : 0.0;
+    // A fully warm pool serves an entire call with zero heap allocations, so
+    // floor the denominator at "one allocation per call": the reported
+    // reduction is then a lower bound rather than a division by zero.
+    const double pooled_floor =
+        std::max(e.pooled.allocs_per_step,
+                 1.0 / static_cast<double>(e.steps_per_call));
+    const double alloc_reduction = e.baseline.allocs_per_step / pooled_floor;
+    char buffer[1024];
+    std::snprintf(
+        buffer, sizeof(buffer),
+        "    {\"method\": \"%s\", \"steps_per_call\": %d,\n"
+        "     \"pooled\": {\"seconds_per_call\": %.6e, "
+        "\"steps_per_sec\": %.2f, \"allocs_per_step\": %.1f},\n"
+        "     \"pool_off\": {\"seconds_per_call\": %.6e, "
+        "\"steps_per_sec\": %.2f, \"allocs_per_step\": %.1f},\n"
+        "     \"baseline\": {\"seconds_per_call\": %.6e, "
+        "\"steps_per_sec\": %.2f, \"allocs_per_step\": %.1f},\n"
+        "     \"speedup\": %.2f, \"pool_only_speedup\": %.2f, "
+        "\"alloc_reduction_at_least\": %.1f}%s\n",
+        e.method.c_str(), e.steps_per_call, e.pooled.seconds_per_call,
+        e.pooled.steps_per_sec, e.pooled.allocs_per_step,
+        e.pool_off.seconds_per_call, e.pool_off.steps_per_sec,
+        e.pool_off.allocs_per_step, e.baseline.seconds_per_call,
+        e.baseline.steps_per_sec, e.baseline.allocs_per_step, speedup,
+        pool_only_speedup, alloc_reduction,
+        i + 1 < entries.size() ? "," : "");
+    out << buffer;
+    std::printf(
+        "[train_step] %-10s %8.1f steps/s pooled vs %8.1f pool-off vs "
+        "%8.1f baseline (%.2fx, pool-only %.2fx), %5.1f vs %5.1f "
+        "allocs/step (>=%.0fx fewer)\n",
+        e.method.c_str(), e.pooled.steps_per_sec, e.pool_off.steps_per_sec,
+        e.baseline.steps_per_sec, speedup, pool_only_speedup,
+        e.pooled.allocs_per_step, e.baseline.allocs_per_step,
+        alloc_reduction);
+  }
+  out << "  ]\n}\n";
+  std::printf("[train_step] wrote %s\n", path);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --suite {kernels|train_step|all} selects which JSON dump(s) run after
+  // the google-benchmark suite. Parsed (and stripped) before
+  // benchmark::Initialize so the library never sees the flag.
+  std::string suite = "all";
+  int out_argc = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--suite=", 0) == 0) {
+      suite = arg.substr(8);
+    } else if (arg == "--suite" && i + 1 < argc) {
+      suite = argv[++i];
+    } else {
+      argv[out_argc++] = argv[i];
+    }
+  }
+  argc = out_argc;
+  if (suite != "all" && suite != "kernels" && suite != "train_step") {
+    std::fprintf(stderr,
+                 "unknown --suite '%s' (expected kernels|train_step|all)\n",
+                 suite.c_str());
+    return 1;
+  }
+
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  dump_kernel_json("BENCH_kernels.json");
+  if (suite == "all" || suite == "kernels") {
+    dump_kernel_json("BENCH_kernels.json");
+  }
+  if (suite == "all" || suite == "train_step") {
+    dump_train_step_json("BENCH_train_step.json");
+  }
   return 0;
 }

@@ -15,6 +15,18 @@
 
 namespace calibre::ag {
 
+// Process-wide switch between the fused primitives below and the equivalent
+// composite graphs built from the elementary ops (the form the library used
+// before the fused layer existed). Default on; CALIBRE_FUSED_GRAPHS=0 (env,
+// read once) or set_fused_graphs(false) selects the composite form. The two
+// forms differ in float rounding (different operation order), so this is NOT
+// the bitwise kill-switch — that is CALIBRE_TENSOR_POOL, which only changes
+// storage. The composite form exists (a) to cross-check the hand-derived
+// fused backwards against graphs gradcheck already covers, and (b) as the
+// seed-equivalent training step the train_step bench measures against.
+bool fused_graphs();
+void set_fused_graphs(bool on);
+
 // --- binary elementwise (2-D broadcasting) ----------------------------------
 VarPtr add(const VarPtr& a, const VarPtr& b);
 VarPtr sub(const VarPtr& a, const VarPtr& b);
@@ -60,22 +72,35 @@ VarPtr take_rows(const VarPtr& a, std::vector<int> indices);
 // Cuts the graph: returns a constant holding a's current value.
 VarPtr detach(const VarPtr& a);
 
-// --- composites (built from primitives; no bespoke backward) -------------------------
+// --- composites & fused primitives ------------------------------------------
 // Mean over all elements -> scalar.
 VarPtr mean_all(const VarPtr& a);
 // Row-wise mean -> [N,1].
 VarPtr row_mean(const VarPtr& a);
-// Numerically stable row-wise log-softmax (max-shift treated as constant,
-// which yields the exact gradient by softmax shift invariance).
+// Numerically stable row-wise log-softmax. Fused primitive: single-pass
+// forward kernel, analytic backward g - softmax(x)·rowsum(g).
 VarPtr log_softmax(const VarPtr& a);
-// Row-wise softmax.
+// Row-wise softmax. Fused primitive: backward s⊙(g - rowsum(g⊙s)).
 VarPtr softmax(const VarPtr& a);
+// Fused NT-Xent logits for [2N,D] normalised embeddings z: (z·zᵀ)/T with the
+// self-similarity diagonal masked to -1e9 in the same pass. Backward routes
+// dL/dz = (G + Gᵀ)·z / T (diagonal of G zeroed) through accumulating GEMMs.
+VarPtr ntxent_logits(const VarPtr& z, float temperature);
+// Fused affine map x·W + b (b broadcast over rows; may be null). One node
+// instead of matmul+add; backward feeds dL/dW and dL/db directly.
+VarPtr affine(const VarPtr& x, const VarPtr& w, const VarPtr& b);
+// Fused per-row layer normalisation (x - mean)/sqrt(var + eps) * gamma +
+// beta, one node instead of the 9-node composite chain.
+VarPtr layer_norm(const VarPtr& x, const VarPtr& gamma, const VarPtr& beta,
+                  float eps);
 // Mean negative log-likelihood of integer labels under row-softmax of logits.
 VarPtr cross_entropy(const VarPtr& logits, const std::vector<int>& labels);
 // Cross entropy against a fixed soft target distribution (rows sum to 1).
 VarPtr cross_entropy_soft(const VarPtr& logits,
                           const tensor::Tensor& targets);
-// Row-wise L2 normalisation with epsilon inside the square root.
+// Row-wise L2 normalisation with epsilon inside the square root. Fused
+// primitive: one forward pass producing rows/norms, analytic backward
+// (g - y·(g·y)) / n per row.
 VarPtr l2_normalize(const VarPtr& a, float eps = 1e-8f);
 // Mean squared error against a fixed target.
 VarPtr mse(const VarPtr& a, const tensor::Tensor& target);

@@ -43,6 +43,11 @@ class Variable {
 
   // Adds `g` (shaped like value) into grad, allocating on first use.
   void accumulate_grad(const tensor::Tensor& g);
+  // Move-aware variant: on the first accumulation the storage is stolen
+  // instead of copied. Backward closures use this for gradients they are
+  // done with (an interior node's grad is consumed exactly once, in reverse
+  // topological order).
+  void accumulate_grad(tensor::Tensor&& g);
 
   // Resets the gradient buffer to zeros (keeps allocation if present).
   void zero_grad();

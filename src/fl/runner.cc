@@ -133,16 +133,25 @@ RunResult run_federated(Algorithm& algorithm, const FedDataset& fed,
                  static_cast<int>(selected.size()));
     std::unordered_set<int> pending(selected.begin(), selected.end());
     std::unordered_map<int, int> retries_used;
+    // Updates are tagged with the sender's selection rank and sorted before
+    // aggregation: reply arrival order depends on thread scheduling, and
+    // float summation is order-sensitive, so aggregating in arrival order
+    // would break the bit-for-bit reproducibility the runtime promises.
+    std::unordered_map<int, int> selection_rank;
+    selection_rank.reserve(selected.size());
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+      selection_rank[selected[i]] = static_cast<int>(i);
+    }
     bool deadline_fired = false;
-    std::vector<ClientUpdate> updates;
-    updates.reserve(selected.size());
+    std::vector<std::pair<int, ClientUpdate>> arrived;
+    arrived.reserve(selected.size());
     while (!pending.empty()) {
       std::optional<comm::Message> response;
       if (has_deadline && !deadline_fired) {
         response = router.server_mailbox().pop_until(deadline);
         if (!response.has_value() && !router.server_mailbox().closed()) {
           deadline_fired = true;
-          if (static_cast<int>(updates.size()) >= quorum) break;
+          if (static_cast<int>(arrived.size()) >= quorum) break;
           continue;  // below quorum: keep waiting, replies are guaranteed
         }
       } else {
@@ -176,10 +185,16 @@ RunResult run_federated(Algorithm& algorithm, const FedDataset& fed,
       }
       CALIBRE_CHECK(response->type == comm::MessageType::kTrainResponse);
       if (pending.erase(response->sender) == 0) continue;
-      updates.push_back(deserialize_update(response->payload));
-      if (deadline_fired && static_cast<int>(updates.size()) >= quorum) break;
+      arrived.emplace_back(selection_rank[response->sender],
+                           deserialize_update(response->payload));
+      if (deadline_fired && static_cast<int>(arrived.size()) >= quorum) break;
     }
     round_stats.timeouts = static_cast<int>(pending.size());
+    std::sort(arrived.begin(), arrived.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<ClientUpdate> updates;
+    updates.reserve(arrived.size());
+    for (auto& [rank, update] : arrived) updates.push_back(std::move(update));
 
     // Partial aggregation: whatever arrived forms the next global state. A
     // fully failed round (every client errored out) keeps the state as-is

@@ -23,9 +23,7 @@ ag::VarPtr Linear::forward(const ag::VarPtr& x) {
   CALIBRE_CHECK_MSG(x->value.cols() == in_features_,
                     "Linear expects " << in_features_ << " features, got "
                                       << x->value.shape_string());
-  ag::VarPtr out = ag::matmul(x, weight_);
-  if (bias_) out = ag::add(out, bias_);
-  return out;
+  return ag::affine(x, weight_, bias_);
 }
 
 void Linear::collect_parameters(std::vector<ag::VarPtr>& out) const {
@@ -44,12 +42,7 @@ ag::VarPtr LayerNorm::forward(const ag::VarPtr& x) {
   CALIBRE_CHECK_MSG(x->value.cols() == features_,
                     "LayerNorm expects " << features_ << " features, got "
                                          << x->value.shape_string());
-  const ag::VarPtr mean = ag::row_mean(x);                      // [N,1]
-  const ag::VarPtr centered = ag::sub(x, mean);                 // [N,D]
-  const ag::VarPtr variance = ag::row_mean(ag::square(centered));
-  const ag::VarPtr stddev = ag::sqrt(ag::add_scalar(variance, eps_));
-  const ag::VarPtr normalized = ag::div(centered, stddev);
-  return ag::add(ag::mul(normalized, gamma_), beta_);
+  return ag::layer_norm(x, gamma_, beta_, eps_);
 }
 
 void LayerNorm::collect_parameters(std::vector<ag::VarPtr>& out) const {

@@ -13,13 +13,10 @@ ag::VarPtr ntxent(const ag::VarPtr& embeddings, float temperature) {
   const std::int64_t n = total / 2;
 
   const ag::VarPtr z = ag::l2_normalize(embeddings);
-  // Full [2N,2N] similarity matrix in one fused z·zᵀ GEMM (no transposed
-  // copy of the embedding matrix on either the forward or backward pass).
-  ag::VarPtr sim = ag::mul_scalar(ag::matmul_nt(z, z), 1.0f / temperature);
-  // Mask self-similarity so a row cannot pick itself as its positive.
-  tensor::Tensor diag_mask(total, total);
-  for (std::int64_t i = 0; i < total; ++i) diag_mask(i, i) = -1e9f;
-  sim = ag::add(sim, ag::constant(diag_mask));
+  // Fused [2N,2N] similarity: one z·zᵀ GEMM with the 1/T scale and the
+  // self-similarity mask applied in the same pass (no scaled copy and no
+  // materialized mask constant).
+  const ag::VarPtr sim = ag::ntxent_logits(z, temperature);
 
   std::vector<int> positives(static_cast<std::size_t>(total));
   for (std::int64_t i = 0; i < total; ++i) {

@@ -20,7 +20,7 @@ ModelState ModelState::from_parameters(const std::vector<ag::VarPtr>& params) {
   std::vector<float> values;
   values.reserve(total);
   for (const ag::VarPtr& p : params) {
-    const std::vector<float>& storage = p->value.storage();
+    const auto& storage = p->value.storage();
     values.insert(values.end(), storage.begin(), storage.end());
   }
   return ModelState(std::move(values));

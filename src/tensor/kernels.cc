@@ -1,6 +1,7 @@
 #include "tensor/kernels.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <vector>
 
@@ -211,7 +212,27 @@ void row_sq_norms_impl(std::int64_t n, std::int64_t k, const float* a,
 
 }  // namespace
 
+namespace {
+
+// Runtime override of the parallelism threshold (0 = none; see the setter).
+// The bench harness uses it to time the same kernels serial vs parallel in
+// one process, which the env-var path (read once into a static) cannot do.
+std::atomic<std::int64_t>& threshold_override() {
+  static std::atomic<std::int64_t> value{0};
+  return value;
+}
+
+}  // namespace
+
+void set_parallel_threshold_override(std::int64_t flops) {
+  threshold_override().store(flops, std::memory_order_relaxed);
+}
+
 std::int64_t parallel_flop_threshold() {
+  const std::int64_t forced =
+      threshold_override().load(std::memory_order_relaxed);
+  if (forced < 0) return -1;  // <= 0 disables parallelism (see caller)
+  if (forced > 0) return forced;
   // ~2 MFLOP: a 128x128x64 product. Below this, thread dispatch costs more
   // than the arithmetic saved; per-client batches in the FL loop sit well
   // under it and stay serial.

@@ -50,6 +50,12 @@ namespace calibre::tensor::kernels {
 // variable; values <= 0 disable kernel parallelism entirely.
 std::int64_t parallel_flop_threshold();
 
+// Runtime override of the threshold (takes precedence over the env var):
+// 0 restores the default, negative forces serial execution, positive sets
+// the threshold directly. Used by the bench harness to time the same kernel
+// serial and parallel within one process.
+void set_parallel_threshold_override(std::int64_t flops);
+
 // Raw row-major kernels. Output `c` accumulates: callers must pass
 // zero-initialised (or partial-result) storage. All pointers reference
 // dense row-major buffers; `c` must not alias `a` or `b`.

@@ -10,18 +10,28 @@
 
 namespace calibre::tensor {
 
-Tensor::Tensor(std::int64_t rows, std::int64_t cols)
-    : rows_(rows),
-      cols_(cols),
-      data_(static_cast<std::size_t>(rows * cols), 0.0f) {
+// The pool allocator default-initialises elements (no memset), so the
+// uninit path is a pure buffer acquisition; the public shape constructor
+// fills explicitly to keep its zero-init contract.
+Tensor::Tensor(std::int64_t rows, std::int64_t cols, UninitTag)
+    : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows * cols)) {
   CALIBRE_CHECK(rows >= 0 && cols >= 0);
 }
 
+Tensor::Tensor(std::int64_t rows, std::int64_t cols)
+    : Tensor(rows, cols, UninitTag{}) {
+  fill(0.0f);
+}
+
 Tensor::Tensor(std::int64_t rows, std::int64_t cols, std::vector<float> data)
-    : rows_(rows), cols_(cols), data_(std::move(data)) {
+    : rows_(rows), cols_(cols), data_(data.begin(), data.end()) {
   CALIBRE_CHECK_MSG(
       static_cast<std::int64_t>(data_.size()) == rows * cols,
       "data size " << data_.size() << " != " << rows << "x" << cols);
+}
+
+Tensor Tensor::uninit(std::int64_t rows, std::int64_t cols) {
+  return Tensor(rows, cols, UninitTag{});
 }
 
 Tensor Tensor::zeros(std::int64_t rows, std::int64_t cols) {
@@ -33,7 +43,7 @@ Tensor Tensor::ones(std::int64_t rows, std::int64_t cols) {
 }
 
 Tensor Tensor::full(std::int64_t rows, std::int64_t cols, float value) {
-  Tensor t(rows, cols);
+  Tensor t = uninit(rows, cols);
   t.fill(value);
   return t;
 }
@@ -55,7 +65,7 @@ Tensor Tensor::row(const std::vector<float>& values) {
 
 Tensor Tensor::randn(std::int64_t rows, std::int64_t cols,
                      rng::Generator& gen, float stddev) {
-  Tensor t(rows, cols);
+  Tensor t = uninit(rows, cols);
   for (auto& value : t.storage()) {
     value = static_cast<float>(gen.normal() * stddev);
   }
@@ -64,7 +74,7 @@ Tensor Tensor::randn(std::int64_t rows, std::int64_t cols,
 
 Tensor Tensor::rand_uniform(std::int64_t rows, std::int64_t cols,
                             rng::Generator& gen, float lo, float hi) {
-  Tensor t(rows, cols);
+  Tensor t = uninit(rows, cols);
   for (auto& value : t.storage()) {
     value = static_cast<float>(gen.uniform(lo, hi));
   }
@@ -104,6 +114,22 @@ void Tensor::scale_(float alpha) {
   for (auto& value : data_) value *= alpha;
 }
 
+void Tensor::mul_(const Tensor& other) {
+  CALIBRE_CHECK_MSG(same_shape(other), shape_string() << " *= "
+                                                      << other.shape_string());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+}
+
+void Tensor::div_(const Tensor& other) {
+  CALIBRE_CHECK_MSG(same_shape(other), shape_string() << " /= "
+                                                      << other.shape_string());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] /= other.data_[i];
+}
+
+void Tensor::relu_() {
+  for (auto& value : data_) value = value > 0.0f ? value : 0.0f;
+}
+
 float Tensor::sum() const {
   double total = 0.0;
   for (float value : data_) total += value;
@@ -139,10 +165,9 @@ std::int64_t Tensor::argmax_row(std::int64_t r) const {
 
 Tensor Tensor::row_copy(std::int64_t r) const {
   CALIBRE_CHECK(r >= 0 && r < rows_);
-  std::vector<float> values(data_.begin() + static_cast<std::ptrdiff_t>(r * cols_),
-                            data_.begin() +
-                                static_cast<std::ptrdiff_t>((r + 1) * cols_));
-  return Tensor(1, cols_, std::move(values));
+  Tensor out = uninit(1, cols_);
+  std::copy(data() + r * cols_, data() + (r + 1) * cols_, out.data());
+  return out;
 }
 
 std::string Tensor::shape_string() const {
@@ -173,7 +198,7 @@ Tensor broadcast_binary(const Tensor& a, const Tensor& b, Fn fn) {
   std::int64_t rows = 0;
   std::int64_t cols = 0;
   broadcast_shape(a, b, rows, cols);
-  Tensor out(rows, cols);
+  Tensor out = Tensor::uninit(rows, cols);
   const float* ad = a.data();
   const float* bd = b.data();
   float* od = out.data();
@@ -181,6 +206,28 @@ Tensor broadcast_binary(const Tensor& a, const Tensor& b, Fn fn) {
   if (a.same_shape(b)) {
     const std::int64_t size = out.size();
     for (std::int64_t i = 0; i < size; ++i) od[i] = fn(ad[i], bd[i]);
+    return out;
+  }
+  // The two layer-norm / row-statistic patterns get branch-free contiguous
+  // inner loops: [N,D] op [N,1] broadcasts one scalar per row, and
+  // [N,D] op [1,D] reuses one row-vector for every row.
+  if (a.rows() == rows && a.cols() == cols && b.rows() == rows &&
+      b.cols() == 1) {
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const float* arow = ad + r * cols;
+      const float bv = bd[r];
+      float* orow = od + r * cols;
+      for (std::int64_t c = 0; c < cols; ++c) orow[c] = fn(arow[c], bv);
+    }
+    return out;
+  }
+  if (a.rows() == rows && a.cols() == cols && b.rows() == 1 &&
+      b.cols() == cols) {
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const float* arow = ad + r * cols;
+      float* orow = od + r * cols;
+      for (std::int64_t c = 0; c < cols; ++c) orow[c] = fn(arow[c], bd[c]);
+    }
     return out;
   }
   // General broadcast: express each operand as (row stride, col stride) over
@@ -203,7 +250,7 @@ Tensor broadcast_binary(const Tensor& a, const Tensor& b, Fn fn) {
 
 template <typename Fn>
 Tensor unary(const Tensor& a, Fn fn) {
-  Tensor out(a.rows(), a.cols());
+  Tensor out = Tensor::uninit(a.rows(), a.cols());
   const float* src = a.data();
   float* dst = out.data();
   for (std::int64_t i = 0; i < a.size(); ++i) dst[i] = fn(src[i]);
@@ -235,15 +282,19 @@ Tensor reduce_to_shape(const Tensor& grad, std::int64_t rows,
       "cannot reduce " << grad.shape_string() << " to [" << rows << "," << cols
                        << "]");
   if (rows == grad.rows() && cols == grad.cols()) return grad;
-  Tensor out(rows, cols);
+  Tensor out = Tensor::uninit(rows, cols);
   const float* gd = grad.data();
   float* od = out.data();
   // The target row/col is either identity or 0; the three reduced cases each
-  // get a contiguous raw-storage loop.
+  // get a contiguous raw-storage loop. The row-reduction seeds the output
+  // with the first input row so the (uninitialised) output is fully written.
   if (rows == 1 && cols == 1) {
     od[0] = grad.sum();
+  } else if (grad.rows() == 0) {  // empty input: reduction sums to zero
+    out.fill(0.0f);
   } else if (rows == 1) {  // sum rows down into a [1,C] vector
-    for (std::int64_t r = 0; r < grad.rows(); ++r) {
+    std::copy(gd, gd + grad.cols(), od);
+    for (std::int64_t r = 1; r < grad.rows(); ++r) {
       const float* grow = gd + r * grad.cols();
       for (std::int64_t c = 0; c < grad.cols(); ++c) od[c] += grow[c];
     }
@@ -256,6 +307,11 @@ Tensor reduce_to_shape(const Tensor& grad, std::int64_t rows,
     }
   }
   return out;
+}
+
+Tensor reduce_to_shape(Tensor&& grad, std::int64_t rows, std::int64_t cols) {
+  if (rows == grad.rows() && cols == grad.cols()) return std::move(grad);
+  return reduce_to_shape(static_cast<const Tensor&>(grad), rows, cols);
 }
 
 Tensor add_scalar(const Tensor& a, float s) {
@@ -307,7 +363,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor transpose(const Tensor& a) {
-  Tensor out(a.cols(), a.rows());
+  Tensor out = Tensor::uninit(a.cols(), a.rows());
   const std::int64_t rows = a.rows();
   const std::int64_t cols = a.cols();
   const float* ad = a.data();
@@ -331,7 +387,7 @@ Tensor transpose(const Tensor& a) {
 }
 
 Tensor row_sum(const Tensor& a) {
-  Tensor out(a.rows(), 1);
+  Tensor out = Tensor::uninit(a.rows(), 1);
   const float* ad = a.data();
   for (std::int64_t r = 0; r < a.rows(); ++r) {
     const float* row = ad + r * a.cols();
@@ -343,10 +399,12 @@ Tensor row_sum(const Tensor& a) {
 }
 
 Tensor col_sum(const Tensor& a) {
-  Tensor out(1, a.cols());
+  if (a.rows() == 0) return Tensor(1, a.cols());
+  Tensor out = Tensor::uninit(1, a.cols());
   float* od = out.data();
   const float* ad = a.data();
-  for (std::int64_t r = 0; r < a.rows(); ++r) {
+  std::copy(ad, ad + a.cols(), od);
+  for (std::int64_t r = 1; r < a.rows(); ++r) {
     const float* row = ad + r * a.cols();
     for (std::int64_t c = 0; c < a.cols(); ++c) od[c] += row[c];
   }
@@ -354,14 +412,14 @@ Tensor col_sum(const Tensor& a) {
 }
 
 Tensor sum_all(const Tensor& a) {
-  Tensor out(1, 1);
+  Tensor out = Tensor::uninit(1, 1);
   out(0, 0) = a.sum();
   return out;
 }
 
 Tensor row_max(const Tensor& a) {
   CALIBRE_CHECK(a.cols() > 0);
-  Tensor out(a.rows(), 1);
+  Tensor out = Tensor::uninit(a.rows(), 1);
   for (std::int64_t r = 0; r < a.rows(); ++r) {
     float best = a(r, 0);
     for (std::int64_t c = 1; c < a.cols(); ++c) best = std::max(best, a(r, c));
@@ -378,7 +436,7 @@ Tensor concat_rows(const std::vector<Tensor>& parts) {
     CALIBRE_CHECK_MSG(part.cols() == cols, "concat_rows col mismatch");
     rows += part.rows();
   }
-  Tensor out(rows, cols);
+  Tensor out = Tensor::uninit(rows, cols);
   std::int64_t offset = 0;
   for (const Tensor& part : parts) {
     std::copy(part.data(), part.data() + part.size(),
@@ -396,7 +454,7 @@ Tensor concat_cols(const std::vector<Tensor>& parts) {
     CALIBRE_CHECK_MSG(part.rows() == rows, "concat_cols row mismatch");
     cols += part.cols();
   }
-  Tensor out(rows, cols);
+  Tensor out = Tensor::uninit(rows, cols);
   std::int64_t offset = 0;
   for (const Tensor& part : parts) {
     for (std::int64_t r = 0; r < rows; ++r) {
@@ -413,7 +471,7 @@ Tensor slice_rows(const Tensor& a, std::int64_t begin, std::int64_t end) {
   CALIBRE_CHECK_MSG(begin >= 0 && begin <= end && end <= a.rows(),
                     "slice_rows [" << begin << "," << end << ") of "
                                    << a.shape_string());
-  Tensor out(end - begin, a.cols());
+  Tensor out = Tensor::uninit(end - begin, a.cols());
   std::copy(a.data() + begin * a.cols(), a.data() + end * a.cols(),
             out.data());
   return out;
@@ -423,7 +481,7 @@ Tensor slice_cols(const Tensor& a, std::int64_t begin, std::int64_t end) {
   CALIBRE_CHECK_MSG(begin >= 0 && begin <= end && end <= a.cols(),
                     "slice_cols [" << begin << "," << end << ") of "
                                    << a.shape_string());
-  Tensor out(a.rows(), end - begin);
+  Tensor out = Tensor::uninit(a.rows(), end - begin);
   for (std::int64_t r = 0; r < a.rows(); ++r) {
     std::copy(a.data() + r * a.cols() + begin, a.data() + r * a.cols() + end,
               out.data() + r * out.cols());
@@ -432,7 +490,7 @@ Tensor slice_cols(const Tensor& a, std::int64_t begin, std::int64_t end) {
 }
 
 Tensor take_rows(const Tensor& a, const std::vector<int>& indices) {
-  Tensor out(static_cast<std::int64_t>(indices.size()), a.cols());
+  Tensor out = Tensor::uninit(static_cast<std::int64_t>(indices.size()), a.cols());
   for (std::size_t i = 0; i < indices.size(); ++i) {
     const std::int64_t r = indices[i];
     CALIBRE_CHECK_MSG(r >= 0 && r < a.rows(), "take_rows index " << r);
@@ -445,7 +503,7 @@ Tensor take_rows(const Tensor& a, const std::vector<int>& indices) {
 Tensor gather_cols(const Tensor& a, const std::vector<int>& idx) {
   CALIBRE_CHECK_MSG(static_cast<std::int64_t>(idx.size()) == a.rows(),
                     "gather_cols needs one index per row");
-  Tensor out(a.rows(), 1);
+  Tensor out = Tensor::uninit(a.rows(), 1);
   for (std::int64_t r = 0; r < a.rows(); ++r) {
     const int c = idx[static_cast<std::size_t>(r)];
     CALIBRE_CHECK_MSG(c >= 0 && c < a.cols(), "gather_cols index " << c);
@@ -455,7 +513,7 @@ Tensor gather_cols(const Tensor& a, const std::vector<int>& idx) {
 }
 
 Tensor softmax_rows(const Tensor& a) {
-  Tensor out(a.rows(), a.cols());
+  Tensor out = Tensor::uninit(a.rows(), a.cols());
   const std::int64_t cols = a.cols();
   for (std::int64_t r = 0; r < a.rows(); ++r) {
     const float* row = a.data() + r * cols;
@@ -475,7 +533,7 @@ Tensor softmax_rows(const Tensor& a) {
 }
 
 Tensor log_softmax_rows(const Tensor& a) {
-  Tensor out(a.rows(), a.cols());
+  Tensor out = Tensor::uninit(a.rows(), a.cols());
   const std::int64_t cols = a.cols();
   for (std::int64_t r = 0; r < a.rows(); ++r) {
     const float* row = a.data() + r * cols;
@@ -491,7 +549,7 @@ Tensor log_softmax_rows(const Tensor& a) {
 }
 
 Tensor l2_normalize_rows(const Tensor& a, float eps) {
-  Tensor out(a.rows(), a.cols());
+  Tensor out = Tensor::uninit(a.rows(), a.cols());
   const std::int64_t cols = a.cols();
   for (std::int64_t r = 0; r < a.rows(); ++r) {
     const float* row = a.data() + r * cols;

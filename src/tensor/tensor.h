@@ -8,6 +8,11 @@
 // Broadcasting: binary elementwise ops support full 2-D broadcasting, i.e.
 // each dimension must either match or be 1 on one side ([N,D] op [1,D],
 // [N,D] op [N,1], [N,D] op [1,1], and the symmetric cases).
+//
+// Storage: element data lives in a std::vector backed by the per-thread
+// buffer pool (tensor/pool.h) — construction acquires a recycled buffer,
+// destruction returns it to the calling thread's free lists. Callers that
+// need a plain std::vector<float> (serde, checkpoints) use to_vector().
 #pragma once
 
 #include <cstdint>
@@ -15,9 +20,15 @@
 #include <string>
 #include <vector>
 
+#include "tensor/pool.h"
 #include "tensor/rng.h"
 
 namespace calibre::tensor {
+
+// Pooled storage behind every Tensor. Still a std::vector instantiation, so
+// iteration/indexing/data() work as before; only contexts requiring the
+// exact type std::vector<float> need the to_vector() adapter.
+using FloatStore = std::vector<float, pool::PoolAllocator>;
 
 class Tensor {
  public:
@@ -31,6 +42,10 @@ class Tensor {
   Tensor(std::int64_t rows, std::int64_t cols, std::vector<float> data);
 
   // --- factories -----------------------------------------------------------
+  // Tensor with UNSPECIFIED contents — for op outputs that overwrite every
+  // element before the tensor escapes. Never hand one to a caller without
+  // filling it.
+  static Tensor uninit(std::int64_t rows, std::int64_t cols);
   static Tensor zeros(std::int64_t rows, std::int64_t cols);
   static Tensor ones(std::int64_t rows, std::int64_t cols);
   static Tensor full(std::int64_t rows, std::int64_t cols, float value);
@@ -58,10 +73,15 @@ class Tensor {
 
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }
-  std::vector<float>& storage() { return data_; }
-  const std::vector<float>& storage() const { return data_; }
+  FloatStore& storage() { return data_; }
+  const FloatStore& storage() const { return data_; }
+  // Copy of the elements as a plain std::vector<float> (serde/checkpoints).
+  std::vector<float> to_vector() const {
+    return std::vector<float>(data_.begin(), data_.end());
+  }
 
-  // --- in-place helpers (used by the optimizer / gradient buffers) ---------
+  // --- in-place helpers (used by the optimizer / gradient buffers and the
+  // autograd backward accumulation path) ------------------------------------
   void fill(float value);
   void zero() { fill(0.0f); }
   // this += other (same shape).
@@ -70,6 +90,14 @@ class Tensor {
   void axpy_(float alpha, const Tensor& other);
   // this *= alpha.
   void scale_(float alpha);
+  // this *= alpha (alias of scale_ matching the mul_scalar op name).
+  void mul_scalar_(float alpha) { scale_(alpha); }
+  // this *= other elementwise (same shape).
+  void mul_(const Tensor& other);
+  // this /= other elementwise (same shape).
+  void div_(const Tensor& other);
+  // this = max(this, 0) elementwise.
+  void relu_();
 
   // --- reductions ----------------------------------------------------------
   float sum() const;
@@ -87,9 +115,12 @@ class Tensor {
   std::string shape_string() const;
 
  private:
+  struct UninitTag {};
+  Tensor(std::int64_t rows, std::int64_t cols, UninitTag);
+
   std::int64_t rows_ = 0;
   std::int64_t cols_ = 0;
-  std::vector<float> data_;
+  FloatStore data_;
 };
 
 // --- elementwise binary ops with 2-D broadcasting ---------------------------
@@ -102,6 +133,9 @@ Tensor div(const Tensor& a, const Tensor& b);
 // operand by summing over broadcast dimensions. Core of broadcast backward.
 Tensor reduce_to_shape(const Tensor& grad, std::int64_t rows,
                        std::int64_t cols);
+// Move-aware variant: when no reduction is needed the storage passes through
+// without a copy (used by backward closures that are done with `grad`).
+Tensor reduce_to_shape(Tensor&& grad, std::int64_t rows, std::int64_t cols);
 
 // --- scalar ops --------------------------------------------------------------
 Tensor add_scalar(const Tensor& a, float s);

@@ -147,7 +147,7 @@ TEST(Flags, MalformedNumbersFallBack) {
 TEST(Checkpoint, SaveLoadRoundTrip) {
   rng::Generator gen(2);
   const nn::ModelState original(
-      tensor::Tensor::randn(1, 321, gen).storage());
+      tensor::Tensor::randn(1, 321, gen).to_vector());
   const std::string path = "/tmp/calibre_test_checkpoint.bin";
   nn::save_state(path, original);
   const nn::ModelState loaded = nn::load_state(path);

@@ -402,6 +402,49 @@ TEST(RunnerFaults, InjectedFaultsAreDeterministicAcrossRuns) {
   EXPECT_EQ(first.final_state.values(), second.final_state.values());
 }
 
+// Aggregation must not depend on reply arrival order: float summation is
+// order-sensitive, so aggregating whatever the mailbox yields first made
+// multi-threaded runs drift with thread scheduling. Clients stamp their id
+// into the update's scalar side channel, aggregate() records the order it
+// receives them in, and injected per-dispatch latency scrambles arrivals —
+// the recorded order must still match the latency-free run's, because the
+// runner sorts updates back into selection order before aggregating.
+class OrderRecordingAlgorithm : public ToyAlgorithm {
+ public:
+  using ToyAlgorithm::ToyAlgorithm;
+  ClientUpdate local_update(const nn::ModelState& global,
+                            const ClientContext& ctx) override {
+    ClientUpdate update = ToyAlgorithm::local_update(global, ctx);
+    update.scalars["id"] = static_cast<float>(ctx.client_id);
+    return update;
+  }
+  nn::ModelState aggregate(const nn::ModelState& global,
+                           const std::vector<ClientUpdate>& updates,
+                           int round) override {
+    for (const ClientUpdate& update : updates) {
+      seen.push_back(static_cast<int>(update.scalars.at("id")));
+    }
+    return Algorithm::aggregate(global, updates, round);
+  }
+  std::vector<int> seen;
+};
+
+TEST(RunnerFaults, AggregationOrderIndependentOfArrivalOrder) {
+  const int clients = 6;
+  const FedDataset fed = toy_fed(clients);
+  auto run = [&](int latency_ms) {
+    FlConfig config = toy_config(clients);
+    config.fault_latency_ms = latency_ms;
+    OrderRecordingAlgorithm algorithm(config);
+    run_federated(algorithm, fed, false);
+    return algorithm.seen;
+  };
+  const std::vector<int> instant = run(0);
+  const std::vector<int> delayed = run(40);
+  ASSERT_EQ(instant.size(), static_cast<std::size_t>(2 * clients));
+  EXPECT_EQ(instant, delayed);
+}
+
 TEST(RunnerDropout, DropoutStreamDoesNotPerturbSampling) {
   // Dropout coins must come from their own stream: with a shared stream,
   // merely changing --dropout changed *which clients are sampled* in every

@@ -275,7 +275,7 @@ TEST(ModelState, Algebra) {
 TEST(ModelState, WireFormatRoundTrip) {
   auto gen = make_gen(11);
   const Tensor values = Tensor::randn(1, 257, gen);
-  const ModelState original(values.storage());
+  const ModelState original(values.to_vector());
   const auto bytes = original.to_bytes();
   const ModelState decoded = ModelState::from_bytes(bytes);
   EXPECT_EQ(decoded.values(), original.values());
