@@ -25,6 +25,7 @@
 //   --retries           per-round retries of a failed client   (0)
 //   --fault-rate        injected handler-failure probability   (0)
 //   --fault-latency-ms  injected per-dispatch latency cap      (0)
+//   --wire-codec        f32 | f16 | delta16 model payloads     (f32)
 //   --seed              experiment seed                        (42)
 //   --threads           device worker threads (0 = auto)       (0)
 //   --save              write the trained global state to a file
@@ -33,6 +34,7 @@
 #include <iostream>
 
 #include "algos/registry.h"
+#include "comm/codec.h"
 #include "common/flags.h"
 #include "data/partition.h"
 #include "data/synthetic.h"
@@ -103,6 +105,13 @@ int main(int argc, char** argv) {
   config.max_client_retries = args.get_int("retries", 0);
   config.fault_rate = static_cast<float>(args.get_double("fault-rate", 0.0));
   config.fault_latency_ms = args.get_int("fault-latency-ms", 0);
+  const std::string wire_codec = args.get("wire-codec", "f32");
+  if (wire_codec != "f32" && wire_codec != "f16" && wire_codec != "delta16") {
+    std::cerr << "unknown --wire-codec: " << wire_codec
+              << " (expected f32 | f16 | delta16)\n";
+    return 2;
+  }
+  config.wire_codec = comm::codec_from_name(wire_codec);
   config.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
   config.threads = args.get_int("threads", 0);
   config.num_train_clients = train_clients;
@@ -146,12 +155,18 @@ int main(int argc, char** argv) {
 
   if (print_history) {
     std::cout << "round  participants  dropped  failed  retried  timed_out"
-                 "  late  mean_divergence  update_norm\n";
+                 "  late  bcast_kB  coll_kB  ser  mean_divergence"
+                 "  update_norm\n";
     for (const fl::RoundStats& r : result.history) {
-      std::printf("%5d  %12d  %7d  %6d  %7d  %9d  %4d  %15.4f  %11.3f\n",
-                  r.round, r.participants, r.dropped, r.failures, r.retries,
-                  r.timeouts, r.late_dropped, r.mean_divergence,
-                  r.mean_update_norm);
+      std::printf(
+          "%5d  %12d  %7d  %6d  %7d  %9d  %4d  %8.1f  %7.1f  %3llu"
+          "  %15.4f  %11.3f\n",
+          r.round, r.participants, r.dropped, r.failures, r.retries,
+          r.timeouts, r.late_dropped,
+          static_cast<double>(r.bytes_broadcast) / 1e3,
+          static_cast<double>(r.bytes_collected) / 1e3,
+          static_cast<unsigned long long>(r.serializations),
+          r.mean_divergence, r.mean_update_norm);
     }
   }
 
@@ -170,8 +185,16 @@ int main(int argc, char** argv) {
               << metrics::format_mean_std(novel) << "\n";
   }
   if (result.traffic.messages > 0) {
-    std::cout << "  traffic: " << result.traffic.messages << " messages, "
-              << static_cast<double>(result.traffic.bytes) / 1e6 << " MB\n";
+    std::cout << "  wire codec: " << wire_codec << "\n  ";
+    std::vector<metrics::RoundTraffic> round_traffic;
+    if (print_history) {
+      round_traffic.reserve(result.history.size());
+      for (const fl::RoundStats& r : result.history) {
+        round_traffic.push_back({r.round, r.bytes_broadcast, r.bytes_collected,
+                                 r.serializations});
+      }
+    }
+    metrics::print_traffic_report(std::cout, result.traffic, round_traffic);
   }
   long total_failures = 0, total_retries = 0, total_timeouts = 0,
        total_late = 0;

@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <functional>
@@ -22,6 +23,7 @@
 
 #include "autograd/ops.h"
 #include "cluster/kmeans.h"
+#include "comm/codec.h"
 #include "comm/router.h"
 #include "common/thread_pool.h"
 #include "core/pfl_ssl.h"
@@ -622,11 +624,244 @@ void dump_train_step_json(const char* path) {
   std::printf("[train_step] wrote %s\n", path);
 }
 
+// --- BENCH_comm.json ---------------------------------------------------------
+//
+// Wire-layer cost of a federated round. Three measurements:
+//  * broadcast: serializing the global state once and sharing the snapshot
+//    across K requests (this tree's runner) vs serializing per client (the
+//    pre-snapshot runner), at K = 8 / 64 / 256, plus the serialization count
+//    and logical/physical bytes measured through a real Router;
+//  * codecs: encode/decode throughput of f32 / f16 / delta16 on an
+//    encoder-sized client update, with the round-trip relative error norm;
+//  * per-round bytes by codec at a fixed K, against the f32 baseline.
+
+nn::ModelState bench_model_state() {
+  rng::Generator gen(9);
+  nn::EncoderConfig config;
+  nn::MlpEncoder encoder(config, gen);
+  return nn::ModelState::from_parameters(encoder.parameters());
+}
+
+struct BroadcastEntry {
+  int clients = 0;
+  double per_client_seconds = 0.0;  // K serializations, K buffers
+  double snapshot_seconds = 0.0;    // 1 serialization + K refcounts
+  std::uint64_t serializations = 0; // unique buffers through a real Router
+  std::uint64_t logical_bytes = 0;
+  std::uint64_t physical_bytes = 0;
+};
+
+BroadcastEntry time_broadcast(const nn::ModelState& state, int clients) {
+  BroadcastEntry entry;
+  entry.clients = clients;
+  std::size_t sink = 0;
+  entry.per_client_seconds = time_best(
+      [&] {
+        for (int k = 0; k < clients; ++k) {
+          const comm::Payload payload(state.to_bytes());
+          sink += payload.size();
+        }
+      },
+      5);
+  entry.snapshot_seconds = time_best(
+      [&] {
+        const comm::Payload snapshot(state.to_bytes());
+        for (int k = 0; k < clients; ++k) {
+          const comm::Payload shared = snapshot;
+          sink += shared.size();
+        }
+      },
+      5);
+  benchmark::DoNotOptimize(sink);
+
+  // Serialization count and dedup savings measured through a real broadcast:
+  // counters advance on the sending thread, so stats are final after the
+  // send loop even while handlers drain on the pool.
+  comm::Router router(2);
+  for (int c = 0; c < clients; ++c) {
+    router.register_endpoint(c, [](const comm::Message& request) {
+      benchmark::DoNotOptimize(request.payload.bytes().data());
+    });
+  }
+  const comm::Payload snapshot(state.to_bytes());
+  for (int c = 0; c < clients; ++c) {
+    comm::Message request;
+    request.type = comm::MessageType::kTrainRequest;
+    request.sender = comm::kServerEndpoint;
+    request.receiver = c;
+    request.payload = snapshot;
+    router.send(std::move(request));
+  }
+  const comm::TrafficStats stats = router.stats();
+  entry.serializations = stats.broadcast_serializations;
+  entry.logical_bytes = stats.logical_bytes;
+  entry.physical_bytes = stats.physical_bytes;
+  return entry;
+}
+
+struct CodecEntry {
+  std::string name;
+  std::uint64_t broadcast_bytes = 0;  // encoded global state
+  std::uint64_t update_bytes = 0;     // encoded client update
+  double encode_seconds = 0.0;
+  double decode_seconds = 0.0;
+  double rel_error = 0.0;             // ||decode(encode(u)) - u|| / ||u||
+  std::uint64_t round_bytes = 0;      // K * (broadcast + update + headers)
+};
+
+void dump_comm_json(const char* path) {
+  const nn::ModelState state = bench_model_state();
+  const double state_mb =
+      static_cast<double>(state.size()) * sizeof(float) / 1e6;
+
+  std::vector<BroadcastEntry> broadcasts;
+  for (const int clients : {8, 64, 256}) {
+    broadcasts.push_back(time_broadcast(state, clients));
+  }
+
+  // A realistic client update: the global state plus a small local drift —
+  // the regime delta16 is built for.
+  rng::Generator gen(31);
+  const tensor::Tensor drift =
+      tensor::Tensor::randn(1, static_cast<std::int64_t>(state.size()), gen);
+  fl::ClientUpdate update;
+  {
+    std::vector<float> values = state.values();
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      values[i] += 0.01f * drift(0, static_cast<std::int64_t>(i));
+    }
+    update.state = nn::ModelState(std::move(values));
+  }
+  update.weight = 32.0f;
+  update.scalars["divergence"] = 0.25f;
+
+  constexpr int kRoundClients = 10;
+  std::vector<CodecEntry> codecs;
+  for (const comm::Codec codec :
+       {comm::Codec::kF32, comm::Codec::kF16, comm::Codec::kDelta16}) {
+    CodecEntry entry;
+    entry.name = comm::codec_name(codec);
+    // Broadcast under delta16 has no prior reference, so it degrades to f16
+    // — exactly what the runner ships. The update's delta base is that
+    // broadcast as both sides decode it.
+    const std::vector<std::uint8_t> broadcast_bytes = state.to_bytes(codec);
+    const nn::ModelState base = nn::ModelState::from_bytes(broadcast_bytes);
+    const nn::ModelState* update_base =
+        codec == comm::Codec::kF32 ? nullptr : &base;
+    entry.broadcast_bytes = broadcast_bytes.size();
+    std::vector<std::uint8_t> update_bytes =
+        fl::serialize_update(update, codec, update_base);
+    entry.update_bytes = update_bytes.size();
+    entry.encode_seconds = time_best(
+        [&] {
+          benchmark::DoNotOptimize(
+              fl::serialize_update(update, codec, update_base));
+        },
+        5);
+    entry.decode_seconds = time_best(
+        [&] {
+          benchmark::DoNotOptimize(
+              fl::deserialize_update(update_bytes, update_base));
+        },
+        5);
+    const fl::ClientUpdate decoded =
+        fl::deserialize_update(update_bytes, update_base);
+    double err = 0.0, ref = 0.0;
+    for (std::size_t i = 0; i < update.state.size(); ++i) {
+      const double d = static_cast<double>(decoded.state.values()[i]) -
+                       update.state.values()[i];
+      err += d * d;
+      ref += static_cast<double>(update.state.values()[i]) *
+             update.state.values()[i];
+    }
+    entry.rel_error = ref > 0.0 ? std::sqrt(err) / std::sqrt(ref) : 0.0;
+    entry.round_bytes =
+        static_cast<std::uint64_t>(kRoundClients) *
+        (entry.broadcast_bytes + entry.update_bytes +
+         2 * comm::Message::kHeaderBytes);
+    codecs.push_back(entry);
+  }
+
+  std::ofstream out(path);
+  out << "{\n  \"generated_by\": \"bench_micro\",\n"
+      << "  \"suite\": \"comm\",\n"
+      << "  \"model_params\": " << state.size() << ",\n"
+      << "  \"round_clients\": " << kRoundClients << ",\n"
+      << "  \"broadcast\": [\n";
+  for (std::size_t i = 0; i < broadcasts.size(); ++i) {
+    const BroadcastEntry& e = broadcasts[i];
+    const double speedup = e.snapshot_seconds > 0.0
+                               ? e.per_client_seconds / e.snapshot_seconds
+                               : 0.0;
+    const double saved =
+        e.logical_bytes > 0
+            ? 100.0 * static_cast<double>(e.logical_bytes - e.physical_bytes) /
+                  static_cast<double>(e.logical_bytes)
+            : 0.0;
+    char buffer[512];
+    std::snprintf(buffer, sizeof(buffer),
+                  "    {\"clients\": %d, \"per_client_seconds\": %.6e, "
+                  "\"snapshot_seconds\": %.6e, \"speedup\": %.2f, "
+                  "\"serializations\": %llu, \"logical_bytes\": %llu, "
+                  "\"physical_bytes\": %llu, \"dedup_saved_pct\": %.1f}%s\n",
+                  e.clients, e.per_client_seconds, e.snapshot_seconds, speedup,
+                  static_cast<unsigned long long>(e.serializations),
+                  static_cast<unsigned long long>(e.logical_bytes),
+                  static_cast<unsigned long long>(e.physical_bytes), saved,
+                  i + 1 < broadcasts.size() ? "," : "");
+    out << buffer;
+    std::printf(
+        "[comm] broadcast K=%-3d  %.3f ms per-client vs %.3f ms snapshot "
+        "(%.1fx, %llu serialization%s, %.1f%% bytes deduplicated)\n",
+        e.clients, e.per_client_seconds * 1e3, e.snapshot_seconds * 1e3,
+        speedup, static_cast<unsigned long long>(e.serializations),
+        e.serializations == 1 ? "" : "s", saved);
+  }
+  out << "  ],\n  \"codecs\": [\n";
+  const std::uint64_t f32_round_bytes = codecs.front().round_bytes;
+  for (std::size_t i = 0; i < codecs.size(); ++i) {
+    const CodecEntry& e = codecs[i];
+    const double reduction =
+        f32_round_bytes > 0
+            ? 100.0 *
+                  static_cast<double>(f32_round_bytes - e.round_bytes) /
+                  static_cast<double>(f32_round_bytes)
+            : 0.0;
+    char buffer[512];
+    std::snprintf(
+        buffer, sizeof(buffer),
+        "    {\"name\": \"%s\", \"broadcast_bytes\": %llu, "
+        "\"update_bytes\": %llu, \"encode_seconds\": %.6e, "
+        "\"decode_seconds\": %.6e, \"encode_mb_per_s\": %.1f, "
+        "\"decode_mb_per_s\": %.1f, \"round_trip_rel_error\": %.3e, "
+        "\"round_bytes\": %llu, \"reduction_vs_f32_pct\": %.1f}%s\n",
+        e.name.c_str(), static_cast<unsigned long long>(e.broadcast_bytes),
+        static_cast<unsigned long long>(e.update_bytes), e.encode_seconds,
+        e.decode_seconds,
+        e.encode_seconds > 0.0 ? state_mb / e.encode_seconds : 0.0,
+        e.decode_seconds > 0.0 ? state_mb / e.decode_seconds : 0.0,
+        e.rel_error, static_cast<unsigned long long>(e.round_bytes),
+        reduction, i + 1 < codecs.size() ? "," : "");
+    out << buffer;
+    std::printf(
+        "[comm] codec %-8s %7.1f KB/round-trip, encode %6.1f MB/s, "
+        "decode %6.1f MB/s, rel err %.2e, round bytes %.1f KB "
+        "(%.1f%% vs f32)\n",
+        e.name.c_str(),
+        static_cast<double>(e.broadcast_bytes + e.update_bytes) / 1e3,
+        e.encode_seconds > 0.0 ? state_mb / e.encode_seconds : 0.0,
+        e.decode_seconds > 0.0 ? state_mb / e.decode_seconds : 0.0,
+        e.rel_error, static_cast<double>(e.round_bytes) / 1e3, reduction);
+  }
+  out << "  ]\n}\n";
+  std::printf("[comm] wrote %s\n", path);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  // --suite {kernels|train_step|all} selects which JSON dump(s) run after
-  // the google-benchmark suite. Parsed (and stripped) before
+  // --suite {kernels|train_step|comm|all} selects which JSON dump(s) run
+  // after the google-benchmark suite. Parsed (and stripped) before
   // benchmark::Initialize so the library never sees the flag.
   std::string suite = "all";
   int out_argc = 1;
@@ -641,10 +876,12 @@ int main(int argc, char** argv) {
     }
   }
   argc = out_argc;
-  if (suite != "all" && suite != "kernels" && suite != "train_step") {
-    std::fprintf(stderr,
-                 "unknown --suite '%s' (expected kernels|train_step|all)\n",
-                 suite.c_str());
+  if (suite != "all" && suite != "kernels" && suite != "train_step" &&
+      suite != "comm") {
+    std::fprintf(
+        stderr,
+        "unknown --suite '%s' (expected kernels|train_step|comm|all)\n",
+        suite.c_str());
     return 1;
   }
 
@@ -657,6 +894,9 @@ int main(int argc, char** argv) {
   }
   if (suite == "all" || suite == "train_step") {
     dump_train_step_json("BENCH_train_step.json");
+  }
+  if (suite == "all" || suite == "comm") {
+    dump_comm_json("BENCH_comm.json");
   }
   return 0;
 }

@@ -66,7 +66,7 @@ int main() {
     std::snprintf(note, sizeof(note),
                   "novel %5.2f±%5.2f | %.1fs | %.1f MB traffic",
                   novel.mean * 100, novel.stddev * 100, result.wall_seconds,
-                  static_cast<double>(result.traffic.bytes) / 1e6);
+                  static_cast<double>(result.traffic.logical_bytes) / 1e6);
     row.note = note;
     rows.push_back(row);
     std::cout << name << " done\n";

@@ -48,6 +48,8 @@ tensor::Tensor LgFedAvg::client_features(int client_id,
   if (const auto encoder = encoders_.get(client_id)) {
     encoder->apply_to(model.encoder_parameters());
   }
+  // Feature extraction: values only, no tape.
+  const ag::NoGradGuard no_grad;
   return model.encoder->forward(ag::constant(x))->value;
 }
 

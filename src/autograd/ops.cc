@@ -20,7 +20,9 @@ VarPtr make_node(Tensor value, std::vector<VarPtr> parents,
                  std::function<void(Variable&)> backward_fn) {
   auto node = std::make_shared<Variable>(std::move(value));
   bool requires_g = false;
-  for (const VarPtr& parent : parents) requires_g |= parent->requires_grad;
+  if (grad_enabled()) {
+    for (const VarPtr& parent : parents) requires_g |= parent->requires_grad;
+  }
   node->requires_grad = requires_g;
   if (requires_g) {
     node->parents = std::move(parents);

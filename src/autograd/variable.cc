@@ -46,6 +46,20 @@ void Variable::zero_grad() {
   }
 }
 
+namespace {
+
+thread_local bool t_grad_enabled = true;
+
+}  // namespace
+
+bool grad_enabled() { return t_grad_enabled; }
+
+NoGradGuard::NoGradGuard() : previous_(t_grad_enabled) {
+  t_grad_enabled = false;
+}
+
+NoGradGuard::~NoGradGuard() { t_grad_enabled = previous_; }
+
 VarPtr constant(tensor::Tensor value) {
   return std::make_shared<Variable>(std::move(value), /*requires=*/false);
 }

@@ -55,6 +55,29 @@ class Variable {
   bool is_leaf() const { return parents.empty(); }
 };
 
+// Grad mode -------------------------------------------------------------------
+
+// Thread-local gradient mode. While disabled, op builders skip the tape
+// entirely: every op produces a plain value node (no parents, no backward
+// closure) even over parameters, so a forward pass used only for its values
+// — feature extraction, probes, divergence reporting, t-SNE exports — costs
+// no graph bookkeeping and frees activations as soon as the ops consume
+// them. Forward values are computed by the same kernels either way, so
+// results are bitwise identical to a grad-mode forward.
+bool grad_enabled();
+
+// RAII scope that disables gradient tracking on this thread.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
 // Leaf factories -------------------------------------------------------------
 
 // A constant: gradients are not tracked through it.

@@ -1,0 +1,161 @@
+#include "comm/codec.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace calibre::comm {
+
+std::string codec_name(Codec codec) {
+  switch (codec) {
+    case Codec::kF32: return "f32";
+    case Codec::kF16: return "f16";
+    case Codec::kDelta16: return "delta16";
+  }
+  CALIBRE_CHECK_MSG(false, "unknown codec " << static_cast<int>(codec));
+  return {};
+}
+
+Codec codec_from_name(const std::string& name) {
+  if (name == "f32") return Codec::kF32;
+  if (name == "f16") return Codec::kF16;
+  if (name == "delta16") return Codec::kDelta16;
+  CALIBRE_CHECK_MSG(false, "unknown wire codec '" << name
+                           << "' (expected f32 | f16 | delta16)");
+  return Codec::kF32;
+}
+
+std::uint16_t f32_to_f16(float value) {
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  const auto sign = static_cast<std::uint16_t>((bits >> 16) & 0x8000u);
+  const std::uint32_t exp = (bits >> 23) & 0xFFu;
+  std::uint32_t mant = bits & 0x7FFFFFu;
+  if (exp == 0xFFu) {
+    // inf stays inf; NaN keeps a set mantissa bit so it cannot decay to inf.
+    return sign | 0x7C00u | (mant != 0 ? 0x200u : 0u);
+  }
+  // Re-bias 127 -> 15.
+  const int e = static_cast<int>(exp) - 127 + 15;
+  if (e >= 0x1F) return sign | 0x7C00u;  // overflow -> inf
+  if (e <= 0) {
+    if (e < -10) return sign;  // below the smallest subnormal -> signed zero
+    // Subnormal: shift the 24-bit mantissa (implicit bit restored) down to
+    // 10 bits, rounding to nearest-even on the dropped remainder.
+    mant |= 0x800000u;
+    const int shift = 14 - e;  // in [14, 24]
+    const std::uint32_t half = mant >> shift;
+    const std::uint32_t rem = mant & ((1u << shift) - 1u);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    std::uint32_t out = sign | half;
+    if (rem > halfway || (rem == halfway && (out & 1u))) ++out;
+    return static_cast<std::uint16_t>(out);
+  }
+  // Normal: round the 23-bit mantissa to 10 bits (nearest-even). A carry out
+  // of the mantissa correctly bumps the exponent, up to and including inf.
+  std::uint32_t out =
+      sign | (static_cast<std::uint32_t>(e) << 10) | (mant >> 13);
+  const std::uint32_t rem = mant & 0x1FFFu;
+  if (rem > 0x1000u || (rem == 0x1000u && (out & 1u))) ++out;
+  return static_cast<std::uint16_t>(out);
+}
+
+float f16_to_f32(std::uint16_t half) {
+  const std::uint32_t sign = (static_cast<std::uint32_t>(half) & 0x8000u) << 16;
+  std::uint32_t exp = (half >> 10) & 0x1Fu;
+  std::uint32_t mant = half & 0x3FFu;
+  std::uint32_t bits;
+  if (exp == 0x1Fu) {
+    bits = sign | 0x7F800000u | (mant << 13);  // inf / NaN
+  } else if (exp == 0) {
+    if (mant == 0) {
+      bits = sign;  // signed zero
+    } else {
+      // Subnormal: normalize into an f32 with an explicit exponent.
+      std::uint32_t e = 127 - 15 + 1;
+      while ((mant & 0x400u) == 0) {
+        mant <<= 1;
+        --e;
+      }
+      bits = sign | (e << 23) | ((mant & 0x3FFu) << 13);
+    }
+  } else {
+    bits = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  float value = 0.0f;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+std::size_t encoded_size(Codec codec, std::size_t count) {
+  const std::size_t header = sizeof(std::uint8_t) + sizeof(std::uint64_t);
+  const std::size_t elem =
+      codec == Codec::kF32 ? sizeof(float) : sizeof(std::uint16_t);
+  return header + count * elem;
+}
+
+void encode_values(Writer& writer, const std::vector<float>& values,
+                   Codec codec, const float* base, std::size_t base_size) {
+  if (codec == Codec::kDelta16 &&
+      (base == nullptr || base_size != values.size())) {
+    // No usable reference (e.g. a payload sized unlike the broadcast):
+    // degrade to plain f16. The tag written below keeps decoding unambiguous.
+    codec = Codec::kF16;
+  }
+  writer.write_u8(static_cast<std::uint8_t>(codec));
+  switch (codec) {
+    case Codec::kF32:
+      writer.write_f32_vector(values);
+      return;
+    case Codec::kF16: {
+      std::vector<std::uint16_t> halves(values.size());
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        halves[i] = f32_to_f16(values[i]);
+      }
+      writer.write_u16_vector(halves);
+      return;
+    }
+    case Codec::kDelta16: {
+      std::vector<std::uint16_t> halves(values.size());
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        halves[i] = f32_to_f16(values[i] - base[i]);
+      }
+      writer.write_u16_vector(halves);
+      return;
+    }
+  }
+  CALIBRE_CHECK_MSG(false, "unknown codec " << static_cast<int>(codec));
+}
+
+std::vector<float> decode_values(Reader& reader, const float* base,
+                                 std::size_t base_size) {
+  const std::uint8_t tag = reader.read_u8();
+  switch (static_cast<Codec>(tag)) {
+    case Codec::kF32:
+      return reader.read_f32_vector();
+    case Codec::kF16: {
+      const std::vector<std::uint16_t> halves = reader.read_u16_vector();
+      std::vector<float> values(halves.size());
+      for (std::size_t i = 0; i < halves.size(); ++i) {
+        values[i] = f16_to_f32(halves[i]);
+      }
+      return values;
+    }
+    case Codec::kDelta16: {
+      const std::vector<std::uint16_t> halves = reader.read_u16_vector();
+      CALIBRE_CHECK_MSG(base != nullptr && base_size == halves.size(),
+                        "delta16 block of " << halves.size()
+                            << " values needs a matching reference (have "
+                            << (base == nullptr ? 0 : base_size) << ")");
+      std::vector<float> values(halves.size());
+      for (std::size_t i = 0; i < halves.size(); ++i) {
+        values[i] = base[i] + f16_to_f32(halves[i]);
+      }
+      return values;
+    }
+  }
+  CALIBRE_CHECK_MSG(false, "corrupt codec tag " << static_cast<int>(tag));
+  return {};
+}
+
+}  // namespace calibre::comm

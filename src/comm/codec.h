@@ -1,0 +1,61 @@
+// Wire codecs for model tensors.
+//
+// Every model that crosses the server/client boundary is a flat float vector;
+// the codec decides how those floats are laid out on the wire:
+//
+//   f32      tag 0x01 | u64 count | count * f32     (lossless, the default)
+//   f16      tag 0x02 | u64 count | count * u16     (IEEE binary16 values)
+//   delta16  tag 0x03 | u64 count | count * u16     (f16 of value - base)
+//
+// delta16 encodes against a reference vector both sides already hold (the
+// round's broadcast snapshot), so a client update that stays close to the
+// global model quantizes far more accurately than raw f16 at the same 2
+// bytes/element. The tag is part of the block, so decoders dispatch on the
+// wire, not on out-of-band configuration. All counts are validated against
+// the remaining bytes before any allocation (same hardening as Reader).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "comm/serde.h"
+
+namespace calibre::comm {
+
+enum class Codec : std::uint8_t {
+  kF32 = 1,      // lossless, bitwise identical run-to-run
+  kF16 = 2,      // half-precision quantization
+  kDelta16 = 3,  // half-precision delta against a shared reference
+};
+
+// "f32" | "f16" | "delta16".
+std::string codec_name(Codec codec);
+
+// Inverse of codec_name; CHECK-fails on anything else.
+Codec codec_from_name(const std::string& name);
+
+// IEEE 754 binary16 conversion. f32_to_f16 rounds to nearest-even, saturates
+// to +-inf past the f16 range, flushes below-subnormal magnitudes to signed
+// zero, and preserves inf/NaN.
+std::uint16_t f32_to_f16(float value);
+float f16_to_f32(std::uint16_t half);
+
+// Exact byte size of the block encode_values() writes for `count` values.
+std::size_t encoded_size(Codec codec, std::size_t count);
+
+// Appends a codec block for `values`. delta16 requires `base` with
+// `base_size == values.size()`; without a usable reference it degrades to a
+// plain f16 block (the tag on the wire says which was written, so decoding
+// stays unambiguous). f32/f16 ignore `base`.
+void encode_values(Writer& writer, const std::vector<float>& values,
+                   Codec codec, const float* base = nullptr,
+                   std::size_t base_size = 0);
+
+// Reads one codec block, dispatching on its tag. A delta16 block requires
+// the same reference the encoder used (CHECK-fails otherwise). Corrupt tags
+// and counts fail cleanly via CHECK before allocating.
+std::vector<float> decode_values(Reader& reader, const float* base = nullptr,
+                                 std::size_t base_size = 0);
+
+}  // namespace calibre::comm

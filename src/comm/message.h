@@ -8,7 +8,8 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
+
+#include "comm/payload.h"
 
 namespace calibre::comm {
 
@@ -27,9 +28,15 @@ struct Message {
   int sender = kServerEndpoint;
   int receiver = kServerEndpoint;
   int round = 0;
-  std::vector<std::uint8_t> payload;
+  // Refcounted immutable buffer: broadcast messages share one serialization.
+  Payload payload;
 
-  std::size_t wire_size() const { return payload.size() + 16; }
+  // Header cost derived from the actual header fields, so traffic accounting
+  // stays honest if the struct grows.
+  static constexpr std::size_t kHeaderBytes =
+      sizeof(type) + sizeof(sender) + sizeof(receiver) + sizeof(round);
+
+  std::size_t wire_size() const { return payload.size() + kHeaderBytes; }
 };
 
 }  // namespace calibre::comm

@@ -45,8 +45,22 @@ void Router::set_fault_injection(FaultConfig config) {
 }
 
 void Router::send(Message message) {
+  const std::uint64_t wire = message.wire_size();
   messages_.fetch_add(1, std::memory_order_relaxed);
-  bytes_.fetch_add(message.wire_size(), std::memory_order_relaxed);
+  logical_bytes_.fetch_add(wire, std::memory_order_relaxed);
+  const bool to_server = message.receiver == kServerEndpoint;
+  (to_server ? collected_bytes_ : broadcast_bytes_)
+      .fetch_add(wire, std::memory_order_relaxed);
+  // Physical cost: the header always travels; the payload buffer only the
+  // first time any message carries it. mark_transmitted() latches exactly
+  // once per unique buffer, which also counts distinct serializations.
+  std::uint64_t physical = Message::kHeaderBytes;
+  if (message.payload.mark_transmitted()) {
+    physical += message.payload.size();
+    (to_server ? collect_serializations_ : broadcast_serializations_)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+  physical_bytes_.fetch_add(physical, std::memory_order_relaxed);
   if (message.receiver == kServerEndpoint) {
     server_mailbox_.push(std::move(message));
     return;
@@ -111,9 +125,32 @@ void Router::send(Message message) {
   });
 }
 
+TrafficStats operator-(const TrafficStats& end, const TrafficStats& start) {
+  TrafficStats out;
+  out.messages = end.messages - start.messages;
+  out.logical_bytes = end.logical_bytes - start.logical_bytes;
+  out.physical_bytes = end.physical_bytes - start.physical_bytes;
+  out.broadcast_bytes = end.broadcast_bytes - start.broadcast_bytes;
+  out.collected_bytes = end.collected_bytes - start.collected_bytes;
+  out.broadcast_serializations =
+      end.broadcast_serializations - start.broadcast_serializations;
+  out.collect_serializations =
+      end.collect_serializations - start.collect_serializations;
+  return out;
+}
+
 TrafficStats Router::stats() const {
-  return TrafficStats{messages_.load(std::memory_order_relaxed),
-                      bytes_.load(std::memory_order_relaxed)};
+  TrafficStats out;
+  out.messages = messages_.load(std::memory_order_relaxed);
+  out.logical_bytes = logical_bytes_.load(std::memory_order_relaxed);
+  out.physical_bytes = physical_bytes_.load(std::memory_order_relaxed);
+  out.broadcast_bytes = broadcast_bytes_.load(std::memory_order_relaxed);
+  out.collected_bytes = collected_bytes_.load(std::memory_order_relaxed);
+  out.broadcast_serializations =
+      broadcast_serializations_.load(std::memory_order_relaxed);
+  out.collect_serializations =
+      collect_serializations_.load(std::memory_order_relaxed);
+  return out;
 }
 
 Message Router::make_error_reply(int client, int round,
@@ -131,7 +168,7 @@ Message Router::make_error_reply(int client, int round,
 
 std::string Router::error_text(const Message& message) {
   CALIBRE_CHECK(message.type == MessageType::kTrainError);
-  Reader reader(message.payload);
+  Reader reader(message.payload.bytes());
   return reader.read_string();
 }
 

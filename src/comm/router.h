@@ -28,8 +28,25 @@ namespace calibre::comm {
 
 struct TrafficStats {
   std::uint64_t messages = 0;
-  std::uint64_t bytes = 0;
+  // Logical traffic: every message counted at full wire size — exactly what
+  // would cross a real network, shared payloads included once per send.
+  std::uint64_t logical_bytes = 0;
+  // Physical traffic: headers per message, but each unique payload buffer
+  // counted once, no matter how many messages share it. The gap between
+  // logical and physical bytes is the zero-copy broadcast's dedup saving.
+  std::uint64_t physical_bytes = 0;
+  // Logical bytes split by direction.
+  std::uint64_t broadcast_bytes = 0;  // server -> clients
+  std::uint64_t collected_bytes = 0;  // clients -> server
+  // Unique payload buffers that crossed the router, by direction. With the
+  // shared broadcast snapshot, broadcast_serializations is 1 per round
+  // regardless of how many clients (or retries) the round sends to.
+  std::uint64_t broadcast_serializations = 0;
+  std::uint64_t collect_serializations = 0;
 };
+
+// Component-wise difference (end - start) for per-round accounting.
+TrafficStats operator-(const TrafficStats& end, const TrafficStats& start);
 
 // Deterministic fault injection applied to client-addressed dispatches.
 // Decisions are a pure function of (seed, receiver, round, attempt), where
@@ -84,7 +101,12 @@ class Router {
   std::mutex attempts_mutex_;
   std::unordered_map<int, std::uint64_t> attempts_;  // dispatches per endpoint
   std::atomic<std::uint64_t> messages_{0};
-  std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> logical_bytes_{0};
+  std::atomic<std::uint64_t> physical_bytes_{0};
+  std::atomic<std::uint64_t> broadcast_bytes_{0};
+  std::atomic<std::uint64_t> collected_bytes_{0};
+  std::atomic<std::uint64_t> broadcast_serializations_{0};
+  std::atomic<std::uint64_t> collect_serializations_{0};
   // Declared last => destroyed first: ~ThreadPool drains straggler handler
   // tasks (which touch the mailbox and handlers_) before the rest of the
   // router goes away.

@@ -15,7 +15,15 @@ namespace calibre::comm {
 
 class Writer {
  public:
+  Writer() = default;
+  // Pre-sizes the buffer when the caller knows the payload size up front
+  // (ModelState::to_bytes, serialize_update): one allocation, no regrowth.
+  explicit Writer(std::size_t expected_bytes) { buffer_.reserve(expected_bytes); }
+
+  void reserve(std::size_t total_bytes) { buffer_.reserve(total_bytes); }
+
   void write_u8(std::uint8_t value) { buffer_.push_back(value); }
+  void write_u16(std::uint16_t value) { write_raw(&value, sizeof(value)); }
   void write_u32(std::uint32_t value) { write_raw(&value, sizeof(value)); }
   void write_u64(std::uint64_t value) { write_raw(&value, sizeof(value)); }
   void write_f32(float value) { write_raw(&value, sizeof(value)); }
@@ -28,6 +36,11 @@ class Writer {
   void write_f32_vector(const std::vector<float>& values) {
     write_u64(values.size());
     write_raw(values.data(), values.size() * sizeof(float));
+  }
+
+  void write_u16_vector(const std::vector<std::uint16_t>& values) {
+    write_u64(values.size());
+    write_raw(values.data(), values.size() * sizeof(std::uint16_t));
   }
 
   void write_scalar_map(const std::map<std::string, float>& scalars) {
@@ -56,6 +69,11 @@ class Reader {
 
   std::uint8_t read_u8() {
     std::uint8_t value = 0;
+    read_raw(&value, sizeof(value));
+    return value;
+  }
+  std::uint16_t read_u16() {
+    std::uint16_t value = 0;
     read_raw(&value, sizeof(value));
     return value;
   }
@@ -99,6 +117,19 @@ class Reader {
                                                  << " bytes remaining");
     std::vector<float> values(count);
     read_raw(values.data(), count * sizeof(float));
+    return values;
+  }
+
+  std::vector<std::uint16_t> read_u16_vector() {
+    const std::uint64_t count = read_u64();
+    // Same wraparound-proof shape as read_f32_vector: bound the count by the
+    // remaining bytes before allocating.
+    CALIBRE_CHECK_MSG(count <= remaining() / sizeof(std::uint16_t),
+                      "serde corrupt u16 count " << count << " with "
+                                                 << remaining()
+                                                 << " bytes remaining");
+    std::vector<std::uint16_t> values(count);
+    read_raw(values.data(), count * sizeof(std::uint16_t));
     return values;
   }
 

@@ -1,22 +1,71 @@
 #include "fl/algorithm.h"
 
+#include <cstring>
+
+#include "comm/codec.h"
 #include "comm/serde.h"
 #include "common/check.h"
 
 namespace calibre::fl {
 
-std::vector<std::uint8_t> serialize_update(const ClientUpdate& update) {
-  comm::Writer writer;
-  writer.write_f32_vector(update.state.values());
+namespace {
+
+constexpr std::uint32_t kUpdateCodecMagic = 0xCA11C0DF;
+
+std::size_t scalar_map_wire_size(const std::map<std::string, float>& scalars) {
+  std::size_t size = sizeof(std::uint32_t);
+  for (const auto& [key, value] : scalars) {
+    size += sizeof(std::uint32_t) + key.size() + sizeof(value);
+  }
+  return size;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_update(const ClientUpdate& update,
+                                           comm::Codec codec,
+                                           const nn::ModelState* base) {
+  const std::size_t tail =
+      sizeof(update.weight) + scalar_map_wire_size(update.scalars);
+  if (codec == comm::Codec::kF32) {
+    // Legacy layout, bitwise identical to pre-codec builds.
+    comm::Writer writer(sizeof(std::uint64_t) +
+                        update.state.size() * sizeof(float) + tail);
+    writer.write_f32_vector(update.state.values());
+    writer.write_f32(update.weight);
+    writer.write_scalar_map(update.scalars);
+    return writer.take();
+  }
+  comm::Writer writer(sizeof(kUpdateCodecMagic) +
+                      comm::encoded_size(codec, update.state.size()) + tail);
+  writer.write_u32(kUpdateCodecMagic);
+  comm::encode_values(writer, update.state.values(), codec,
+                      base != nullptr ? base->values().data() : nullptr,
+                      base != nullptr ? base->size() : 0);
   writer.write_f32(update.weight);
   writer.write_scalar_map(update.scalars);
   return writer.take();
 }
 
-ClientUpdate deserialize_update(const std::vector<std::uint8_t>& bytes) {
+ClientUpdate deserialize_update(const std::vector<std::uint8_t>& bytes,
+                                const nn::ModelState* base) {
   comm::Reader reader(bytes);
   ClientUpdate update;
-  update.state = nn::ModelState(reader.read_f32_vector());
+  // Peek the layout: codec payloads lead with the magic, legacy payloads
+  // with the low u32 of the f32 vector's element count (see algorithm.h on
+  // why these cannot collide for any payload the count validation admits).
+  std::uint32_t head = 0;
+  if (bytes.size() >= sizeof(head)) {
+    std::memcpy(&head, bytes.data(), sizeof(head));
+  }
+  if (head == kUpdateCodecMagic) {
+    reader.read_u32();
+    update.state = nn::ModelState(comm::decode_values(
+        reader, base != nullptr ? base->values().data() : nullptr,
+        base != nullptr ? base->size() : 0));
+  } else {
+    update.state = nn::ModelState(reader.read_f32_vector());
+  }
   update.weight = reader.read_f32();
   update.scalars = reader.read_scalar_map();
   CALIBRE_CHECK_MSG(reader.exhausted(), "trailing bytes in ClientUpdate");

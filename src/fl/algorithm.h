@@ -31,8 +31,20 @@ struct ClientUpdate {
 };
 
 // Wire helpers for ClientUpdate (used by the comm layer and tests).
-std::vector<std::uint8_t> serialize_update(const ClientUpdate& update);
-ClientUpdate deserialize_update(const std::vector<std::uint8_t>& bytes);
+//
+// kF32 (the default) writes the legacy layout — f32 vector | weight |
+// scalar map — bitwise identical to pre-codec builds. kF16/kDelta16 prefix a
+// codec magic and encode the state through comm/codec.h; `base` is the
+// delta16 reference (the round's broadcast snapshot as decoded by the
+// client), ignored by the other codecs. deserialize_update accepts both
+// layouts by peeking the leading u32: a legacy payload starts with the low
+// half of a u64 element count, which would have to exceed 3.3e9 elements to
+// collide with the magic — far past what the count validation admits.
+std::vector<std::uint8_t> serialize_update(
+    const ClientUpdate& update, comm::Codec codec = comm::Codec::kF32,
+    const nn::ModelState* base = nullptr);
+ClientUpdate deserialize_update(const std::vector<std::uint8_t>& bytes,
+                                const nn::ModelState* base = nullptr);
 
 // Everything a client device knows during one local update.
 struct ClientContext {

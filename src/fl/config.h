@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "comm/codec.h"
 #include "data/augment.h"
 #include "nn/networks.h"
 #include "nn/optim.h"
@@ -68,6 +69,12 @@ struct FlConfig {
   // [0, fault_latency_ms]. Seeded from `seed`; 0/0 disables injection.
   float fault_rate = 0.0f;
   int fault_latency_ms = 0;
+
+  // Wire codec for model payloads (broadcasts and updates). kF32 keeps runs
+  // bitwise identical to pre-codec builds; kF16 halves model bytes on the
+  // wire; kDelta16 additionally encodes client updates as fp16 deltas
+  // against the round's broadcast snapshot. See comm/codec.h.
+  comm::Codec wire_codec = comm::Codec::kF32;
 
   std::uint64_t seed = 42;
   // Worker threads for simulated client devices (0 = library default).

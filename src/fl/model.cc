@@ -89,6 +89,8 @@ double finetune_and_eval(EncoderHeadModel& model,
 double evaluate_accuracy(EncoderHeadModel& model,
                          const data::Dataset& dataset) {
   if (dataset.size() == 0) return 0.0;
+  // Evaluation forward: values only, no tape.
+  const ag::NoGradGuard no_grad;
   const ag::VarPtr logits = model.logits(ag::constant(dataset.x));
   std::int64_t correct = 0;
   for (std::int64_t r = 0; r < dataset.size(); ++r) {

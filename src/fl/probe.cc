@@ -40,6 +40,8 @@ double linear_probe_accuracy(const tensor::Tensor& train_features,
     }
   }
 
+  // Evaluation forward: values only, no tape.
+  const ag::NoGradGuard no_grad;
   const ag::VarPtr logits = head.forward(ag::constant(test_features));
   std::int64_t correct = 0;
   for (std::int64_t r = 0; r < test_features.rows(); ++r) {

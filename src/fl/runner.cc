@@ -53,7 +53,7 @@ RunResult run_federated(Algorithm& algorithm, const FedDataset& fed,
     router.register_endpoint(c, [&, c](const comm::Message& request) {
       CALIBRE_CHECK(request.type == comm::MessageType::kTrainRequest);
       const nn::ModelState global =
-          nn::ModelState::from_bytes(request.payload);
+          nn::ModelState::from_bytes(request.payload.bytes());
       ClientContext ctx;
       ctx.client_id = c;
       ctx.round = request.round;
@@ -70,7 +70,10 @@ RunResult run_federated(Algorithm& algorithm, const FedDataset& fed,
       response.sender = c;
       response.receiver = comm::kServerEndpoint;
       response.round = request.round;
-      response.payload = serialize_update(update);
+      // delta16 replies encode against the global exactly as this client
+      // decoded it — the same reference the server derives from its own
+      // broadcast snapshot, so both sides agree bit-for-bit.
+      response.payload = serialize_update(update, config.wire_codec, &global);
       router.send(std::move(response));
     });
   }
@@ -83,6 +86,7 @@ RunResult run_federated(Algorithm& algorithm, const FedDataset& fed,
   for (int round = 0; round < config.rounds; ++round) {
     RoundStats round_stats;
     round_stats.round = round;
+    const comm::TrafficStats traffic_at_round_start = router.stats();
     std::vector<int> selected = sampler.sample_without_replacement(
         fed.num_train_clients(), config.clients_per_round);
     // Dropout simulation: sampled clients may fail to respond. Keep at
@@ -108,13 +112,26 @@ RunResult run_federated(Algorithm& algorithm, const FedDataset& fed,
       }
       selected = std::move(alive);
     }
+    // Zero-copy broadcast: serialize the global state ONCE per round and
+    // share the immutable snapshot across every train request, including
+    // retry re-sends — 1 serialization + K refcounts instead of K copies.
+    const comm::Payload snapshot(state.to_bytes(config.wire_codec));
+    // delta16 replies are deltas against the broadcast *as the clients
+    // decode it*; with a lossy broadcast codec that differs from `state`,
+    // so the server derives the reference by decoding its own snapshot.
+    nn::ModelState snapshot_base;
+    const nn::ModelState* update_base = nullptr;
+    if (config.wire_codec != comm::Codec::kF32) {
+      snapshot_base = nn::ModelState::from_bytes(snapshot.bytes());
+      update_base = &snapshot_base;
+    }
     auto send_request = [&](int client) {
       comm::Message request;
       request.type = comm::MessageType::kTrainRequest;
       request.sender = comm::kServerEndpoint;
       request.receiver = client;
       request.round = round;
-      request.payload = state.to_bytes();
+      request.payload = snapshot;
       router.send(std::move(request));
     };
     for (const int client : selected) send_request(client);
@@ -186,7 +203,8 @@ RunResult run_federated(Algorithm& algorithm, const FedDataset& fed,
       CALIBRE_CHECK(response->type == comm::MessageType::kTrainResponse);
       if (pending.erase(response->sender) == 0) continue;
       arrived.emplace_back(selection_rank[response->sender],
-                           deserialize_update(response->payload));
+                           deserialize_update(response->payload.bytes(),
+                                              update_base));
       if (deadline_fired && static_cast<int>(arrived.size()) >= quorum) break;
     }
     round_stats.timeouts = static_cast<int>(pending.size());
@@ -226,6 +244,13 @@ RunResult run_federated(Algorithm& algorithm, const FedDataset& fed,
     round_stats.mean_update_norm = updates.empty()
         ? 0.0f
         : static_cast<float>(norm_total / static_cast<double>(updates.size()));
+    // Per-round traffic from the router's counters: retries re-sent this
+    // round and late replies that surfaced this round are all in the diff.
+    const comm::TrafficStats round_traffic =
+        router.stats() - traffic_at_round_start;
+    round_stats.bytes_broadcast = round_traffic.broadcast_bytes;
+    round_stats.bytes_collected = round_traffic.collected_bytes;
+    round_stats.serializations = round_traffic.broadcast_serializations;
     result.history.push_back(round_stats);
     log::debug() << algorithm.name() << " round " << round + 1 << "/"
                  << config.rounds << " aggregated " << updates.size()

@@ -27,6 +27,13 @@ struct RoundStats {
   int retries = 0;            // requests re-sent after a failure
   int timeouts = 0;           // clients still pending when the deadline fired
   int late_dropped = 0;       // stale replies from earlier rounds discarded
+  // Logical wire bytes this round, by direction (retry re-sends and replies
+  // from earlier rounds that surfaced during this round are included).
+  std::uint64_t bytes_broadcast = 0;  // server -> clients
+  std::uint64_t bytes_collected = 0;  // clients -> server
+  // Distinct broadcast payload buffers serialized this round. The shared
+  // snapshot makes this 1 regardless of clients_per_round or retries.
+  std::uint64_t serializations = 0;
   float mean_divergence = 0.0f;  // mean of the updates' "divergence" scalar
                                  // (0 when the algorithm does not report it)
   float mean_update_norm = 0.0f;

@@ -56,6 +56,44 @@ void write_embedding_csv(const std::string& path,
   }
 }
 
+void print_traffic_report(std::ostream& os, const comm::TrafficStats& totals,
+                          const std::vector<RoundTraffic>& rounds) {
+  const auto mb = [](std::uint64_t bytes) {
+    return static_cast<double>(bytes) / 1e6;
+  };
+  const double saved =
+      totals.logical_bytes == 0
+          ? 0.0
+          : 100.0 *
+                static_cast<double>(totals.logical_bytes -
+                                    totals.physical_bytes) /
+                static_cast<double>(totals.logical_bytes);
+  os << "traffic: " << totals.messages << " messages, " << std::fixed
+     << std::setprecision(2) << mb(totals.logical_bytes) << " MB logical ("
+     << mb(totals.broadcast_bytes) << " MB broadcast, "
+     << mb(totals.collected_bytes) << " MB collected), "
+     << mb(totals.physical_bytes) << " MB physical (" << std::setprecision(1)
+     << saved << "% deduplicated), " << totals.broadcast_serializations
+     << " broadcast + " << totals.collect_serializations
+     << " collect serializations\n";
+  if (rounds.empty()) {
+    os.flush();
+    return;
+  }
+  os << std::left << std::setw(7) << "round" << std::right << std::setw(14)
+     << "bcast KB" << std::setw(14) << "collect KB" << std::setw(14)
+     << "serializes" << "\n";
+  os << std::string(49, '-') << "\n";
+  for (const RoundTraffic& row : rounds) {
+    os << std::left << std::setw(7) << row.round << std::right << std::fixed
+       << std::setprecision(1) << std::setw(14)
+       << static_cast<double>(row.bytes_broadcast) / 1e3 << std::setw(14)
+       << static_cast<double>(row.bytes_collected) / 1e3 << std::setw(14)
+       << row.serializations << "\n";
+  }
+  os.flush();
+}
+
 void print_quality_table(std::ostream& os, const std::string& title,
                          const std::vector<RepresentationQuality>& rows) {
   os << "\n== " << title << " ==\n";

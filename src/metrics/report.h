@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "comm/router.h"
 #include "metrics/stats.h"
 #include "tensor/tensor.h"
 
@@ -43,5 +44,20 @@ struct RepresentationQuality {
 
 void print_quality_table(std::ostream& os, const std::string& title,
                          const std::vector<RepresentationQuality>& rows);
+
+// Per-round wire traffic (a lightweight mirror of fl::RoundStats' traffic
+// fields; metrics stays independent of the fl layer).
+struct RoundTraffic {
+  int round = 0;
+  std::uint64_t bytes_broadcast = 0;   // server -> clients, logical
+  std::uint64_t bytes_collected = 0;   // clients -> server, logical
+  std::uint64_t serializations = 0;    // unique broadcast buffers this round
+};
+
+// Prints run totals — messages, logical vs physical bytes with the dedup
+// saving, serializations by direction — and, when `rounds` is non-empty, a
+// per-round breakdown table.
+void print_traffic_report(std::ostream& os, const comm::TrafficStats& totals,
+                          const std::vector<RoundTraffic>& rounds);
 
 }  // namespace calibre::metrics

@@ -3,12 +3,14 @@
 #include <cmath>
 #include <cstring>
 
+#include "comm/serde.h"
 #include "common/check.h"
 
 namespace calibre::nn {
 namespace {
 
-constexpr std::uint32_t kMagic = 0xCA11B4E5;
+constexpr std::uint32_t kMagic = 0xCA11B4E5;       // legacy/default f32 layout
+constexpr std::uint32_t kCodecMagic = 0xCA11C0DE;  // codec-block layout
 
 }  // namespace
 
@@ -86,36 +88,42 @@ float ModelState::norm() const {
 }
 
 std::vector<std::uint8_t> ModelState::to_bytes() const {
-  std::vector<std::uint8_t> bytes(sizeof(std::uint32_t) +
-                                  sizeof(std::uint64_t) +
-                                  values_.size() * sizeof(float));
-  std::size_t offset = 0;
-  std::memcpy(bytes.data() + offset, &kMagic, sizeof(kMagic));
-  offset += sizeof(kMagic);
-  const std::uint64_t count = values_.size();
-  std::memcpy(bytes.data() + offset, &count, sizeof(count));
-  offset += sizeof(count);
-  std::memcpy(bytes.data() + offset, values_.data(),
-              values_.size() * sizeof(float));
-  return bytes;
+  // Byte-for-byte the historical layout (u32 magic | u64 count | f32s) —
+  // checkpoints and default-codec runs must stay bitwise stable.
+  comm::Writer writer(sizeof(kMagic) + sizeof(std::uint64_t) +
+                      values_.size() * sizeof(float));
+  writer.write_u32(kMagic);
+  writer.write_f32_vector(values_);
+  return writer.take();
 }
 
-ModelState ModelState::from_bytes(const std::vector<std::uint8_t>& bytes) {
-  CALIBRE_CHECK_MSG(
-      bytes.size() >= sizeof(std::uint32_t) + sizeof(std::uint64_t),
-      "ModelState::from_bytes: truncated header");
-  std::size_t offset = 0;
-  std::uint32_t magic = 0;
-  std::memcpy(&magic, bytes.data() + offset, sizeof(magic));
-  offset += sizeof(magic);
-  CALIBRE_CHECK_MSG(magic == kMagic, "ModelState::from_bytes: bad magic");
-  std::uint64_t count = 0;
-  std::memcpy(&count, bytes.data() + offset, sizeof(count));
-  offset += sizeof(count);
-  CALIBRE_CHECK_MSG(bytes.size() == offset + count * sizeof(float),
+std::vector<std::uint8_t> ModelState::to_bytes(comm::Codec codec,
+                                               const ModelState* base) const {
+  if (codec == comm::Codec::kF32) return to_bytes();
+  comm::Writer writer(sizeof(kCodecMagic) +
+                      comm::encoded_size(codec, values_.size()));
+  writer.write_u32(kCodecMagic);
+  comm::encode_values(writer, values_, codec,
+                      base != nullptr ? base->values().data() : nullptr,
+                      base != nullptr ? base->size() : 0);
+  return writer.take();
+}
+
+ModelState ModelState::from_bytes(const std::vector<std::uint8_t>& bytes,
+                                  const ModelState* base) {
+  comm::Reader reader(bytes);
+  const std::uint32_t magic = reader.read_u32();
+  std::vector<float> values;
+  if (magic == kMagic) {
+    values = reader.read_f32_vector();
+  } else {
+    CALIBRE_CHECK_MSG(magic == kCodecMagic, "ModelState::from_bytes: bad magic");
+    values = comm::decode_values(
+        reader, base != nullptr ? base->values().data() : nullptr,
+        base != nullptr ? base->size() : 0);
+  }
+  CALIBRE_CHECK_MSG(reader.exhausted(),
                     "ModelState::from_bytes: payload size mismatch");
-  std::vector<float> values(count);
-  std::memcpy(values.data(), bytes.data() + offset, count * sizeof(float));
   return ModelState(std::move(values));
 }
 

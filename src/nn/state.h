@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "autograd/variable.h"
+#include "comm/codec.h"
 
 namespace calibre::nn {
 
@@ -44,9 +45,19 @@ class ModelState {
   float norm() const;
 
   // --- wire format -----------------------------------------------------------
-  // Layout: u32 magic | u64 count | count * f32 (little-endian).
+  // Default (f32) layout: u32 magic | u64 count | count * f32 (little-endian).
+  // This is the checkpoint format and the bitwise-stable default wire format.
   std::vector<std::uint8_t> to_bytes() const;
-  static ModelState from_bytes(const std::vector<std::uint8_t>& bytes);
+  // Codec-selected layout. kF32 produces exactly the legacy bytes above;
+  // kF16/kDelta16 produce u32 codec-magic | codec block (comm/codec.h).
+  // `base` is the delta16 reference (ignored by the other codecs).
+  std::vector<std::uint8_t> to_bytes(comm::Codec codec,
+                                     const ModelState* base = nullptr) const;
+  // Accepts both layouts, dispatching on the magic. A delta16 payload needs
+  // the same `base` the encoder used; corrupt input CHECK-fails cleanly with
+  // counts validated before any allocation.
+  static ModelState from_bytes(const std::vector<std::uint8_t>& bytes,
+                               const ModelState* base = nullptr);
 
  private:
   std::vector<float> values_;

@@ -48,6 +48,9 @@ std::vector<ag::VarPtr> SslMethod::shared_parameters() const {
 }
 
 tensor::Tensor SslMethod::encode(const tensor::Tensor& batch) {
+  // Inference-only forward: callers read ->value, never backward through it,
+  // so skip the tape (no parents, no closures, activations freed eagerly).
+  const ag::NoGradGuard no_grad;
   return encoder_->forward(ag::constant(batch))->value;
 }
 

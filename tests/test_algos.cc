@@ -79,7 +79,7 @@ TEST_P(AlgorithmSuite, EndToEndFederationProducesValidAccuracies) {
   if (config.rounds > 0) {
     // Two rounds x two clients, one request + one response each.
     EXPECT_EQ(result.traffic.messages, 8u);
-    EXPECT_GT(result.traffic.bytes, 0u);
+    EXPECT_GT(result.traffic.logical_bytes, 0u);
   }
 }
 

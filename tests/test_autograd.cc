@@ -6,6 +6,7 @@
 // checks cover the gradient correctness of the whole stack.
 #include <cmath>
 #include <functional>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -293,6 +294,53 @@ TEST(Autograd, ConstantBranchesArePruned) {
   const VarPtr result = ag::mul(c, c);
   EXPECT_FALSE(result->requires_grad);
   EXPECT_TRUE(result->parents.empty());
+}
+
+TEST(Autograd, NoGradGuardBuildsNoTapeAndMatchesValuesBitwise) {
+  const Tensor x = test_matrix(4, 5, 31);
+  const Tensor w = test_matrix(5, 3, 32);
+  auto forward = [&] {
+    return ag::relu(ag::matmul(ag::parameter(x), ag::parameter(w)));
+  };
+  ASSERT_TRUE(ag::grad_enabled());
+  const VarPtr tracked = forward();
+  EXPECT_TRUE(tracked->requires_grad);
+  EXPECT_FALSE(tracked->is_leaf());
+  {
+    const ag::NoGradGuard guard;
+    EXPECT_FALSE(ag::grad_enabled());
+    const VarPtr untracked = forward();
+    // Same kernels, no tape: a plain value node even over parameters.
+    EXPECT_FALSE(untracked->requires_grad);
+    EXPECT_TRUE(untracked->is_leaf());
+    EXPECT_FALSE(static_cast<bool>(untracked->backward_fn));
+    ASSERT_EQ(untracked->value.size(), tracked->value.size());
+    for (std::int64_t i = 0; i < tracked->value.size(); ++i) {
+      EXPECT_EQ(untracked->value.data()[i], tracked->value.data()[i])
+          << "element " << i << " drifted without the tape";
+    }
+  }
+  // The guard restores the previous mode on scope exit (including nesting).
+  EXPECT_TRUE(ag::grad_enabled());
+  {
+    const ag::NoGradGuard outer;
+    {
+      const ag::NoGradGuard inner;
+      EXPECT_FALSE(ag::grad_enabled());
+    }
+    EXPECT_FALSE(ag::grad_enabled());
+  }
+  EXPECT_TRUE(ag::grad_enabled());
+}
+
+TEST(Autograd, NoGradModeIsPerThread) {
+  const ag::NoGradGuard guard;
+  bool other_thread_enabled = false;
+  std::thread worker(
+      [&other_thread_enabled] { other_thread_enabled = ag::grad_enabled(); });
+  worker.join();
+  EXPECT_TRUE(other_thread_enabled) << "grad mode leaked across threads";
+  EXPECT_FALSE(ag::grad_enabled());
 }
 
 TEST(Autograd, BackwardRequiresScalarRoot) {

@@ -6,12 +6,20 @@
 #include <thread>
 #include <tuple>
 
+#include <cmath>
+#include <cstring>
+#include <limits>
+
 #include <gtest/gtest.h>
 
+#include "comm/codec.h"
 #include "comm/mailbox.h"
 #include "comm/router.h"
 #include "comm/serde.h"
 #include "common/check.h"
+#include "fl/algorithm.h"
+#include "nn/state.h"
+#include "tensor/rng.h"
 
 namespace calibre::comm {
 namespace {
@@ -243,7 +251,7 @@ TEST(Router, RoutesToHandlerAndBack) {
   EXPECT_EQ(response->sender, 3);
   const TrafficStats stats = router.stats();
   EXPECT_EQ(stats.messages, 2u);
-  EXPECT_GT(stats.bytes, 0u);
+  EXPECT_GT(stats.logical_bytes, 0u);
 }
 
 TEST(Router, UnknownEndpointThrows) {
@@ -400,6 +408,473 @@ TEST(Router, ManyConcurrentRequests) {
   for (const int count : per_endpoint) {
     EXPECT_EQ(count, kRequestsEach);
   }
+}
+
+// --- Payload: shared immutable broadcast buffers ---------------------------
+
+TEST(Payload, SharesBufferAcrossCopies) {
+  const Payload original(std::vector<std::uint8_t>{1, 2, 3});
+  const Payload copy = original;  // refcount bump, no deep copy
+  EXPECT_TRUE(original.shares_buffer_with(copy));
+  EXPECT_TRUE(copy.shares_buffer_with(original));
+  EXPECT_EQ(original.use_count(), 2);
+  EXPECT_EQ(&original.bytes(), &copy.bytes());
+
+  const Payload rebuilt(std::vector<std::uint8_t>{1, 2, 3});
+  EXPECT_FALSE(original.shares_buffer_with(rebuilt));  // equal bytes, new buffer
+}
+
+TEST(Payload, EmptyPayloadAllocatesNothing) {
+  const Payload empty;
+  const Payload from_empty_vector((std::vector<std::uint8_t>{}));
+  EXPECT_TRUE(empty.empty());
+  EXPECT_TRUE(from_empty_vector.empty());
+  EXPECT_EQ(empty.use_count(), 0);
+  EXPECT_EQ(from_empty_vector.use_count(), 0);
+  EXPECT_FALSE(empty.shares_buffer_with(from_empty_vector));
+  EXPECT_FALSE(empty.mark_transmitted());  // never "first transmission"
+}
+
+TEST(Payload, MarkTransmittedLatchesOncePerBuffer) {
+  const Payload original(std::vector<std::uint8_t>{9, 9});
+  const Payload shared = original;
+  EXPECT_TRUE(original.mark_transmitted());
+  EXPECT_FALSE(original.mark_transmitted());  // same handle
+  EXPECT_FALSE(shared.mark_transmitted());    // sharing handle, same buffer
+  const Payload fresh(std::vector<std::uint8_t>{9, 9});
+  EXPECT_TRUE(fresh.mark_transmitted());  // distinct buffer latches anew
+}
+
+TEST(Message, HeaderBytesDeriveFromActualFields) {
+  // The header cost used by traffic accounting must track the real fields.
+  Message message;
+  EXPECT_EQ(Message::kHeaderBytes, sizeof(message.type) +
+                                       sizeof(message.sender) +
+                                       sizeof(message.receiver) +
+                                       sizeof(message.round));
+  EXPECT_EQ(message.wire_size(), Message::kHeaderBytes);  // empty payload
+  message.payload = std::vector<std::uint8_t>(17, 0xAB);
+  EXPECT_EQ(message.wire_size(), Message::kHeaderBytes + 17u);
+}
+
+// --- Codec: binary16 conversion --------------------------------------------
+
+TEST(Codec, F16ConversionHitsIeeeEdgeValues) {
+  EXPECT_EQ(f32_to_f16(0.0f), 0x0000);
+  EXPECT_EQ(f32_to_f16(-0.0f), 0x8000);
+  EXPECT_EQ(f32_to_f16(1.0f), 0x3C00);
+  EXPECT_EQ(f32_to_f16(-2.0f), 0xC000);
+  EXPECT_EQ(f32_to_f16(65504.0f), 0x7BFF);  // largest finite f16
+  EXPECT_EQ(f32_to_f16(1e6f), 0x7C00);      // overflow saturates to +inf
+  EXPECT_EQ(f32_to_f16(-1e6f), 0xFC00);
+  EXPECT_EQ(f32_to_f16(std::numeric_limits<float>::infinity()), 0x7C00);
+  // Smallest subnormal (2^-24) survives; half of it ties to even -> zero.
+  EXPECT_EQ(f32_to_f16(5.9604645e-8f), 0x0001);
+  EXPECT_EQ(f32_to_f16(2.9802322e-8f), 0x0000);
+  EXPECT_EQ(f32_to_f16(-1e-12f), 0x8000);  // below-subnormal keeps the sign
+  // NaN stays NaN through the round trip.
+  const std::uint16_t nan_half =
+      f32_to_f16(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_TRUE(std::isnan(f16_to_f32(nan_half)));
+}
+
+TEST(Codec, F16RoundTripIsExactForRepresentableValues) {
+  // Integers up to 2048 and power-of-two scales are exact in binary16.
+  for (const float value : {0.0f, 1.0f, -1.0f, 2.0f, 1024.0f, 2048.0f,
+                            0.5f, -0.25f, 0.125f, 65504.0f, -65504.0f}) {
+    EXPECT_EQ(f16_to_f32(f32_to_f16(value)), value) << "value " << value;
+  }
+  for (int i = 0; i <= 2048; i += 37) {
+    const float value = static_cast<float>(i);
+    EXPECT_EQ(f16_to_f32(f32_to_f16(value)), value);
+  }
+}
+
+TEST(Codec, F16RoundsToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and the next f16 (1 + 2^-10);
+  // ties go to the even significand, i.e. 1.0.
+  EXPECT_EQ(f32_to_f16(1.0f + 0.00048828125f), 0x3C00);
+  // Just above the tie rounds up.
+  EXPECT_EQ(f32_to_f16(1.0f + 0.0005f), 0x3C01);
+}
+
+// --- Codec: block encode/decode --------------------------------------------
+
+std::vector<float> random_values(std::size_t count, std::uint64_t seed,
+                                 float scale) {
+  rng::Generator gen(seed);
+  std::vector<float> values(count);
+  for (float& v : values) v = static_cast<float>(gen.normal()) * scale;
+  return values;
+}
+
+TEST(Codec, F32BlockRoundTripsBitwise) {
+  const std::vector<float> values = random_values(129, 11, 1.0f);
+  Writer writer;
+  encode_values(writer, values, Codec::kF32);
+  const auto bytes = writer.take();
+  EXPECT_EQ(bytes.size(), encoded_size(Codec::kF32, values.size()));
+  Reader reader(bytes);
+  EXPECT_EQ(decode_values(reader), values);
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(Codec, F16BlockRoundTripsWithinHalfPrecision) {
+  const std::vector<float> values = random_values(200, 12, 1.0f);
+  Writer writer;
+  encode_values(writer, values, Codec::kF16);
+  const auto bytes = writer.take();
+  EXPECT_EQ(bytes.size(), encoded_size(Codec::kF16, values.size()));
+  Reader reader(bytes);
+  const std::vector<float> decoded = decode_values(reader);
+  ASSERT_EQ(decoded.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    // binary16 has a 10-bit significand: relative error <= 2^-11.
+    EXPECT_NEAR(decoded[i], values[i], std::abs(values[i]) * 4.9e-4f + 1e-7f);
+  }
+}
+
+TEST(Codec, Delta16BeatsF16NearTheReference) {
+  const std::vector<float> base = random_values(300, 13, 1.0f);
+  std::vector<float> values = base;
+  rng::Generator gen(14);
+  for (float& v : values) v += static_cast<float>(gen.normal()) * 0.01f;
+
+  Writer delta_writer;
+  encode_values(delta_writer, values, Codec::kDelta16, base.data(),
+                base.size());
+  auto delta_bytes = delta_writer.take();
+  Reader delta_reader(delta_bytes);
+  const std::vector<float> from_delta =
+      decode_values(delta_reader, base.data(), base.size());
+
+  Writer f16_writer;
+  encode_values(f16_writer, values, Codec::kF16);
+  auto f16_bytes = f16_writer.take();
+  Reader f16_reader(f16_bytes);
+  const std::vector<float> from_f16 = decode_values(f16_reader);
+
+  ASSERT_EQ(from_delta.size(), values.size());
+  double delta_err = 0.0, f16_err = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    delta_err += std::abs(from_delta[i] - values[i]);
+    f16_err += std::abs(from_f16[i] - values[i]);
+  }
+  // Small deltas quantize against a tiny exponent range, so the delta codec
+  // must be at least ~5x more accurate here (measured ~11x).
+  EXPECT_LT(delta_err * 5.0, f16_err);
+  EXPECT_EQ(delta_bytes.size(), f16_bytes.size());  // same wire cost
+}
+
+TEST(Codec, Delta16WithoutBaseDegradesToSelfDescribingF16) {
+  const std::vector<float> values = random_values(40, 15, 1.0f);
+  Writer writer;
+  encode_values(writer, values, Codec::kDelta16);  // no base available
+  const auto bytes = writer.take();
+  // The wire says f16, so decoding needs no reference.
+  Reader reader(bytes);
+  const std::vector<float> decoded = decode_values(reader);
+  ASSERT_EQ(decoded.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_NEAR(decoded[i], values[i], std::abs(values[i]) * 4.9e-4f + 1e-7f);
+  }
+}
+
+TEST(Codec, Delta16DecodeRequiresMatchingBase) {
+  const std::vector<float> base = random_values(8, 16, 1.0f);
+  Writer writer;
+  encode_values(writer, base, Codec::kDelta16, base.data(), base.size());
+  const auto bytes = writer.take();
+  {
+    Reader reader(bytes);
+    EXPECT_THROW(decode_values(reader), CheckError);  // no base
+  }
+  {
+    Reader reader(bytes);
+    EXPECT_THROW(decode_values(reader, base.data(), base.size() - 1),
+                 CheckError);  // wrong dimension
+  }
+}
+
+TEST(Codec, CorruptTagAndCountFailCleanly) {
+  const std::vector<float> values = {1.0f, 2.0f};
+  Writer writer;
+  encode_values(writer, values, Codec::kF32);
+  auto bytes = writer.take();
+  bytes[0] = 0x7F;  // no such codec tag
+  Reader reader(bytes);
+  EXPECT_THROW(decode_values(reader), CheckError);
+
+  // An f16 count far past the remaining bytes must not allocate.
+  Writer huge;
+  huge.write_u8(0x02);
+  huge.write_u64((1ULL << 63) + 5);
+  huge.write_u16(0);
+  const auto huge_bytes = huge.take();
+  Reader huge_reader(huge_bytes);
+  EXPECT_THROW(decode_values(huge_reader), CheckError);
+}
+
+TEST(Codec, NameRoundTrip) {
+  for (const Codec codec : {Codec::kF32, Codec::kF16, Codec::kDelta16}) {
+    EXPECT_EQ(codec_from_name(codec_name(codec)), codec);
+  }
+  EXPECT_THROW(codec_from_name("zstd"), CheckError);
+}
+
+// --- ModelState wire formats ------------------------------------------------
+
+TEST(StateWire, DefaultToBytesIsLegacyLayoutBitwise) {
+  const nn::ModelState state(std::vector<float>{1.5f, -2.0f, 0.25f});
+  const auto bytes = state.to_bytes();
+  // u32 magic | u64 count | 3 * f32 — assembled by hand.
+  Writer writer;
+  writer.write_u32(0xCA11B4E5u);
+  writer.write_f32_vector(state.values());
+  EXPECT_EQ(bytes, writer.take());
+  // The codec overload with kF32 must produce exactly the same bytes.
+  EXPECT_EQ(state.to_bytes(comm::Codec::kF32), bytes);
+  EXPECT_EQ(nn::ModelState::from_bytes(bytes).values(), state.values());
+}
+
+TEST(StateWire, CodecLayoutsRoundTripThroughFromBytes) {
+  const nn::ModelState base(random_values(64, 21, 1.0f));
+  nn::ModelState state = base;
+  for (float& v : state.values()) v += 0.003f;
+
+  const auto f16_bytes = state.to_bytes(Codec::kF16);
+  const nn::ModelState from_f16 = nn::ModelState::from_bytes(f16_bytes);
+  ASSERT_EQ(from_f16.size(), state.size());
+  EXPECT_LT(from_f16.l2_distance(state), 1e-2f);
+
+  const auto delta_bytes = state.to_bytes(Codec::kDelta16, &base);
+  const nn::ModelState from_delta =
+      nn::ModelState::from_bytes(delta_bytes, &base);
+  ASSERT_EQ(from_delta.size(), state.size());
+  EXPECT_LT(from_delta.l2_distance(state), 1e-4f);
+  EXPECT_LT(f16_bytes.size(), state.to_bytes().size() * 0.55);
+}
+
+// Every strict prefix of a valid payload must fail with CheckError — never a
+// crash, never a giant allocation, never a silent partial decode.
+void expect_all_prefixes_rejected(const std::vector<std::uint8_t>& bytes,
+                                  const nn::ModelState* base) {
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    const std::vector<std::uint8_t> prefix(bytes.begin(),
+                                           bytes.begin() + len);
+    EXPECT_THROW(nn::ModelState::from_bytes(prefix, base), CheckError)
+        << "prefix of length " << len << " slipped through";
+  }
+}
+
+TEST(StateWire, TruncationFuzzAllCodecs) {
+  const nn::ModelState base(random_values(13, 22, 1.0f));
+  const nn::ModelState state(random_values(13, 23, 1.0f));
+  expect_all_prefixes_rejected(state.to_bytes(), nullptr);
+  expect_all_prefixes_rejected(state.to_bytes(Codec::kF16), nullptr);
+  expect_all_prefixes_rejected(state.to_bytes(Codec::kDelta16, &base), &base);
+}
+
+TEST(StateWire, BitFlipFuzzEitherRejectsOrKeepsDimension) {
+  // Flipping any single bit must either fail the magic/count/size checks or
+  // decode to a state of the original dimension (a value-byte flip only
+  // perturbs one element). Nothing else is acceptable.
+  const nn::ModelState base(random_values(13, 24, 1.0f));
+  const nn::ModelState state(random_values(13, 25, 1.0f));
+  for (const Codec codec : {Codec::kF32, Codec::kF16, Codec::kDelta16}) {
+    const auto bytes = state.to_bytes(codec, &base);
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+      for (const int bit : {0, 3, 7}) {
+        auto mutated = bytes;
+        mutated[i] = static_cast<std::uint8_t>(mutated[i] ^ (1u << bit));
+        try {
+          const nn::ModelState decoded =
+              nn::ModelState::from_bytes(mutated, &base);
+          EXPECT_EQ(decoded.size(), state.size())
+              << "codec " << codec_name(codec) << " byte " << i << " bit "
+              << bit;
+        } catch (const CheckError&) {
+          // clean rejection is equally fine
+        }
+      }
+    }
+  }
+}
+
+TEST(StateWire, RandomGarbageNeverOverAllocates) {
+  rng::Generator gen(26);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> garbage(gen.uniform_index(96));
+    for (auto& b : garbage) {
+      b = static_cast<std::uint8_t>(gen.uniform_index(256));
+    }
+    try {
+      const nn::ModelState decoded = nn::ModelState::from_bytes(garbage);
+      // Counts are validated against the remaining payload, so any decode
+      // that survives is bounded by the input size.
+      EXPECT_LE(decoded.size() * sizeof(std::uint16_t), garbage.size());
+    } catch (const CheckError&) {
+    }
+  }
+}
+
+// --- ClientUpdate wire formats ---------------------------------------------
+
+fl::ClientUpdate sample_update(std::uint64_t seed) {
+  fl::ClientUpdate update;
+  update.state = nn::ModelState(random_values(19, seed, 1.0f));
+  update.weight = 32.0f;
+  update.scalars = {{"divergence", 0.125f}, {"ssl_loss", 2.5f}};
+  return update;
+}
+
+TEST(UpdateWire, LegacyLayoutIsDefaultAndBitwiseStable) {
+  const fl::ClientUpdate update = sample_update(31);
+  const auto bytes = fl::serialize_update(update);
+  // Legacy layout: f32 vector | weight | scalar map — assembled by hand.
+  Writer writer;
+  writer.write_f32_vector(update.state.values());
+  writer.write_f32(update.weight);
+  writer.write_scalar_map(update.scalars);
+  EXPECT_EQ(bytes, writer.take());
+  const fl::ClientUpdate decoded = fl::deserialize_update(bytes);
+  EXPECT_EQ(decoded.state.values(), update.state.values());
+  EXPECT_EQ(decoded.weight, update.weight);
+  EXPECT_EQ(decoded.scalars, update.scalars);
+}
+
+TEST(UpdateWire, CodecLayoutsRoundTrip) {
+  const nn::ModelState broadcast(random_values(19, 32, 1.0f));
+  fl::ClientUpdate update = sample_update(31);
+  update.state = broadcast;
+  for (float& v : update.state.values()) v += 0.002f;
+
+  for (const Codec codec : {Codec::kF16, Codec::kDelta16}) {
+    const auto bytes = fl::serialize_update(update, codec, &broadcast);
+    const fl::ClientUpdate decoded = fl::deserialize_update(bytes, &broadcast);
+    ASSERT_EQ(decoded.state.size(), update.state.size());
+    EXPECT_LT(decoded.state.l2_distance(update.state), 1e-2f);
+    EXPECT_EQ(decoded.weight, update.weight);
+    EXPECT_EQ(decoded.scalars, update.scalars);
+    EXPECT_LT(bytes.size(), fl::serialize_update(update).size());
+  }
+}
+
+TEST(UpdateWire, TruncationFuzzBothLayouts) {
+  const nn::ModelState broadcast(random_values(19, 33, 1.0f));
+  const fl::ClientUpdate update = sample_update(34);
+  for (const auto& bytes :
+       {fl::serialize_update(update),
+        fl::serialize_update(update, Codec::kF16),
+        fl::serialize_update(update, Codec::kDelta16, &broadcast)}) {
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+      const std::vector<std::uint8_t> prefix(bytes.begin(),
+                                             bytes.begin() + len);
+      EXPECT_THROW(fl::deserialize_update(prefix, &broadcast), CheckError)
+          << "prefix of length " << len;
+    }
+  }
+}
+
+TEST(UpdateWire, RandomGarbageFailsCleanly) {
+  rng::Generator gen(35);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> garbage(gen.uniform_index(96));
+    for (auto& b : garbage) {
+      b = static_cast<std::uint8_t>(gen.uniform_index(256));
+    }
+    try {
+      const fl::ClientUpdate decoded = fl::deserialize_update(garbage);
+      EXPECT_LE(decoded.state.size() * sizeof(std::uint16_t), garbage.size());
+    } catch (const CheckError&) {
+    }
+  }
+}
+
+// --- Router: shared-payload accounting and concurrent reads -----------------
+
+TEST(Router, SharedBroadcastCountsPhysicalBytesOnce) {
+  Router router(2);
+  constexpr int kClients = 8;
+  for (int e = 0; e < kClients; ++e) {
+    router.register_endpoint(e, [](const Message&) {});
+  }
+  const Payload snapshot{std::vector<std::uint8_t>(1000, 0x5A)};
+  for (int e = 0; e < kClients; ++e) {
+    Message request;
+    request.receiver = e;
+    request.payload = snapshot;  // refcount bump, same buffer
+    router.send(std::move(request));
+  }
+  const TrafficStats stats = router.stats();
+  EXPECT_EQ(stats.messages, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(stats.logical_bytes,
+            static_cast<std::uint64_t>(kClients) *
+                (1000 + Message::kHeaderBytes));
+  // Payload bytes hit the wire once; later sends cost only the header.
+  EXPECT_EQ(stats.physical_bytes,
+            1000 + static_cast<std::uint64_t>(kClients) * Message::kHeaderBytes);
+  EXPECT_EQ(stats.broadcast_serializations, 1u);
+  EXPECT_EQ(stats.collect_serializations, 0u);
+  EXPECT_EQ(stats.broadcast_bytes, stats.logical_bytes);
+  EXPECT_EQ(stats.collected_bytes, 0u);
+}
+
+TEST(Router, TrafficStatsDifferenceIsComponentWise) {
+  Router router(1);
+  router.register_endpoint(0, [](const Message&) {});
+  Message first;
+  first.receiver = 0;
+  first.payload = std::vector<std::uint8_t>(100, 1);
+  router.send(std::move(first));
+  const TrafficStats before = router.stats();
+  Message second;
+  second.receiver = 0;
+  second.payload = std::vector<std::uint8_t>(60, 2);
+  router.send(std::move(second));
+  const TrafficStats delta = router.stats() - before;
+  EXPECT_EQ(delta.messages, 1u);
+  EXPECT_EQ(delta.logical_bytes, 60 + Message::kHeaderBytes);
+  EXPECT_EQ(delta.physical_bytes, 60 + Message::kHeaderBytes);
+  EXPECT_EQ(delta.broadcast_serializations, 1u);
+}
+
+TEST(Router, ConcurrentHandlersReadOneSharedBufferSafely) {
+  // The zero-copy contract: many pool threads read the same immutable buffer
+  // concurrently with no synchronization beyond the refcount. Run under TSan
+  // via calibre_concurrency_tests.
+  Router router(4);
+  constexpr int kClients = 16;
+  const std::vector<std::uint8_t> blob(4096, 0x3C);
+  std::uint64_t expected_sum = 0;
+  for (const std::uint8_t b : blob) expected_sum += b;
+  for (int e = 0; e < kClients; ++e) {
+    router.register_endpoint(e, [&router, e](const Message& request) {
+      std::uint64_t sum = 0;
+      for (const std::uint8_t b : request.payload.bytes()) sum += b;
+      Message response;
+      response.type = MessageType::kTrainResponse;
+      response.sender = e;
+      response.receiver = kServerEndpoint;
+      response.round = static_cast<int>(sum & 0x7FFFFFFF);
+      router.send(std::move(response));
+    });
+  }
+  const Payload snapshot{std::vector<std::uint8_t>(blob)};
+  for (int e = 0; e < kClients; ++e) {
+    Message request;
+    request.receiver = e;
+    request.payload = snapshot;
+    router.send(std::move(request));
+  }
+  for (int i = 0; i < kClients; ++i) {
+    const auto response =
+        router.server_mailbox().pop_for(std::chrono::seconds(60));
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(static_cast<std::uint64_t>(response->round),
+              expected_sum & 0x7FFFFFFF);
+  }
+  EXPECT_EQ(router.stats().broadcast_serializations, 1u);
 }
 
 }  // namespace

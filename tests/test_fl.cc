@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "comm/message.h"
 #include "common/check.h"
 #include "fl/algorithm.h"
 #include "fl/fed_data.h"
@@ -476,6 +477,85 @@ TEST(RunnerDropout, DropoutStreamDoesNotPerturbSampling) {
           << "round " << round << ": client " << id
           << " trained only because dropout perturbed the sampling stream";
     }
+  }
+}
+
+// --- zero-copy broadcast + wire codec traffic ------------------------------
+
+TEST(RunnerTraffic, OneBroadcastSerializationPerRoundRegardlessOfClients) {
+  for (const int clients : {2, 6}) {
+    FlConfig config = toy_config(clients);
+    config.rounds = 3;
+    ToyAlgorithm algorithm(config);
+    const FedDataset fed = toy_fed(clients);
+    const RunResult result = run_federated(algorithm, fed, false);
+    ASSERT_EQ(result.history.size(), 3u);
+    // Toy state is 2 floats: magic(4) + count(8) + 2*f32(8) = 20 payload
+    // bytes, shared by every request of the round.
+    const std::uint64_t request_wire = 20 + comm::Message::kHeaderBytes;
+    for (const RoundStats& round : result.history) {
+      EXPECT_EQ(round.serializations, 1u)
+          << clients << " clients must share one snapshot";
+      EXPECT_EQ(round.bytes_broadcast,
+                static_cast<std::uint64_t>(clients) * request_wire);
+      EXPECT_GT(round.bytes_collected, 0u);
+    }
+    EXPECT_EQ(result.traffic.broadcast_serializations,
+              static_cast<std::uint64_t>(config.rounds));
+    // Dedup is the whole point: physical strictly below logical.
+    EXPECT_LT(result.traffic.physical_bytes, result.traffic.logical_bytes);
+  }
+}
+
+TEST(RunnerTraffic, RetryResendSharesTheRoundSnapshot) {
+  const int clients = 3;
+  FlConfig config = toy_config(clients);
+  config.rounds = 1;
+  config.max_client_retries = 1;
+  std::atomic<int> attempts{0};
+  ToyAlgorithm algorithm(config, [&](const ClientContext& ctx) {
+    if (ctx.client_id == 1 && attempts.fetch_add(1) == 0) {
+      throw std::runtime_error("transient");
+    }
+  });
+  const FedDataset fed = toy_fed(clients);
+  const RunResult result = run_federated(algorithm, fed, false);
+  ASSERT_EQ(result.history.size(), 1u);
+  EXPECT_EQ(result.history[0].retries, 1);
+  // The retry re-send rides the same buffer: still one serialization, and
+  // the extra send shows up in the round's logical broadcast bytes.
+  EXPECT_EQ(result.history[0].serializations, 1u);
+  const std::uint64_t request_wire = 20 + comm::Message::kHeaderBytes;
+  EXPECT_EQ(result.history[0].bytes_broadcast,
+            static_cast<std::uint64_t>(clients + 1) * request_wire);
+}
+
+TEST(RunnerTraffic, CompactCodecsTrackTheLosslessRun) {
+  const int clients = 4;
+  auto run_with = [&](comm::Codec codec) {
+    FlConfig config = toy_config(clients);
+    config.rounds = 3;
+    config.wire_codec = codec;
+    ToyAlgorithm algorithm(config);
+    const FedDataset fed = toy_fed(clients);
+    return run_federated(algorithm, fed, false);
+  };
+  const RunResult f32 = run_with(comm::Codec::kF32);
+  const RunResult f16 = run_with(comm::Codec::kF16);
+  const RunResult delta16 = run_with(comm::Codec::kDelta16);
+  ASSERT_EQ(f16.history.size(), 3u);
+  ASSERT_EQ(delta16.history.size(), 3u);
+  // Toy values are small power-of-two sums, so the quantized runs stay very
+  // close to the lossless one; delta16 encodes sub-unit deltas and lands
+  // even tighter.
+  EXPECT_LT(f16.final_state.l2_distance(f32.final_state), 1e-2f);
+  EXPECT_LT(delta16.final_state.l2_distance(f32.final_state), 1e-3f);
+  for (const RunResult* compact : {&f16, &delta16}) {
+    EXPECT_EQ(compact->history[0].serializations, 1u);
+    // Two-byte elements shrink every broadcast payload (20 -> 17 bytes for
+    // the 2-float toy state).
+    EXPECT_LT(compact->history[0].bytes_broadcast,
+              f32.history[0].bytes_broadcast);
   }
 }
 

@@ -143,9 +143,15 @@ TEST(Integration, TrafficScalesWithRoundsAndModelSize) {
   const auto b = algos::make_algorithm("FedAvg", long_config);
   const auto traffic_long = fl::run_federated(*b, world().fed, false).traffic;
   EXPECT_EQ(traffic_long.messages, 2 * traffic_short.messages);
-  EXPECT_NEAR(static_cast<double>(traffic_long.bytes),
-              2.0 * static_cast<double>(traffic_short.bytes),
-              0.01 * static_cast<double>(traffic_long.bytes));
+  EXPECT_NEAR(static_cast<double>(traffic_long.logical_bytes),
+              2.0 * static_cast<double>(traffic_short.logical_bytes),
+              0.01 * static_cast<double>(traffic_long.logical_bytes));
+  // The shared broadcast snapshot keeps physical traffic well under logical
+  // traffic (payload buffers counted once), and serializations at one per
+  // round no matter how many clients were broadcast to.
+  EXPECT_LT(traffic_long.physical_bytes, traffic_long.logical_bytes);
+  EXPECT_EQ(traffic_long.broadcast_serializations,
+            static_cast<std::uint64_t>(long_config.rounds));
 }
 
 TEST(Integration, DivergenceScalarTravelsWithCalibreUpdates) {

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "autograd/variable.h"
 #include "nn/optim.h"
 #include "ssl/byol.h"
 #include "ssl/mocov2.h"
@@ -101,6 +102,21 @@ TEST_P(SslMethodSuite, EncodeMatchesForwardFeatures) {
   const Tensor features = method->encode(x);
   const SslForward fwd = method->forward(x, x);
   EXPECT_TRUE(tensor::allclose(features, fwd.z1->value, 1e-5f));
+}
+
+TEST_P(SslMethodSuite, EncodeUsesNoGradModeAndStaysBitwiseIdentical) {
+  // encode() runs the encoder under NoGradGuard — a pure value pass with no
+  // tape. The guard must not leak out, and the no-tape forward must match a
+  // grad-mode forward bit for bit (same kernels either way).
+  const auto method = make_method(GetParam(), small_encoder(), small_ssl(), 9);
+  const Tensor x = random_batch(10);
+  const Tensor features = method->encode(x);
+  EXPECT_TRUE(ag::grad_enabled()) << "encode() leaked no-grad mode";
+  const SslForward fwd = method->forward(x, x);
+  ASSERT_EQ(features.size(), fwd.z1->value.size());
+  for (std::int64_t i = 0; i < features.size(); ++i) {
+    EXPECT_EQ(features.data()[i], fwd.z1->value.data()[i]) << "element " << i;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllMethods, SslMethodSuite,
