@@ -494,16 +494,16 @@ VarPtr l2_normalize(const VarPtr& a, float eps) {
       std::move(out), {a}, [a, norms = std::move(norms)](Variable& self) {
         float* gd = self.grad.data();
         const float* yd = self.value.data();
-        const float* nd = norms.data();
-        const std::int64_t rows = self.grad.rows();
-        const std::int64_t cols = self.grad.cols();
-        for (std::int64_t r = 0; r < rows; ++r) {
-          float* grow = gd + r * cols;
-          const float* yrow = yd + r * cols;
+        const float* norm_d = norms.data();
+        const std::int64_t g_rows = self.grad.rows();
+        const std::int64_t g_cols = self.grad.cols();
+        for (std::int64_t r = 0; r < g_rows; ++r) {
+          float* grow = gd + r * g_cols;
+          const float* yrow = yd + r * g_cols;
           float dot = 0.0f;
-          for (std::int64_t c = 0; c < cols; ++c) dot += grow[c] * yrow[c];
-          const float inv = 1.0f / nd[r];
-          for (std::int64_t c = 0; c < cols; ++c) {
+          for (std::int64_t c = 0; c < g_cols; ++c) dot += grow[c] * yrow[c];
+          const float inv = 1.0f / norm_d[r];
+          for (std::int64_t c = 0; c < g_cols; ++c) {
             grow[c] = (grow[c] - yrow[c] * dot) * inv;
           }
         }
@@ -539,13 +539,13 @@ VarPtr ntxent_logits(const VarPtr& z, float temperature) {
   }
   return make_node(
       std::move(out), {z}, [z, inv_t](Variable& self) {
-        const std::int64_t n = z->value.rows();
-        const std::int64_t k = z->value.cols();
+        const std::int64_t zn = z->value.rows();
+        const std::int64_t zk = z->value.cols();
         float* gd = self.grad.data();
-        for (std::int64_t i = 0; i < n; ++i) gd[i * n + i] = 0.0f;
-        Tensor gz(n, k);  // zero-initialised: both GEMMs accumulate
-        tensor::kernels::gemm(n, n, k, gd, z->value.data(), gz.data());
-        tensor::kernels::gemm_tn(n, n, k, gd, z->value.data(), gz.data());
+        for (std::int64_t i = 0; i < zn; ++i) gd[i * zn + i] = 0.0f;
+        Tensor gz(zn, zk);  // zero-initialised: both GEMMs accumulate
+        tensor::kernels::gemm(zn, zn, zk, gd, z->value.data(), gz.data());
+        tensor::kernels::gemm_tn(zn, zn, zk, gd, z->value.data(), gz.data());
         gz.scale_(inv_t);
         push(z, std::move(gz));
       });
@@ -646,20 +646,20 @@ VarPtr layer_norm(const VarPtr& x, const VarPtr& gamma, const VarPtr& beta,
       std::move(out), {x, gamma, beta},
       [x, gamma, beta, xhat = std::move(xhat),
        inv_std = std::move(inv_std)](Variable& self) {
-        const std::int64_t rows = self.grad.rows();
-        const std::int64_t cols = self.grad.cols();
-        const float inv_cols = 1.0f / static_cast<float>(cols);
-        const float* gd = self.grad.data();
-        const float* hd = xhat.data();
-        const float* sd = inv_std.data();
+        const std::int64_t g_rows = self.grad.rows();
+        const std::int64_t g_cols = self.grad.cols();
+        const float g_inv_cols = 1.0f / static_cast<float>(g_cols);
+        const float* grad_d = self.grad.data();
+        const float* hat_d = xhat.data();
+        const float* std_d = inv_std.data();
         const float* gammad = gamma->value.data();
         if (gamma->requires_grad) {
-          Tensor dgamma(1, cols);
+          Tensor dgamma(1, g_cols);
           float* dgd = dgamma.data();
-          for (std::int64_t r = 0; r < rows; ++r) {
-            const float* grow = gd + r * cols;
-            const float* hrow = hd + r * cols;
-            for (std::int64_t c = 0; c < cols; ++c) {
+          for (std::int64_t r = 0; r < g_rows; ++r) {
+            const float* grow = grad_d + r * g_cols;
+            const float* hrow = hat_d + r * g_cols;
+            for (std::int64_t c = 0; c < g_cols; ++c) {
               dgd[c] += grow[c] * hrow[c];
             }
           }
@@ -669,23 +669,23 @@ VarPtr layer_norm(const VarPtr& x, const VarPtr& gamma, const VarPtr& beta,
           push(beta, tensor::col_sum(self.grad));
         }
         if (x->requires_grad) {
-          Tensor dx = Tensor::uninit(rows, cols);
+          Tensor dx = Tensor::uninit(g_rows, g_cols);
           float* dxd = dx.data();
-          for (std::int64_t r = 0; r < rows; ++r) {
-            const float* grow = gd + r * cols;
-            const float* hrow = hd + r * cols;
-            float* dxrow = dxd + r * cols;
+          for (std::int64_t r = 0; r < g_rows; ++r) {
+            const float* grow = grad_d + r * g_cols;
+            const float* hrow = hat_d + r * g_cols;
+            float* dxrow = dxd + r * g_cols;
             float sum_gh = 0.0f;
             float sum_gh_h = 0.0f;
-            for (std::int64_t c = 0; c < cols; ++c) {
+            for (std::int64_t c = 0; c < g_cols; ++c) {
               const float gh = grow[c] * gammad[c];
               sum_gh += gh;
               sum_gh_h += gh * hrow[c];
             }
-            const float mean_gh = sum_gh * inv_cols;
-            const float mean_gh_h = sum_gh_h * inv_cols;
-            const float inv = sd[r];
-            for (std::int64_t c = 0; c < cols; ++c) {
+            const float mean_gh = sum_gh * g_inv_cols;
+            const float mean_gh_h = sum_gh_h * g_inv_cols;
+            const float inv = std_d[r];
+            for (std::int64_t c = 0; c < g_cols; ++c) {
               const float gh = grow[c] * gammad[c];
               dxrow[c] = (gh - mean_gh - hrow[c] * mean_gh_h) * inv;
             }

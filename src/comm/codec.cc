@@ -143,10 +143,11 @@ std::vector<float> decode_values(Reader& reader, const float* base,
     }
     case Codec::kDelta16: {
       const std::vector<std::uint16_t> halves = reader.read_u16_vector();
-      CALIBRE_CHECK_MSG(base != nullptr && base_size == halves.size(),
+      CALIBRE_CHECK_MSG(base != nullptr,
                         "delta16 block of " << halves.size()
-                            << " values needs a matching reference (have "
-                            << (base == nullptr ? 0 : base_size) << ")");
+                                            << " values with no reference");
+      CALIBRE_CHECK_EQ(base_size, halves.size(),
+                       "delta16 reference/block size mismatch");
       std::vector<float> values(halves.size());
       for (std::size_t i = 0; i < halves.size(); ++i) {
         values[i] = base[i] + f16_to_f32(halves[i]);

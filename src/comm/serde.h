@@ -56,6 +56,7 @@ class Writer {
 
  private:
   void write_raw(const void* data, std::size_t size) {
+    if (size == 0) return;  // empty vectors hand us data() == nullptr
     const auto* begin = static_cast<const std::uint8_t*>(data);
     buffer_.insert(buffer_.end(), begin, begin + size);
   }
@@ -97,10 +98,7 @@ class Reader {
     const std::uint32_t size = read_u32();
     // Validate against the remaining bytes *before* allocating: a corrupt
     // length must fail cleanly, not request a multi-GB buffer.
-    CALIBRE_CHECK_MSG(size <= remaining(),
-                      "serde corrupt string length " << size << " with "
-                                                     << remaining()
-                                                     << " bytes remaining");
+    CALIBRE_CHECK_LE(size, remaining(), "serde corrupt string length");
     std::string value(size, '\0');
     read_raw(value.data(), size);
     return value;
@@ -111,10 +109,8 @@ class Reader {
     // Checked as count <= remaining/4 (not count*4 <= remaining): an
     // untrusted u64 count can wrap the multiplication and slip past the
     // underflow check in read_raw with an absurd allocation.
-    CALIBRE_CHECK_MSG(count <= remaining() / sizeof(float),
-                      "serde corrupt f32 count " << count << " with "
-                                                 << remaining()
-                                                 << " bytes remaining");
+    CALIBRE_CHECK_LE(count, remaining() / sizeof(float),
+                     "serde corrupt f32 count");
     std::vector<float> values(count);
     read_raw(values.data(), count * sizeof(float));
     return values;
@@ -124,10 +120,8 @@ class Reader {
     const std::uint64_t count = read_u64();
     // Same wraparound-proof shape as read_f32_vector: bound the count by the
     // remaining bytes before allocating.
-    CALIBRE_CHECK_MSG(count <= remaining() / sizeof(std::uint16_t),
-                      "serde corrupt u16 count " << count << " with "
-                                                 << remaining()
-                                                 << " bytes remaining");
+    CALIBRE_CHECK_LE(count, remaining() / sizeof(std::uint16_t),
+                     "serde corrupt u16 count");
     std::vector<std::uint16_t> values(count);
     read_raw(values.data(), count * sizeof(std::uint16_t));
     return values;
@@ -149,9 +143,10 @@ class Reader {
   std::size_t remaining() const { return bytes_.size() - cursor_; }
 
   void read_raw(void* out, std::size_t size) {
-    CALIBRE_CHECK_MSG(cursor_ + size <= bytes_.size(),
-                      "serde underflow: want " << size << " at " << cursor_
-                                               << "/" << bytes_.size());
+    CALIBRE_CHECK_LE(size, remaining(),
+                     "serde underflow at offset " << cursor_ << "/"
+                                                  << bytes_.size());
+    if (size == 0) return;  // out (and bytes_.data()) may be null for 0 bytes
     std::memcpy(out, bytes_.data() + cursor_, size);
     cursor_ += size;
   }

@@ -6,9 +6,11 @@
 // worse than a crash.
 #pragma once
 
+#include <ostream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 
 namespace calibre {
 
@@ -25,6 +27,35 @@ namespace detail {
                                       int line, const std::string& msg) {
   std::ostringstream os;
   os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+// Streams a comparison operand into the failure message. Byte-sized integers
+// print as numbers (not characters) and bools as true/false, since the
+// operands at check sites are counts, sizes and flags, never text.
+template <class T>
+void stream_operand(std::ostream& os, const T& value) {
+  if constexpr (std::is_same_v<T, bool>) {
+    os << (value ? "true" : "false");
+  } else if constexpr (std::is_integral_v<T> && sizeof(T) == 1) {
+    os << static_cast<int>(value);
+  } else {
+    os << value;
+  }
+}
+
+template <class A, class B>
+[[noreturn]] void check_op_failed(const char* a_expr, const char* op,
+                                  const char* b_expr, const A& a, const B& b,
+                                  const char* file, int line,
+                                  const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << a_expr << ' ' << op << ' ' << b_expr << " (";
+  stream_operand(os, a);
+  os << " vs ";
+  stream_operand(os, b);
+  os << ") at " << file << ":" << line;
   if (!msg.empty()) os << " — " << msg;
   throw CheckError(os.str());
 }
@@ -48,3 +79,29 @@ namespace detail {
                                       calibre_check_os_.str());          \
     }                                                                    \
   } while (0)
+
+// Typed comparison checks: CALIBRE_CHECK_EQ(a, b) and friends print *both
+// operand values* on failure, where CALIBRE_CHECK(a == b) only prints the
+// expression text. An optional trailing message is streamed after the
+// operands: CALIBRE_CHECK_LE(count, cap, "while decoding " << name).
+// Operands are evaluated exactly once.
+#define CALIBRE_CHECK_OP_(op, a, b, ...)                                 \
+  do {                                                                   \
+    auto&& calibre_lhs_ = (a);                                           \
+    auto&& calibre_rhs_ = (b);                                           \
+    if (!(calibre_lhs_ op calibre_rhs_)) {                               \
+      std::ostringstream calibre_check_os_;                              \
+      __VA_OPT__(calibre_check_os_ << __VA_ARGS__;)                      \
+      ::calibre::detail::check_op_failed(#a, #op, #b, calibre_lhs_,      \
+                                         calibre_rhs_, __FILE__,         \
+                                         __LINE__,                       \
+                                         calibre_check_os_.str());       \
+    }                                                                    \
+  } while (0)
+
+#define CALIBRE_CHECK_EQ(a, b, ...) CALIBRE_CHECK_OP_(==, a, b, __VA_ARGS__)
+#define CALIBRE_CHECK_NE(a, b, ...) CALIBRE_CHECK_OP_(!=, a, b, __VA_ARGS__)
+#define CALIBRE_CHECK_LT(a, b, ...) CALIBRE_CHECK_OP_(<, a, b, __VA_ARGS__)
+#define CALIBRE_CHECK_LE(a, b, ...) CALIBRE_CHECK_OP_(<=, a, b, __VA_ARGS__)
+#define CALIBRE_CHECK_GT(a, b, ...) CALIBRE_CHECK_OP_(>, a, b, __VA_ARGS__)
+#define CALIBRE_CHECK_GE(a, b, ...) CALIBRE_CHECK_OP_(>=, a, b, __VA_ARGS__)

@@ -1,16 +1,43 @@
 #include "common/env.h"
 
+#include <cerrno>
+#include <climits>
 #include <cstdlib>
+#include <string>
 #include <string_view>
 
+#include "common/check.h"
+
 namespace calibre::env {
+namespace {
+
+// Lower-cases ASCII so flag spellings like "TRUE"/"On" normalize before
+// matching. Locale-independent on purpose (std::tolower is locale-sensitive).
+std::string ascii_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+}  // namespace
 
 int get_int(const char* name, int fallback) {
   const char* v = std::getenv(name);
   if (v == nullptr) return fallback;
   char* end = nullptr;
+  errno = 0;
   const long parsed = std::strtol(v, &end, 10);
-  if (end == v || *end != '\0') return fallback;
+  // A set-but-garbage variable is a user error that must fail loudly: an
+  // experiment silently running with the fallback (e.g. a typo'd
+  // CALIBRE_ROUNDS) produces wrong results that look right.
+  CALIBRE_CHECK_MSG(end != v && *end == '\0',
+                    "env var " << name << "='" << v
+                               << "' is not an integer");
+  CALIBRE_CHECK_MSG(errno != ERANGE && parsed >= INT_MIN && parsed <= INT_MAX,
+                    "env var " << name << "='" << v
+                               << "' is out of int range");
   return static_cast<int>(parsed);
 }
 
@@ -19,7 +46,8 @@ double get_double(const char* name, double fallback) {
   if (v == nullptr) return fallback;
   char* end = nullptr;
   const double parsed = std::strtod(v, &end);
-  if (end == v || *end != '\0') return fallback;
+  CALIBRE_CHECK_MSG(end != v && *end == '\0',
+                    "env var " << name << "='" << v << "' is not a number");
   return parsed;
 }
 
@@ -31,8 +59,13 @@ std::string get_string(const char* name, const std::string& fallback) {
 bool get_flag(const char* name, bool fallback) {
   const char* v = std::getenv(name);
   if (v == nullptr) return fallback;
-  const std::string_view s(v);
-  return s == "1" || s == "true" || s == "yes" || s == "on";
+  const std::string s = ascii_lower(v);
+  if (s == "1" || s == "true" || s == "yes" || s == "on") return true;
+  if (s == "0" || s == "false" || s == "no" || s == "off") return false;
+  CALIBRE_CHECK_MSG(false, "env var " << name << "='" << v
+                                      << "' is not a boolean (expected "
+                                         "1/true/yes/on or 0/false/no/off)");
+  return fallback;
 }
 
 }  // namespace calibre::env

@@ -4,19 +4,26 @@
 
 #include <string>
 
+// Parsing is strict: an *unset* variable yields the fallback, but a variable
+// that is set to something unparsable throws CheckError instead of silently
+// defaulting — a typo'd CALIBRE_ROUNDS must not quietly run the wrong
+// experiment.
 namespace calibre::env {
 
-// Returns the integer value of `name`, or `fallback` when the variable is
-// unset or unparsable.
+// Returns the integer value of `name`, or `fallback` when unset. Throws
+// CheckError when set but not an in-range integer.
 int get_int(const char* name, int fallback);
 
-// Returns the double value of `name`, or `fallback` when unset/unparsable.
+// Returns the double value of `name`, or `fallback` when unset. Throws
+// CheckError when set but not a number.
 double get_double(const char* name, double fallback);
 
 // Returns the string value of `name`, or `fallback` when unset.
 std::string get_string(const char* name, const std::string& fallback);
 
-// True when the variable is set to a truthy value ("1", "true", "yes", "on").
+// True when the variable is set to a truthy value ("1"/"true"/"yes"/"on",
+// case-insensitive), false for falsy ("0"/"false"/"no"/"off"). Throws
+// CheckError for anything else.
 bool get_flag(const char* name, bool fallback = false);
 
 }  // namespace calibre::env

@@ -32,17 +32,14 @@ void ModelState::apply_to(const std::vector<ag::VarPtr>& params) const {
   std::size_t offset = 0;
   for (const ag::VarPtr& p : params) {
     const std::size_t count = static_cast<std::size_t>(p->value.size());
-    CALIBRE_CHECK_MSG(offset + count <= values_.size(),
-                      "ModelState too small: have " << values_.size());
+    CALIBRE_CHECK_LE(offset + count, values_.size(), "ModelState too small");
     std::copy(values_.begin() + static_cast<std::ptrdiff_t>(offset),
               values_.begin() + static_cast<std::ptrdiff_t>(offset + count),
               p->value.storage().begin());
     offset += count;
   }
-  CALIBRE_CHECK_MSG(offset == values_.size(),
-                    "ModelState size mismatch: state " << values_.size()
-                                                       << " vs params "
-                                                       << offset);
+  CALIBRE_CHECK_EQ(offset, values_.size(),
+                   "ModelState / parameter-list size mismatch");
 }
 
 ModelState ModelState::zeros_like(const std::vector<ag::VarPtr>& params) {

@@ -279,10 +279,9 @@ void row_sq_norms(std::int64_t n, std::int64_t k, const float* a, float* out) {
 namespace calibre::tensor {
 
 Tensor matmul_nt(const Tensor& a, const Tensor& b) {
-  CALIBRE_CHECK_MSG(a.cols() == b.cols(), "matmul_nt " << a.shape_string()
-                                                       << " x "
-                                                       << b.shape_string()
-                                                       << "^T");
+  CALIBRE_CHECK_EQ(a.cols(), b.cols(),
+                   "matmul_nt " << a.shape_string() << " x "
+                                << b.shape_string() << "^T");
   Tensor out(a.rows(), b.rows());
   kernels::gemm_nt(a.rows(), a.cols(), b.rows(), a.data(), b.data(),
                    out.data());
@@ -290,9 +289,9 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
 }
 
 Tensor matmul_tn(const Tensor& a, const Tensor& b) {
-  CALIBRE_CHECK_MSG(a.rows() == b.rows(), "matmul_tn " << a.shape_string()
-                                                       << "^T x "
-                                                       << b.shape_string());
+  CALIBRE_CHECK_EQ(a.rows(), b.rows(),
+                   "matmul_tn " << a.shape_string() << "^T x "
+                                << b.shape_string());
   Tensor out(a.cols(), b.cols());
   kernels::gemm_tn(a.cols(), a.rows(), b.cols(), a.data(), b.data(),
                    out.data());
@@ -300,7 +299,7 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
 }
 
 Tensor pairwise_sq_dists(const Tensor& a, const Tensor& b) {
-  CALIBRE_CHECK_MSG(a.cols() == b.cols(), "pairwise_sq_dists dim mismatch");
+  CALIBRE_CHECK_EQ(a.cols(), b.cols(), "pairwise_sq_dists dim mismatch");
   const std::int64_t n = a.rows();
   const std::int64_t m = b.rows();
   const std::int64_t k = a.cols();

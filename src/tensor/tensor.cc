@@ -355,8 +355,8 @@ Tensor square(const Tensor& a) {
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
-  CALIBRE_CHECK_MSG(a.cols() == b.rows(), "matmul " << a.shape_string() << " x "
-                                                    << b.shape_string());
+  CALIBRE_CHECK_EQ(a.cols(), b.rows(),
+                   "matmul " << a.shape_string() << " x " << b.shape_string());
   Tensor out(a.rows(), b.cols());
   kernels::gemm(a.rows(), a.cols(), b.cols(), a.data(), b.data(), out.data());
   return out;
@@ -433,7 +433,7 @@ Tensor concat_rows(const std::vector<Tensor>& parts) {
   const std::int64_t cols = parts.front().cols();
   std::int64_t rows = 0;
   for (const Tensor& part : parts) {
-    CALIBRE_CHECK_MSG(part.cols() == cols, "concat_rows col mismatch");
+    CALIBRE_CHECK_EQ(part.cols(), cols, "concat_rows col mismatch");
     rows += part.rows();
   }
   Tensor out = Tensor::uninit(rows, cols);
@@ -451,7 +451,7 @@ Tensor concat_cols(const std::vector<Tensor>& parts) {
   const std::int64_t rows = parts.front().rows();
   std::int64_t cols = 0;
   for (const Tensor& part : parts) {
-    CALIBRE_CHECK_MSG(part.rows() == rows, "concat_cols row mismatch");
+    CALIBRE_CHECK_EQ(part.rows(), rows, "concat_cols row mismatch");
     cols += part.cols();
   }
   Tensor out = Tensor::uninit(rows, cols);

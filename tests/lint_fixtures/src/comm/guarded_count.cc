@@ -1,0 +1,19 @@
+// False-positive regression: the same decode shape as unguarded_count.cc but
+// with the wraparound-proof guard in place — must produce zero findings.
+#include <cstdint>
+#include <vector>
+
+struct FakeReader {
+  std::uint64_t read_u64();
+  std::size_t remaining() const;
+};
+
+// Stand-in for common/check.h in this never-compiled fixture tree.
+#define CALIBRE_CHECK_LE(a, b) ((void)((a) <= (b)))
+
+std::vector<int> decode_guarded(FakeReader& reader) {
+  const std::uint64_t count = reader.read_u64();
+  CALIBRE_CHECK_LE(count, reader.remaining() / sizeof(int));
+  std::vector<int> values(count);
+  return values;
+}

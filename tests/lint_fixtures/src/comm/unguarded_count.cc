@@ -1,0 +1,15 @@
+// Seeded violation: an untrusted wire count sizes an allocation with no
+// CALIBRE_CHECK* validating it against the remaining bytes first.
+// expect-lint: serde-count-guard
+#include <cstdint>
+#include <vector>
+
+struct FakeReader {
+  std::uint64_t read_u64();
+};
+
+std::vector<int> decode_naive(FakeReader& reader) {
+  const std::uint64_t count = reader.read_u64();
+  std::vector<int> values(count);  // a corrupt count allocates gigabytes
+  return values;
+}

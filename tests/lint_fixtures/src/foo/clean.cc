@@ -1,0 +1,8 @@
+// A clean library file: the self-test asserts zero findings here, including
+// that mentions of rand(), malloc(), std::thread or assert( inside comments
+// and string literals never fire (the linter strips both before matching).
+#include <string>
+
+std::string describe() {
+  return "calls like rand() or malloc() in a string are not violations";
+}

@@ -1,0 +1,3 @@
+// Seeded violation: a header with no include guard of any kind.
+// expect-lint: pragma-once
+int fixture_header_value();

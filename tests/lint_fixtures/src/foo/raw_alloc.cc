@@ -1,0 +1,10 @@
+// Seeded violation: raw float-buffer management outside tensor/{pool,tensor}.
+// expect-lint: pool-bypass
+#include <cstdlib>
+
+float* leaky_scratch(int n) {
+  float* p = new float[static_cast<unsigned>(n)];
+  void* q = malloc(16);
+  free(q);
+  return p;
+}

@@ -1,0 +1,6 @@
+// Seeded violation: a raw std::thread outside common/thread_pool.*, invisible
+// to the TSan lane's ThreadPool coverage.
+// expect-lint: thread-funnel
+#include <thread>
+
+void fire_and_forget() { std::thread([] {}).detach(); }

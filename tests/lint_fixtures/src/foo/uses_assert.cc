@@ -1,0 +1,6 @@
+// Seeded violation: assert() in library code — compiles out under NDEBUG,
+// so the invariant silently stops being checked in release builds.
+// expect-lint: check-not-assert
+#include <cassert>
+
+void require_square(int rows, int cols) { assert(rows == cols); }

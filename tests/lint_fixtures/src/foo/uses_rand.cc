@@ -1,0 +1,5 @@
+// Seeded violation: libc rand() in library code outside tensor/rng.cc.
+// expect-lint: determinism-rng
+#include <cstdlib>
+
+int noisy_client_pick(int n) { return rand() % n; }

@@ -1,0 +1,10 @@
+// Seeded violation: wall-clock reads (time(), system_clock) feeding library
+// state, which breaks run-to-run bitwise determinism.
+// expect-lint: determinism-rng
+#include <chrono>
+#include <ctime>
+
+long clocky_seed() {
+  const long t = static_cast<long>(time(nullptr));
+  return t + std::chrono::system_clock::now().time_since_epoch().count();
+}

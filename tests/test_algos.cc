@@ -86,8 +86,8 @@ TEST_P(AlgorithmSuite, EndToEndFederationProducesValidAccuracies) {
 INSTANTIATE_TEST_SUITE_P(
     AllRegistered, AlgorithmSuite,
     ::testing::ValuesIn(registered_algorithms()),
-    [](const auto& info) {
-      std::string name = info.param;
+    [](const auto& suite_info) {
+      std::string name = suite_info.param;
       for (char& c : name) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }

@@ -498,6 +498,40 @@ TEST(Codec, F16RoundsToNearestEven) {
   EXPECT_EQ(f32_to_f16(1.0f + 0.0005f), 0x3C01);
 }
 
+// Exhaustive defined-behavior proof for the conversion pair: every one of
+// the 65536 binary16 bit patterns decodes and re-encodes without UB (this
+// test runs inside the ubsan lane, where any shift/overflow/float-cast UB
+// aborts) and round-trips bit-identically — subnormals, both zeros, both
+// infinities included. NaNs keep sign and NaN-ness but canonicalize their
+// payload to the single quiet bit f32_to_f16 emits.
+TEST(Codec, F16AllBitPatternsRoundTripBitwise) {
+  for (std::uint32_t bits = 0; bits <= 0xFFFFu; ++bits) {
+    const auto half = static_cast<std::uint16_t>(bits);
+    const float value = f16_to_f32(half);
+    const std::uint16_t back = f32_to_f16(value);
+    const bool is_nan =
+        ((half >> 10) & 0x1Fu) == 0x1Fu && (half & 0x3FFu) != 0;
+    if (is_nan) {
+      EXPECT_TRUE(std::isnan(value)) << "bits 0x" << std::hex << bits;
+      EXPECT_TRUE(std::isnan(f16_to_f32(back)));
+      EXPECT_EQ(back & 0x8000u, half & 0x8000u);  // sign survives
+    } else {
+      EXPECT_EQ(back, half) << "bits 0x" << std::hex << bits;
+    }
+  }
+}
+
+// The overflow boundary: 65520 = (65504 + 65536) / 2 is exactly halfway
+// between the largest finite f16 and the value that would need the infinity
+// exponent; the 65504 significand is odd, so the tie rounds *up* to inf.
+// Anything below the halfway point stays finite.
+TEST(Codec, F16OverflowBoundaryTiesToInfinity) {
+  EXPECT_EQ(f32_to_f16(65520.0f), 0x7C00);
+  EXPECT_EQ(f32_to_f16(-65520.0f), 0xFC00);
+  EXPECT_EQ(f32_to_f16(65519.0f), 0x7BFF);
+  EXPECT_EQ(f32_to_f16(std::nextafterf(65520.0f, 0.0f)), 0x7BFF);
+}
+
 // --- Codec: block encode/decode --------------------------------------------
 
 std::vector<float> random_values(std::size_t count, std::uint64_t seed,

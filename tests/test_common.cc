@@ -2,14 +2,17 @@
 // hand-computed reference values for the contrastive losses.
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <future>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/check.h"
 #include "common/env.h"
 #include "common/log.h"
 #include "common/thread_pool.h"
@@ -142,19 +145,138 @@ TEST(Env, IntDoubleStringFlag) {
   ::setenv("CALIBRE_TEST_DOUBLE", "2.5", 1);
   ::setenv("CALIBRE_TEST_STRING", "hello", 1);
   ::setenv("CALIBRE_TEST_FLAG", "true", 1);
-  ::setenv("CALIBRE_TEST_BAD", "xyz", 1);
   EXPECT_EQ(env::get_int("CALIBRE_TEST_INT", 0), 17);
   EXPECT_DOUBLE_EQ(env::get_double("CALIBRE_TEST_DOUBLE", 0.0), 2.5);
   EXPECT_EQ(env::get_string("CALIBRE_TEST_STRING", ""), "hello");
   EXPECT_TRUE(env::get_flag("CALIBRE_TEST_FLAG"));
-  EXPECT_EQ(env::get_int("CALIBRE_TEST_BAD", 9), 9);
   EXPECT_EQ(env::get_int("CALIBRE_TEST_UNSET_XYZ", 3), 3);
   EXPECT_FALSE(env::get_flag("CALIBRE_TEST_UNSET_XYZ"));
   ::unsetenv("CALIBRE_TEST_INT");
   ::unsetenv("CALIBRE_TEST_DOUBLE");
   ::unsetenv("CALIBRE_TEST_STRING");
   ::unsetenv("CALIBRE_TEST_FLAG");
+}
+
+// A *set* variable that does not parse must throw, not silently fall back:
+// a typo'd CALIBRE_ROUNDS quietly running the default experiment produces
+// results that look right and are not.
+TEST(Env, GarbageRejectedInsteadOfDefaulting) {
+  ::setenv("CALIBRE_TEST_BAD", "xyz", 1);
+  EXPECT_THROW(env::get_int("CALIBRE_TEST_BAD", 9), CheckError);
+  EXPECT_THROW(env::get_double("CALIBRE_TEST_BAD", 1.0), CheckError);
+  EXPECT_THROW(env::get_flag("CALIBRE_TEST_BAD"), CheckError);
+
+  ::setenv("CALIBRE_TEST_BAD", "12x", 1);  // trailing garbage
+  EXPECT_THROW(env::get_int("CALIBRE_TEST_BAD", 9), CheckError);
+  ::setenv("CALIBRE_TEST_BAD", "", 1);  // set-but-empty is garbage too
+  EXPECT_THROW(env::get_int("CALIBRE_TEST_BAD", 9), CheckError);
+  ::setenv("CALIBRE_TEST_BAD", "99999999999999999999", 1);  // out of range
+  EXPECT_THROW(env::get_int("CALIBRE_TEST_BAD", 9), CheckError);
+
+  // The thrown message names the variable and the offending value.
+  ::setenv("CALIBRE_TEST_BAD", "xyz", 1);
+  try {
+    env::get_int("CALIBRE_TEST_BAD", 9);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("CALIBRE_TEST_BAD"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("xyz"), std::string::npos);
+  }
   ::unsetenv("CALIBRE_TEST_BAD");
+}
+
+TEST(Env, FlagSpellingsAndCase) {
+  for (const char* truthy : {"1", "true", "yes", "on", "TRUE", "On", "YES"}) {
+    ::setenv("CALIBRE_TEST_FLAG2", truthy, 1);
+    EXPECT_TRUE(env::get_flag("CALIBRE_TEST_FLAG2")) << truthy;
+  }
+  for (const char* falsy : {"0", "false", "no", "off", "FALSE", "Off"}) {
+    ::setenv("CALIBRE_TEST_FLAG2", falsy, 1);
+    EXPECT_FALSE(env::get_flag("CALIBRE_TEST_FLAG2", true)) << falsy;
+  }
+  ::unsetenv("CALIBRE_TEST_FLAG2");
+}
+
+// --- check macros -----------------------------------------------------------
+
+TEST(Check, PlainCheckMessageHasExpressionAndLocation) {
+  try {
+    CALIBRE_CHECK(1 + 1 == 3);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 + 1 == 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_common.cc"), std::string::npos) << what;
+  }
+}
+
+// The typed comparison macros must print *both operand values*: a shape or
+// count mismatch without the values is useless for debugging.
+TEST(Check, TypedMacrosPrintBothOperands) {
+  const std::size_t count = 12345;
+  const std::size_t cap = 67;
+  try {
+    CALIBRE_CHECK_LE(count, cap);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("count <= cap"), std::string::npos) << what;
+    EXPECT_NE(what.find("12345"), std::string::npos) << what;
+    EXPECT_NE(what.find("67"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_common.cc:"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, TypedMacrosStreamOptionalContext) {
+  try {
+    CALIBRE_CHECK_EQ(3, 4, "while decoding block " << 7);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("(3 vs 4)"), std::string::npos) << what;
+    EXPECT_NE(what.find("while decoding block 7"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, TypedMacrosPassAndEvaluateOperandsOnce) {
+  int evals = 0;
+  const auto bump = [&evals] { return ++evals; };
+  CALIBRE_CHECK_EQ(bump(), 1);
+  EXPECT_EQ(evals, 1);  // operand evaluated exactly once
+  CALIBRE_CHECK_NE(2, 3);
+  CALIBRE_CHECK_LT(2, 3);
+  CALIBRE_CHECK_LE(3, 3);
+  CALIBRE_CHECK_GT(3, 2);
+  CALIBRE_CHECK_GE(3, 3);
+  EXPECT_THROW(CALIBRE_CHECK_NE(5, 5), CheckError);
+  EXPECT_THROW(CALIBRE_CHECK_LT(3, 3), CheckError);
+  EXPECT_THROW(CALIBRE_CHECK_GT(3, 3), CheckError);
+  EXPECT_THROW(CALIBRE_CHECK_GE(2, 3), CheckError);
+}
+
+// Byte-sized integers must print as numbers, not characters: a codec tag of
+// 2 printing as an unprintable control character would be useless.
+TEST(Check, ByteOperandsPrintNumerically) {
+  const std::uint8_t tag = 2;
+  try {
+    CALIBRE_CHECK_EQ(tag, std::uint8_t{0});
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("(2 vs 0)"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Check, BoolOperandsPrintAsWords) {
+  try {
+    CALIBRE_CHECK_EQ(true, false);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("(true vs false)"),
+              std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(Log, ThresholdFiltering) {

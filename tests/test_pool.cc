@@ -92,6 +92,30 @@ TEST(TensorPool, FreeListsServeSameBucketRequests) {
   });
 }
 
+// Regression for the bucket math at class boundaries: a request one past a
+// power of two must roll into the next class, an exact power of two must
+// share the class with the rounded-up requests below it, and the floor
+// class stays distinct. Guards the shift arithmetic in bucket_index /
+// bucket_floats against off-by-one rewrites.
+TEST(TensorPool, BucketMathAtPowerOfTwoBoundaries) {
+  on_fresh_thread([] {
+    tensor::pool::set_enabled(true);
+    tensor::pool::reset_thread_stats();
+    float* nine = tensor::pool::acquire(9);  // miss: 16-float class
+    tensor::pool::release(nine, 9);
+    float* sixteen = tensor::pool::acquire(16);  // same class: hit
+    tensor::pool::release(sixteen, 16);
+    float* seventeen = tensor::pool::acquire(17);  // next class: miss
+    tensor::pool::release(seventeen, 17);
+    float* eight = tensor::pool::acquire(8);  // floor class: miss
+    tensor::pool::release(eight, 8);
+    const tensor::pool::Stats stats = tensor::pool::thread_stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 3u);
+    EXPECT_EQ(tensor::pool::outstanding(), 0);
+  });
+}
+
 TEST(TensorPool, ResetIsRejectedWhileBuffersAreLive) {
   on_fresh_thread([] {
     tensor::pool::set_enabled(true);

@@ -123,8 +123,8 @@ INSTANTIATE_TEST_SUITE_P(AllMethods, SslMethodSuite,
                          ::testing::Values(Kind::kSimClr, Kind::kByol,
                                            Kind::kSimSiam, Kind::kMoCoV2,
                                            Kind::kSwav, Kind::kSmog),
-                         [](const auto& info) {
-                           return kind_name(info.param);
+                         [](const auto& suite_info) {
+                           return kind_name(suite_info.param);
                          });
 
 TEST(Byol, TargetMovesByEmaNotGradient) {

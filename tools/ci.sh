@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Single CI entry point: tier-1 configure/build/test, then every sanitizer
+# lane (tsan/asan/ubsan) and both lint targets, with a summary table and a
+# nonzero exit if anything failed. This is the one command a CI job or a
+# reviewer runs:
+#
+#   tools/ci.sh [build-dir]      (default: ./build-ci)
+#
+# Each sanitizer lane is a nested configure+build+run driven by ctest (see
+# tests/CMakeLists.txt), so this script stays a thin sequencer. lint.tidy
+# reports SKIP when clang-tidy is absent; that counts as success here.
+set -u
+
+SRC_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$SRC_ROOT/build-ci}"
+NPROC="$(nproc 2>/dev/null || echo 2)"
+
+declare -a STEP_NAMES=()
+declare -a STEP_RESULTS=()
+overall=0
+
+run_step() {
+  local name="$1"
+  shift
+  echo
+  echo "==== $name: $* ===="
+  "$@"
+  local rc=$?
+  STEP_NAMES+=("$name")
+  if [ $rc -eq 0 ]; then
+    STEP_RESULTS+=("PASS")
+  else
+    STEP_RESULTS+=("FAIL (exit $rc)")
+    overall=1
+  fi
+  return $rc
+}
+
+run_step "configure" cmake -S "$SRC_ROOT" -B "$BUILD_DIR" \
+  && run_step "build" cmake --build "$BUILD_DIR" --parallel "$NPROC"
+if [ $overall -ne 0 ]; then
+  echo "ci: configure/build failed; skipping test lanes"
+else
+  # Tier-1: everything except the nested sanitizer lanes and lint entries.
+  run_step "tier1.ctest" ctest --test-dir "$BUILD_DIR" --output-on-failure \
+    -j "$NPROC" -E '^(tsan|asan|ubsan|lint)\.'
+  for lane in tsan asan ubsan; do
+    run_step "lane.$lane" ctest --test-dir "$BUILD_DIR" \
+      --output-on-failure -R "^$lane\."
+  done
+  run_step "lint.calibre" ctest --test-dir "$BUILD_DIR" \
+    --output-on-failure -R '^lint\.calibre$'
+  run_step "lint.tidy" ctest --test-dir "$BUILD_DIR" \
+    --output-on-failure -R '^lint\.tidy$'
+fi
+
+echo
+echo "==== ci summary ===="
+printf '%-14s %s\n' "step" "result"
+printf '%-14s %s\n' "----" "------"
+for i in "${!STEP_NAMES[@]}"; do
+  printf '%-14s %s\n' "${STEP_NAMES[$i]}" "${STEP_RESULTS[$i]}"
+done
+if [ $overall -eq 0 ]; then
+  echo "ci: all steps passed"
+else
+  echo "ci: FAILURES above"
+fi
+exit $overall

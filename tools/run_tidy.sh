@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Runs clang-tidy over every first-party translation unit in
+# compile_commands.json (src/ apps/ bench/ — tests and nested sanitizer
+# trees excluded) and diffs the findings against the checked-in empty
+# baseline tools/tidy_baseline.txt. Any new finding fails the run.
+#
+# Registered as the `lint.tidy` ctest entry with SKIP_RETURN_CODE 77: when
+# clang-tidy is not installed the script exits 77 and ctest reports the test
+# as skipped, keeping tier-1 green on minimal machines.
+#
+# Usage: tools/run_tidy.sh [build-dir]   (default: ./build)
+set -u
+
+BUILD_DIR="${1:-build}"
+SRC_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BASELINE="$SRC_ROOT/tools/tidy_baseline.txt"
+
+TIDY="${CLANG_TIDY:-}"
+if [ -z "$TIDY" ]; then
+  for cand in clang-tidy clang-tidy-21 clang-tidy-20 clang-tidy-19 \
+              clang-tidy-18 clang-tidy-17 clang-tidy-16 clang-tidy-15 \
+              clang-tidy-14; do
+    if command -v "$cand" >/dev/null 2>&1; then
+      TIDY="$cand"
+      break
+    fi
+  done
+fi
+if [ -z "$TIDY" ]; then
+  echo "lint.tidy: clang-tidy not found on PATH; skipping" \
+       "(install clang-tidy or set CLANG_TIDY to enable this lane)"
+  exit 77
+fi
+
+CDB="$BUILD_DIR/compile_commands.json"
+if [ ! -f "$CDB" ]; then
+  echo "lint.tidy: $CDB missing — configure with" \
+       "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON (the default for this tree)"
+  exit 1
+fi
+
+# First-party TUs only: the nested {t,a,ub}san-lane trees re-list the same
+# files and tests/ are gtest macro soup that drowns the signal.
+FILES="$(python3 - "$CDB" <<'EOF'
+import json, sys
+
+entries = json.load(open(sys.argv[1]))
+seen = []
+for entry in entries:
+    path = entry["file"]
+    if any(f"/{d}/" in path for d in ("src", "apps", "bench")) and \
+       "-lane/" not in path and path not in seen:
+        seen.append(path)
+print("\n".join(seen))
+EOF
+)"
+if [ -z "$FILES" ]; then
+  echo "lint.tidy: no first-party files found in $CDB"
+  exit 1
+fi
+
+FINDINGS="$(mktemp)"
+trap 'rm -f "$FINDINGS"' EXIT
+
+status=0
+for f in $FILES; do
+  "$TIDY" -p "$BUILD_DIR" --quiet "$f" 2>/dev/null || status=$?
+done | grep -E ':[0-9]+:[0-9]+: (warning|error):' | sort -u >"$FINDINGS"
+
+if ! diff -u "$BASELINE" "$FINDINGS"; then
+  count="$(wc -l <"$FINDINGS")"
+  echo
+  echo "lint.tidy: $count finding(s) not in the baseline ($BASELINE)."
+  echo "Fix them (preferred) — the baseline stays empty by policy."
+  exit 1
+fi
+
+echo "lint.tidy: clean ($TIDY, $(echo "$FILES" | wc -l) files)"
+exit 0
