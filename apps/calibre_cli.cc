@@ -26,6 +26,13 @@
 //   --fault-rate        injected handler-failure probability   (0)
 //   --fault-latency-ms  injected per-dispatch latency cap      (0)
 //   --wire-codec        f32 | f16 | delta16 model payloads     (f32)
+//   --virtual-clients   force virtual-client mode: shards materialise on
+//                       demand, memory stays O(dataset) at any --clients
+//   --eager-clients     force eager per-client shard materialisation
+//                       (default: virtual at >= 1000 total clients; the two
+//                       modes are bit-identical)
+//   --personalize-cap   personalize a seeded sample of this many clients
+//                       instead of the full population; 0 = all (0)
 //   --seed              experiment seed                        (42)
 //   --threads           device worker threads (0 = auto)       (0)
 //   --save              write the trained global state to a file
@@ -89,8 +96,17 @@ int main(int argc, char** argv) {
   }
   rng::Generator fed_gen(
       static_cast<std::uint64_t>(args.get_int("seed", 42)) ^ 0xFEED);
+  // Virtual clients keep memory O(dataset + indices) regardless of the
+  // population; both builds yield bit-identical shards, so auto-switching at
+  // scale never changes results.
+  const bool use_virtual =
+      args.has("virtual-clients") ||
+      (!args.has("eager-clients") && train_clients + novel_clients >= 1000);
   const fl::FedDataset fed =
-      fl::build_fed_dataset(synth, partition, train_clients, fed_gen);
+      use_virtual
+          ? fl::build_virtual_fed_dataset(synth, partition, train_clients,
+                                          fed_gen)
+          : fl::build_fed_dataset(synth, partition, train_clients, fed_gen);
 
   fl::FlConfig config;
   config.encoder.input_dim = synth.train.input_dim();
@@ -112,6 +128,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   config.wire_codec = comm::codec_from_name(wire_codec);
+  config.personalize_cap = args.get_int("personalize-cap", 0);
   config.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
   config.threads = args.get_int("threads", 0);
   config.num_train_clients = train_clients;
@@ -137,10 +154,12 @@ int main(int argc, char** argv) {
     // so personalize directly against the loaded one instead.
     result.algorithm = fresh->name();
     for (int c = 0; c < fed.num_train_clients(); ++c) {
+      data::Dataset train_scratch;
+      data::Dataset test_scratch;
       fl::PersonalizationContext ctx;
       ctx.client_id = c;
-      ctx.train = &fed.train[static_cast<std::size_t>(c)];
-      ctx.test = &fed.test[static_cast<std::size_t>(c)];
+      ctx.train = &fed.train_shard(c, train_scratch);
+      ctx.test = &fed.test_shard(c, test_scratch);
       ctx.seed = fl::derive_seed(config.seed, 0xA11, static_cast<std::uint64_t>(c));
       result.train_accuracies.push_back(fresh->personalize(state, ctx));
     }

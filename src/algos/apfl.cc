@@ -51,8 +51,11 @@ fl::ClientUpdate Apfl::local_update(const nn::ModelState& global,
       nn::ModelState::from_parameters(model.all_parameters()).values();
 
   // Personal model v descends the mixture loss.
-  std::vector<float> v =
-      personal_models_.get(ctx.client_id).value_or(global.values());
+  std::vector<float> v;
+  if (!personal_models_.visit(ctx.client_id,
+                              [&](const std::vector<float>& s) { v = s; })) {
+    v = global.values();
+  }
   train_personal(v, w, *ctx.train, config_.local_epochs, gen);
   personal_models_.put(ctx.client_id, std::move(v));
 
@@ -66,9 +69,8 @@ double Apfl::personalize(const nn::ModelState& global,
                          const fl::PersonalizationContext& ctx) {
   rng::Generator gen(ctx.seed);
   std::vector<float> v;
-  if (const auto stored = personal_models_.get(ctx.client_id)) {
-    v = *stored;
-  } else {
+  if (!personal_models_.visit(ctx.client_id,
+                              [&](const std::vector<float>& s) { v = s; })) {
     // Novel client: personalize v from the global model within the
     // 10-epoch budget.
     v = global.values();

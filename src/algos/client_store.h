@@ -1,11 +1,26 @@
 // Thread-safe per-client persistent state (local heads, personal models,
 // control variates). local_update/personalize run concurrently for distinct
-// clients, so the store serialises access.
+// clients, so the store serialises access — but across *shards*, not one
+// global mutex: with 100k lazily-materialized virtual clients the store is
+// on the hot path of every handler invocation, and a single lock would
+// serialise the whole worker pool. Client ids hash onto a fixed power-of-two
+// shard count; each shard owns an independent mutex + map.
+//
+// Reads come in two flavours:
+//  * get(id)        — copies the stored value out (legacy; fine for small
+//                     state, wasteful for full model states).
+//  * visit(id, fn)  — borrow-without-copy: runs `fn(const T&)` under the
+//                     shard lock and returns whether the id was present.
+//                     `fn` must not call back into the same store (the shard
+//                     mutex is not recursive) and must not retain the
+//                     reference past the call.
 #pragma once
 
+#include <cstddef>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 
 namespace calibre::algos {
 
@@ -13,30 +28,76 @@ template <typename T>
 class ClientStore {
  public:
   std::optional<T> get(int client_id) const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = map_.find(client_id);
-    if (it == map_.end()) return std::nullopt;
+    const Shard& shard = shard_for(client_id);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.map.find(client_id);
+    if (it == shard.map.end()) return std::nullopt;
     return it->second;
   }
 
+  // Runs `fn(const T&)` under the shard lock without copying the value.
+  // Returns false (and does not invoke `fn`) when the id is absent.
+  template <typename Fn>
+  bool visit(int client_id, Fn&& fn) const {
+    const Shard& shard = shard_for(client_id);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.map.find(client_id);
+    if (it == shard.map.end()) return false;
+    fn(static_cast<const T&>(it->second));
+    return true;
+  }
+
+  // Mutable counterpart of visit(): runs `fn(T&)` in place under the shard
+  // lock. Returns false when the id is absent.
+  template <typename Fn>
+  bool mutate(int client_id, Fn&& fn) {
+    Shard& shard = shard_for(client_id);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.map.find(client_id);
+    if (it == shard.map.end()) return false;
+    fn(it->second);
+    return true;
+  }
+
   void put(int client_id, T value) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    map_[client_id] = std::move(value);
+    Shard& shard = shard_for(client_id);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.map[client_id] = std::move(value);
   }
 
   bool contains(int client_id) const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return map_.count(client_id) > 0;
+    const Shard& shard = shard_for(client_id);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    return shard.map.count(client_id) > 0;
   }
 
   std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return map_.size();
+    std::size_t total = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      total += shard.map.size();
+    }
+    return total;
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::unordered_map<int, T> map_;
+  // 16 shards: enough to keep the worker pool (≤ hardware threads) from
+  // contending, small enough that size() stays cheap.
+  static constexpr std::size_t kShards = 16;
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<int, T> map;
+  };
+
+  Shard& shard_for(int client_id) {
+    return shards_[static_cast<std::size_t>(client_id) & (kShards - 1)];
+  }
+  const Shard& shard_for(int client_id) const {
+    return shards_[static_cast<std::size_t>(client_id) & (kShards - 1)];
+  }
+
+  Shard shards_[kShards];
 };
 
 }  // namespace calibre::algos

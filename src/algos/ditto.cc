@@ -53,8 +53,11 @@ fl::ClientUpdate Ditto::local_update(const nn::ModelState& global,
                        config_.local_epochs, gen);
 
   // Personal side: v with prox toward the received global.
-  std::vector<float> v =
-      personal_models_.get(ctx.client_id).value_or(global.values());
+  std::vector<float> v;
+  if (!personal_models_.visit(ctx.client_id,
+                              [&](const std::vector<float>& s) { v = s; })) {
+    v = global.values();
+  }
   train_personal(v, global.values(), *ctx.train, config_.local_epochs, gen);
   personal_models_.put(ctx.client_id, std::move(v));
 
@@ -68,9 +71,8 @@ double Ditto::personalize(const nn::ModelState& global,
                           const fl::PersonalizationContext& ctx) {
   rng::Generator gen(ctx.seed);
   std::vector<float> v;
-  if (const auto stored = personal_models_.get(ctx.client_id)) {
-    v = *stored;
-  } else {
+  if (!personal_models_.visit(ctx.client_id,
+                              [&](const std::vector<float>& s) { v = s; })) {
     // Novel client: train a personal model from the global within the
     // personalization budget.
     v = global.values();

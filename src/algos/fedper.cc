@@ -12,9 +12,9 @@ fl::ClientUpdate FedPer::local_update(const nn::ModelState& global,
                                       const fl::ClientContext& ctx) {
   fl::EncoderHeadModel model = fl::make_encoder_head(config_, config_.seed);
   global.apply_to(model.encoder_parameters());
-  if (const auto head = heads_.get(ctx.client_id)) {
-    head->apply_to(model.head_parameters());
-  }
+  heads_.visit(ctx.client_id, [&](const nn::ModelState& head) {
+    head.apply_to(model.head_parameters());
+  });
   rng::Generator gen(ctx.seed);
   fl::train_supervised(model, model.all_parameters(), *ctx.train, config_,
                        config_.local_epochs, gen);
@@ -30,9 +30,9 @@ double FedPer::personalize(const nn::ModelState& global,
                            const fl::PersonalizationContext& ctx) {
   fl::EncoderHeadModel model = fl::make_encoder_head(config_, config_.seed);
   global.apply_to(model.encoder_parameters());
-  if (const auto head = heads_.get(ctx.client_id)) {
-    head->apply_to(model.head_parameters());
-  }
+  heads_.visit(ctx.client_id, [&](const nn::ModelState& head) {
+    head.apply_to(model.head_parameters());
+  });
   // Participating clients refine their persistent head; novel clients train
   // a fresh one — both on frozen encoder features, matching the framework's
   // personalization stage.

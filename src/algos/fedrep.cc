@@ -12,9 +12,9 @@ fl::ClientUpdate FedRep::local_update(const nn::ModelState& global,
                                       const fl::ClientContext& ctx) {
   fl::EncoderHeadModel model = fl::make_encoder_head(config_, config_.seed);
   global.apply_to(model.encoder_parameters());
-  if (const auto head = heads_.get(ctx.client_id)) {
-    head->apply_to(model.head_parameters());
-  }
+  heads_.visit(ctx.client_id, [&](const nn::ModelState& head) {
+    head.apply_to(model.head_parameters());
+  });
   rng::Generator gen(ctx.seed);
   // Head epochs with the representation frozen...
   fl::train_supervised(model, model.head_parameters(), *ctx.train, config_,
@@ -34,9 +34,9 @@ double FedRep::personalize(const nn::ModelState& global,
                            const fl::PersonalizationContext& ctx) {
   fl::EncoderHeadModel model = fl::make_encoder_head(config_, config_.seed);
   global.apply_to(model.encoder_parameters());
-  if (const auto head = heads_.get(ctx.client_id)) {
-    head->apply_to(model.head_parameters());
-  }
+  heads_.visit(ctx.client_id, [&](const nn::ModelState& head) {
+    head.apply_to(model.head_parameters());
+  });
   return fl::finetune_and_eval(model, model.head_parameters(), *ctx.train,
                                *ctx.test, config_.probe, ctx.seed);
 }

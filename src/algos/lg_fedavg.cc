@@ -12,9 +12,9 @@ fl::ClientUpdate LgFedAvg::local_update(const nn::ModelState& global,
                                         const fl::ClientContext& ctx) {
   fl::EncoderHeadModel model = fl::make_encoder_head(config_, config_.seed);
   global.apply_to(model.head_parameters());
-  if (const auto encoder = encoders_.get(ctx.client_id)) {
-    encoder->apply_to(model.encoder_parameters());
-  }
+  encoders_.visit(ctx.client_id, [&](const nn::ModelState& encoder) {
+    encoder.apply_to(model.encoder_parameters());
+  });
   rng::Generator gen(ctx.seed);
   fl::train_supervised(model, model.all_parameters(), *ctx.train, config_,
                        config_.local_epochs, gen);
@@ -30,9 +30,11 @@ double LgFedAvg::personalize(const nn::ModelState& global,
                              const fl::PersonalizationContext& ctx) {
   fl::EncoderHeadModel model = fl::make_encoder_head(config_, config_.seed);
   global.apply_to(model.head_parameters());
-  const auto encoder = encoders_.get(ctx.client_id);
-  if (encoder) {
-    encoder->apply_to(model.encoder_parameters());
+  const bool has_encoder =
+      encoders_.visit(ctx.client_id, [&](const nn::ModelState& encoder) {
+        encoder.apply_to(model.encoder_parameters());
+      });
+  if (has_encoder) {
     return fl::finetune_and_eval(model, model.head_parameters(), *ctx.train,
                                  *ctx.test, config_.probe, ctx.seed);
   }
@@ -45,9 +47,9 @@ double LgFedAvg::personalize(const nn::ModelState& global,
 tensor::Tensor LgFedAvg::client_features(int client_id,
                                          const tensor::Tensor& x) {
   fl::EncoderHeadModel model = fl::make_encoder_head(config_, config_.seed);
-  if (const auto encoder = encoders_.get(client_id)) {
-    encoder->apply_to(model.encoder_parameters());
-  }
+  encoders_.visit(client_id, [&](const nn::ModelState& encoder) {
+    encoder.apply_to(model.encoder_parameters());
+  });
   // Feature extraction: values only, no tape.
   const ag::NoGradGuard no_grad;
   return model.encoder->forward(ag::constant(x))->value;

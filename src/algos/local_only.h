@@ -22,6 +22,11 @@ class LocalOnly : public fl::Algorithm {
   fl::ClientUpdate local_update(const nn::ModelState&,
                                 const fl::ClientContext&) override;
 
+  // Weighted FedAvg folds natively: O(model) server memory for any fan-out.
+  std::unique_ptr<fl::StreamingAggregator> make_aggregator(
+      const nn::ModelState&, int) override {
+    return std::make_unique<fl::WeightedStreamingAggregator>();
+  }
   double personalize(const nn::ModelState& global,
                      const fl::PersonalizationContext& ctx) override;
 

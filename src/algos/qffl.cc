@@ -27,30 +27,28 @@ fl::ClientUpdate QFfl::local_update(const nn::ModelState& global,
   return update;
 }
 
-nn::ModelState QFfl::aggregate(const nn::ModelState& /*global*/,
+nn::ModelState QFfl::aggregate(const nn::ModelState& global,
                                const std::vector<fl::ClientUpdate>& updates,
-                               int /*round*/) {
+                               int round) {
   CALIBRE_CHECK(!updates.empty());
+  const auto fold = make_aggregator(global, round);
+  for (const fl::ClientUpdate& update : updates) fold->fold(update);
+  return fold->finish();
+}
+
+std::unique_ptr<fl::StreamingAggregator> QFfl::make_aggregator(
+    const nn::ModelState& /*global*/, int /*round*/) {
   // w_c ∝ n_c * (L_c + eps)^q : high-loss (struggling) clients dominate.
-  double total = 0.0;
-  std::vector<double> weights(updates.size());
-  for (std::size_t i = 0; i < updates.size(); ++i) {
-    const auto it = updates[i].scalars.find("loss");
-    const double loss = it == updates[i].scalars.end()
-                            ? 1.0
-                            : static_cast<double>(it->second);
-    weights[i] = static_cast<double>(updates[i].weight) *
-                 std::pow(std::max(loss, 1e-4), static_cast<double>(q_));
-    total += weights[i];
-  }
-  CALIBRE_CHECK(total > 0.0);
-  nn::ModelState result(
-      std::vector<float>(updates.front().state.size(), 0.0f));
-  for (std::size_t i = 0; i < updates.size(); ++i) {
-    result.add_scaled(updates[i].state,
-                      static_cast<float>(weights[i] / total));
-  }
-  return result;
+  const double q = static_cast<double>(q_);
+  return std::make_unique<fl::WeightedStreamingAggregator>(
+      [q](const fl::ClientUpdate& update) {
+        const auto it = update.scalars.find("loss");
+        const double loss = it == update.scalars.end()
+                                ? 1.0
+                                : static_cast<double>(it->second);
+        return static_cast<double>(update.weight) *
+               std::pow(std::max(loss, 1e-4), q);
+      });
 }
 
 double QFfl::personalize(const nn::ModelState& global,

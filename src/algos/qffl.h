@@ -25,6 +25,10 @@ class QFfl : public fl::Algorithm {
   nn::ModelState aggregate(const nn::ModelState& global,
                            const std::vector<fl::ClientUpdate>& updates,
                            int round) override;
+  // Native O(model) fold: w_c ∝ n_c * (L_c + eps)^q is separable per update,
+  // so the q-weighted mean streams. aggregate() delegates to this fold.
+  std::unique_ptr<fl::StreamingAggregator> make_aggregator(
+      const nn::ModelState& global, int round) override;
   double personalize(const nn::ModelState& global,
                      const fl::PersonalizationContext& ctx) override;
 

@@ -30,6 +30,60 @@ std::vector<float> split_back(const std::vector<float>& values,
   return {values.begin() + static_cast<std::ptrdiff_t>(count), values.end()};
 }
 
+// Streams [model | delta_c] updates: the model half is a weighted mean (fold
+// w_i * x_i, normalise at finish), the control half an unweighted mean.
+// finish() advances the server control variate in place — called once.
+class ScaffoldAggregator : public fl::StreamingAggregator {
+ public:
+  ScaffoldAggregator(std::size_t model_dim, std::vector<float>& server_control,
+                     int num_train_clients)
+      : model_dim_(model_dim),
+        server_control_(server_control),
+        num_train_clients_(num_train_clients) {}
+
+  void fold(fl::ClientUpdate update) override {
+    CALIBRE_CHECK(update.state.size() == 2 * model_dim_);
+    const double w = static_cast<double>(update.weight);
+    CALIBRE_CHECK_MSG(w > 0.0, "non-positive aggregation weight");
+    if (acc_x_.empty()) {
+      acc_x_.assign(model_dim_, 0.0);
+      acc_delta_c_.assign(model_dim_, 0.0);
+    }
+    const std::vector<float>& values = update.state.values();
+    for (std::size_t i = 0; i < model_dim_; ++i) {
+      acc_x_[i] += w * static_cast<double>(values[i]);
+      acc_delta_c_[i] += static_cast<double>(values[model_dim_ + i]);
+    }
+    total_weight_ += w;
+    ++folded_;
+  }
+
+  nn::ModelState finish() override {
+    CALIBRE_CHECK_MSG(folded_ > 0, "finish() before any update was folded");
+    // c <- c + (|S| / N) * mean(delta_c_i).
+    const float participation =
+        static_cast<float>(folded_) /
+        static_cast<float>(std::max(1, num_train_clients_));
+    std::vector<float> packed(2 * model_dim_);
+    for (std::size_t i = 0; i < model_dim_; ++i) {
+      packed[i] = static_cast<float>(acc_x_[i] / total_weight_);
+      server_control_[i] += participation *
+                            static_cast<float>(acc_delta_c_[i] /
+                                               static_cast<double>(folded_));
+      packed[model_dim_ + i] = server_control_[i];
+    }
+    return nn::ModelState(std::move(packed));
+  }
+
+ private:
+  std::size_t model_dim_;
+  std::vector<float>& server_control_;
+  int num_train_clients_;
+  std::vector<double> acc_x_;
+  std::vector<double> acc_delta_c_;
+  double total_weight_ = 0.0;
+};
+
 }  // namespace
 
 Scaffold::Scaffold(const fl::FlConfig& config, bool finetune_head)
@@ -55,9 +109,11 @@ fl::ClientUpdate Scaffold::local_update(const nn::ModelState& global,
   CALIBRE_CHECK(global.size() == 2 * model_dim_);
   const std::vector<float> x = split_front(global.values(), model_dim_);
   const std::vector<float> c = split_back(global.values(), model_dim_);
-  std::vector<float> ci =
-      client_controls_.get(ctx.client_id)
-          .value_or(std::vector<float>(model_dim_, 0.0f));
+  std::vector<float> ci;
+  if (!client_controls_.visit(ctx.client_id,
+                              [&](const std::vector<float>& s) { ci = s; })) {
+    ci.assign(model_dim_, 0.0f);
+  }
 
   fl::EncoderHeadModel model = fl::make_encoder_head(config_, config_.seed);
   const std::vector<ag::VarPtr> params = model.all_parameters();
@@ -117,35 +173,18 @@ fl::ClientUpdate Scaffold::local_update(const nn::ModelState& global,
 
 nn::ModelState Scaffold::aggregate(const nn::ModelState& global,
                                    const std::vector<fl::ClientUpdate>& updates,
-                                   int /*round*/) {
+                                   int round) {
   CALIBRE_CHECK(!updates.empty());
+  const auto fold = make_aggregator(global, round);
+  for (const fl::ClientUpdate& update : updates) fold->fold(update);
+  return fold->finish();
+}
+
+std::unique_ptr<fl::StreamingAggregator> Scaffold::make_aggregator(
+    const nn::ModelState& global, int /*round*/) {
   CALIBRE_CHECK(global.size() == 2 * model_dim_);
-  // Weighted average of the client models.
-  double total_weight = 0.0;
-  for (const auto& update : updates) total_weight += update.weight;
-  std::vector<float> new_x(model_dim_, 0.0f);
-  std::vector<double> mean_delta_c(model_dim_, 0.0);
-  for (const auto& update : updates) {
-    CALIBRE_CHECK(update.state.size() == 2 * model_dim_);
-    const float w = static_cast<float>(update.weight / total_weight);
-    const std::vector<float>& values = update.state.values();
-    for (std::size_t i = 0; i < model_dim_; ++i) {
-      new_x[i] += w * values[i];
-      mean_delta_c[i] += values[model_dim_ + i] /
-                         static_cast<double>(updates.size());
-    }
-  }
-  // c <- c + (|S| / N) * mean(delta_c_i).
-  const float participation =
-      static_cast<float>(updates.size()) /
-      static_cast<float>(std::max(1, config_.num_train_clients));
-  for (std::size_t i = 0; i < model_dim_; ++i) {
-    server_control_[i] +=
-        participation * static_cast<float>(mean_delta_c[i]);
-  }
-  std::vector<float> packed = std::move(new_x);
-  packed.insert(packed.end(), server_control_.begin(), server_control_.end());
-  return nn::ModelState(std::move(packed));
+  return std::make_unique<ScaffoldAggregator>(model_dim_, server_control_,
+                                              config_.num_train_clients);
 }
 
 double Scaffold::personalize(const nn::ModelState& global,

@@ -27,6 +27,11 @@ class Scaffold : public fl::Algorithm {
   nn::ModelState aggregate(const nn::ModelState& global,
                            const std::vector<fl::ClientUpdate>& updates,
                            int round) override;
+  // Native O(model) fold over [model | delta_c] updates: weighted model sum
+  // plus unweighted control-delta sum, both resolved at finish() (which also
+  // advances the server control variate once). aggregate() delegates here.
+  std::unique_ptr<fl::StreamingAggregator> make_aggregator(
+      const nn::ModelState& global, int round) override;
   double personalize(const nn::ModelState& global,
                      const fl::PersonalizationContext& ctx) override;
 

@@ -4,7 +4,118 @@
 
 #include "common/check.h"
 
+// The vector types below are TU-internal and every use is inlined into the
+// target_clones dispatch functions, so the ABI warning about passing wide
+// vectors without AVX-512 enabled is noise here (same idiom as
+// tensor/kernels.cc).
+#pragma GCC diagnostic ignored "-Wpsabi"
+
 namespace calibre::comm {
+namespace {
+
+// 16-lane SIMD groups, legalized per target exactly like the tensor
+// kernels: one ZMM on AVX-512, two YMM on AVX2, four XMM on baseline SSE2.
+typedef float vf32 __attribute__((vector_size(64), aligned(4), may_alias));
+typedef std::uint32_t vu32 __attribute__((vector_size(64), aligned(4),
+                                          may_alias));
+typedef std::uint16_t vu16 __attribute__((vector_size(32), aligned(2),
+                                          may_alias));
+
+constexpr std::size_t kLanes = 16;  // elements per vector group
+
+// ThreadSanitizer cannot coexist with the ifunc resolvers target_clones
+// emits, so TSan builds fall back to the default-target body.
+#if defined(__SANITIZE_THREAD__)
+#define CALIBRE_CODEC_CLONES __attribute__((flatten))
+#else
+#define CALIBRE_CODEC_CLONES \
+  __attribute__((target_clones("arch=x86-64-v4", "arch=x86-64-v3", \
+                               "default"), flatten))
+#endif
+
+// Branchless f32 -> f16 for one 16-lane group, bit-identical to the scalar
+// f32_to_f16 below for every input (RNE ties, subnormals, inf, NaN). The
+// subnormal path rides the FPU: adding 0.5f aligns the value's mantissa so
+// the float adder performs the shift *and* the round-to-nearest-even in one
+// op; the normal path adds the rebias plus 0xFFF (+ the mantissa's odd bit)
+// so plain truncation at >> 13 lands on nearest-even.
+inline vu16 f32_to_f16_lanes(vu32 bits) {
+  const vu32 sign = bits & 0x80000000u;
+  const vu32 u = bits ^ sign;
+  // Everything at or above 2^16 (the first f32 whose rounded f16 exponent is
+  // 31) is inf after saturation; above-inf payloads are NaN and keep a set
+  // mantissa bit (0x200) so they cannot decay to inf.
+  const vu32 naninf =
+      u > 0x7F800000u ? vu32{} + 0x7E00u : vu32{} + 0x7C00u;
+  // Subnormal/zero result (value < 2^-14): 0.5f has ulp 2^-24 = one f16
+  // subnormal step, so (value + 0.5f) - 0.5f_bits is the rounded mantissa.
+  const vf32 half_one = (vf32)(vu32{} + (126u << 23));
+  const vu32 sub_out = (vu32)((vf32)u + half_one) - (126u << 23);
+  // Normal result: rebias 127 -> 15 ((15-127) << 23 == 0xC8000000), add
+  // 0x0FFF plus the pre-round odd bit, truncate.
+  const vu32 mant_odd = (u >> 13) & 1u;
+  const vu32 norm_out = (u + 0xC8000FFFu + mant_odd) >> 13;
+  vu32 out = u < (113u << 23) ? sub_out : norm_out;
+  out = u >= ((127u + 16u) << 23) ? naninf : out;
+  out |= sign >> 16;
+  return __builtin_convertvector(out, vu16);
+}
+
+// Branchless f16 -> f32 for one 16-lane group; exact (and therefore
+// bit-identical to the scalar f16_to_f32 below). Normals need only a shift
+// and a rebias; inf/NaN get a second exponent bump to 0xFF; subnormals are
+// renormalized by the FPU via one subtraction of 2^-14.
+inline vf32 f16_to_f32_lanes(vu16 halves) {
+  const vu32 h = __builtin_convertvector(halves, vu32);
+  const vu32 shifted = (h & 0x7FFFu) << 13;
+  const vu32 exp = shifted & 0x0F800000u;
+  const vu32 o = shifted + ((127u - 15u) << 23);
+  const vu32 infnan_out = o + ((128u - 16u) << 23);
+  const vf32 magic = (vf32)(vu32{} + (113u << 23));  // 2^-14
+  const vu32 sub_out = (vu32)((vf32)(o + (1u << 23)) - magic);
+  vu32 out = exp == vu32{} + 0x0F800000u ? infnan_out : o;
+  out = exp == vu32{} ? sub_out : out;
+  out |= (h & 0x8000u) << 16;
+  return (vf32)out;
+}
+
+}  // namespace
+
+CALIBRE_CODEC_CLONES
+void f32_to_f16_block(const float* src, const float* base, std::uint16_t* dst,
+                      std::size_t count) {
+  std::size_t i = 0;
+  if (base == nullptr) {
+    for (; i + kLanes <= count; i += kLanes) {
+      *(vu16*)(dst + i) = f32_to_f16_lanes((vu32)*(const vf32*)(src + i));
+    }
+    for (; i < count; ++i) dst[i] = f32_to_f16(src[i]);
+  } else {
+    for (; i + kLanes <= count; i += kLanes) {
+      const vf32 delta = *(const vf32*)(src + i) - *(const vf32*)(base + i);
+      *(vu16*)(dst + i) = f32_to_f16_lanes((vu32)delta);
+    }
+    for (; i < count; ++i) dst[i] = f32_to_f16(src[i] - base[i]);
+  }
+}
+
+CALIBRE_CODEC_CLONES
+void f16_to_f32_block(const std::uint16_t* src, const float* base, float* dst,
+                      std::size_t count) {
+  std::size_t i = 0;
+  if (base == nullptr) {
+    for (; i + kLanes <= count; i += kLanes) {
+      *(vf32*)(dst + i) = f16_to_f32_lanes(*(const vu16*)(src + i));
+    }
+    for (; i < count; ++i) dst[i] = f16_to_f32(src[i]);
+  } else {
+    for (; i + kLanes <= count; i += kLanes) {
+      *(vf32*)(dst + i) =
+          *(const vf32*)(base + i) + f16_to_f32_lanes(*(const vu16*)(src + i));
+    }
+    for (; i < count; ++i) dst[i] = base[i] + f16_to_f32(src[i]);
+  }
+}
 
 std::string codec_name(Codec codec) {
   switch (codec) {
@@ -109,17 +220,13 @@ void encode_values(Writer& writer, const std::vector<float>& values,
       return;
     case Codec::kF16: {
       std::vector<std::uint16_t> halves(values.size());
-      for (std::size_t i = 0; i < values.size(); ++i) {
-        halves[i] = f32_to_f16(values[i]);
-      }
+      f32_to_f16_block(values.data(), nullptr, halves.data(), values.size());
       writer.write_u16_vector(halves);
       return;
     }
     case Codec::kDelta16: {
       std::vector<std::uint16_t> halves(values.size());
-      for (std::size_t i = 0; i < values.size(); ++i) {
-        halves[i] = f32_to_f16(values[i] - base[i]);
-      }
+      f32_to_f16_block(values.data(), base, halves.data(), values.size());
       writer.write_u16_vector(halves);
       return;
     }
@@ -136,9 +243,7 @@ std::vector<float> decode_values(Reader& reader, const float* base,
     case Codec::kF16: {
       const std::vector<std::uint16_t> halves = reader.read_u16_vector();
       std::vector<float> values(halves.size());
-      for (std::size_t i = 0; i < halves.size(); ++i) {
-        values[i] = f16_to_f32(halves[i]);
-      }
+      f16_to_f32_block(halves.data(), nullptr, values.data(), halves.size());
       return values;
     }
     case Codec::kDelta16: {
@@ -149,9 +254,7 @@ std::vector<float> decode_values(Reader& reader, const float* base,
       CALIBRE_CHECK_EQ(base_size, halves.size(),
                        "delta16 reference/block size mismatch");
       std::vector<float> values(halves.size());
-      for (std::size_t i = 0; i < halves.size(); ++i) {
-        values[i] = base[i] + f16_to_f32(halves[i]);
-      }
+      f16_to_f32_block(halves.data(), base, values.data(), halves.size());
       return values;
     }
   }

@@ -41,6 +41,15 @@ Codec codec_from_name(const std::string& name);
 std::uint16_t f32_to_f16(float value);
 float f16_to_f32(std::uint16_t half);
 
+// Bulk conversions, SIMD-vectorized per-arch like the tensor kernels and
+// bit-identical to the scalar functions above on every input. With a non-null
+// `base` the encode converts src[i] - base[i] (the delta16 transform) and the
+// decode produces base[i] + half, fused into the same pass.
+void f32_to_f16_block(const float* src, const float* base, std::uint16_t* dst,
+                      std::size_t count);
+void f16_to_f32_block(const std::uint16_t* src, const float* base, float* dst,
+                      std::size_t count);
+
 // Exact byte size of the block encode_values() writes for `count` values.
 std::size_t encoded_size(Codec codec, std::size_t count);
 

@@ -36,6 +36,13 @@ void Router::register_endpoint(int endpoint, Handler handler) {
   CALIBRE_CHECK_MSG(inserted, "endpoint " << endpoint << " already registered");
 }
 
+void Router::register_default_handler(Handler handler) {
+  CALIBRE_CHECK_MSG(handler != nullptr, "default handler must be callable");
+  CALIBRE_CHECK_MSG(default_handler_ == nullptr,
+                    "default handler already registered");
+  default_handler_ = std::move(handler);
+}
+
 void Router::set_fault_injection(FaultConfig config) {
   CALIBRE_CHECK_MSG(config.failure_rate >= 0.0f && config.failure_rate <= 1.0f,
                     "failure_rate must be in [0, 1], got "
@@ -66,9 +73,9 @@ void Router::send(Message message) {
     return;
   }
   const auto it = handlers_.find(message.receiver);
-  CALIBRE_CHECK_MSG(it != handlers_.end(),
+  CALIBRE_CHECK_MSG(it != handlers_.end() || default_handler_ != nullptr,
                     "no endpoint registered for client " << message.receiver);
-  Handler& handler = it->second;
+  Handler& handler = it != handlers_.end() ? it->second : default_handler_;
 
   // Roll the fault dice on the sending thread: per-endpoint attempt counters
   // advance in send order, so decisions are deterministic no matter how the

@@ -72,6 +72,13 @@ class Router {
   // Must not be called after sends to that endpoint have started.
   void register_endpoint(int endpoint, Handler handler);
 
+  // Registers the fallback handler for any client endpoint with no explicit
+  // registration — the virtual-client path: one generic handler (reading the
+  // client id from Message::receiver) serves an arbitrary population without
+  // O(clients) registration cost or per-client closures. An explicitly
+  // registered endpoint still wins. Must be called before sends start.
+  void register_default_handler(Handler handler);
+
   // Enables fault injection for subsequent client-addressed sends.
   // Must not be called concurrently with send().
   void set_fault_injection(FaultConfig config);
@@ -97,6 +104,7 @@ class Router {
  private:
   Mailbox server_mailbox_;
   std::unordered_map<int, Handler> handlers_;
+  Handler default_handler_;
   FaultConfig fault_;
   std::mutex attempts_mutex_;
   std::unordered_map<int, std::uint64_t> attempts_;  // dispatches per endpoint

@@ -1,6 +1,7 @@
 #include "core/calibre.h"
 
 #include "cluster/kmeans.h"
+#include "common/check.h"
 #include "core/divergence.h"
 
 namespace calibre::core {
@@ -78,23 +79,30 @@ nn::ModelState Calibre::aggregate(const nn::ModelState& global,
   if (!calibre_config_.divergence_weighted_aggregation) {
     return PflSsl::aggregate(global, updates, round);
   }
-  std::vector<float> divergences;
-  std::vector<float> sample_weights;
-  divergences.reserve(updates.size());
-  sample_weights.reserve(updates.size());
-  for (const fl::ClientUpdate& update : updates) {
-    const auto it = update.scalars.find("divergence");
-    divergences.push_back(it == update.scalars.end() ? 0.0f : it->second);
-    sample_weights.push_back(update.weight);
+  CALIBRE_CHECK(!updates.empty());
+  const auto fold = make_aggregator(global, round);
+  for (const fl::ClientUpdate& update : updates) fold->fold(update);
+  return fold->finish();
+}
+
+std::unique_ptr<fl::StreamingAggregator> Calibre::make_aggregator(
+    const nn::ModelState& global, int round) {
+  if (!calibre_config_.divergence_weighted_aggregation) {
+    return PflSsl::make_aggregator(global, round);
   }
-  const std::vector<float> weights = divergence_weights(
-      divergences, sample_weights, calibre_config_.divergence_mode);
-  nn::ModelState result(
-      std::vector<float>(updates.front().state.size(), 0.0f));
-  for (std::size_t i = 0; i < updates.size(); ++i) {
-    result.add_scaled(updates[i].state, weights[i]);
-  }
-  return result;
+  // Unnormalised per-update weight mirroring divergence_weights(); the
+  // shared fold normalises by the running total at finish().
+  const DivergenceMode mode = calibre_config_.divergence_mode;
+  return std::make_unique<fl::WeightedStreamingAggregator>(
+      [mode](const fl::ClientUpdate& update) {
+        const auto it = update.scalars.find("divergence");
+        const float d = it == update.scalars.end() ? 0.0f : it->second;
+        CALIBRE_CHECK_MSG(d >= 0.0f, "negative divergence");
+        constexpr float kEps = 1e-3f;  // divergence_weights() default
+        return static_cast<double>(mode == DivergenceMode::kInverse
+                                       ? update.weight / (d + kEps)
+                                       : update.weight * (d + kEps));
+      });
 }
 
 }  // namespace calibre::core

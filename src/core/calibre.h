@@ -30,10 +30,16 @@ class Calibre : public PflSsl {
 
   std::string name() const override;
 
-  // Divergence-weighted FedAvg over the received updates.
+  // Divergence-weighted FedAvg over the received updates. Delegates to the
+  // streaming fold below so batch and streaming results are bit-identical.
   nn::ModelState aggregate(const nn::ModelState& global,
                            const std::vector<fl::ClientUpdate>& updates,
                            int round) override;
+  // Native O(model) fold: each client's unnormalised weight n_c / (d_c + eps)
+  // (or n_c * (d_c + eps)) is separable, so divergence weighting streams —
+  // normalisation happens once at finish().
+  std::unique_ptr<fl::StreamingAggregator> make_aggregator(
+      const nn::ModelState& global, int round) override;
 
   const CalibreConfig& calibre_config() const { return calibre_config_; }
 

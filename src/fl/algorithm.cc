@@ -72,6 +72,59 @@ ClientUpdate deserialize_update(const std::vector<std::uint8_t>& bytes,
   return update;
 }
 
+// --- streaming aggregation ---------------------------------------------------
+
+WeightedStreamingAggregator::WeightedStreamingAggregator(WeightFn weight_of)
+    : weight_of_(std::move(weight_of)) {}
+
+void WeightedStreamingAggregator::fold(ClientUpdate update) {
+  const double w = weight_of_
+                       ? weight_of_(update)
+                       : static_cast<double>(update.weight);
+  CALIBRE_CHECK_MSG(w > 0.0, "non-positive aggregation weight");
+  const std::vector<float>& values = update.state.values();
+  if (acc_.empty()) {
+    CALIBRE_CHECK_MSG(!values.empty(), "empty update state");
+    acc_.assign(values.size(), 0.0);
+  }
+  CALIBRE_CHECK_EQ(acc_.size(), values.size(),
+                   "update dimension changed mid-round");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    acc_[i] += w * static_cast<double>(values[i]);
+  }
+  total_weight_ += w;
+  ++folded_;
+}
+
+nn::ModelState WeightedStreamingAggregator::finish() {
+  CALIBRE_CHECK_MSG(folded_ > 0, "finish() before any update was folded");
+  std::vector<float> out(acc_.size());
+  for (std::size_t i = 0; i < acc_.size(); ++i) {
+    out[i] = static_cast<float>(acc_[i] / total_weight_);
+  }
+  return nn::ModelState(std::move(out));
+}
+
+BatchAggregatorAdapter::BatchAggregatorAdapter(Algorithm& algorithm,
+                                               nn::ModelState global,
+                                               int round)
+    : algorithm_(algorithm), global_(std::move(global)), round_(round) {}
+
+void BatchAggregatorAdapter::fold(ClientUpdate update) {
+  updates_.push_back(std::move(update));
+  ++folded_;
+}
+
+nn::ModelState BatchAggregatorAdapter::finish() {
+  CALIBRE_CHECK_MSG(folded_ > 0, "finish() before any update was folded");
+  return algorithm_.aggregate(global_, updates_, round_);
+}
+
+std::unique_ptr<StreamingAggregator> Algorithm::make_aggregator(
+    const nn::ModelState& global, int round) {
+  return std::make_unique<BatchAggregatorAdapter>(*this, global, round);
+}
+
 nn::ModelState Algorithm::aggregate(const nn::ModelState& /*global*/,
                                     const std::vector<ClientUpdate>& updates,
                                     int /*round*/) {
@@ -80,19 +133,9 @@ nn::ModelState Algorithm::aggregate(const nn::ModelState& /*global*/,
 
 nn::ModelState fedavg_aggregate(const std::vector<ClientUpdate>& updates) {
   CALIBRE_CHECK(!updates.empty());
-  double total_weight = 0.0;
-  for (const ClientUpdate& update : updates) {
-    CALIBRE_CHECK_MSG(update.weight > 0.0f, "non-positive aggregation weight");
-    CALIBRE_CHECK(update.state.size() == updates.front().state.size());
-    total_weight += update.weight;
-  }
-  nn::ModelState result(
-      std::vector<float>(updates.front().state.size(), 0.0f));
-  for (const ClientUpdate& update : updates) {
-    result.add_scaled(update.state,
-                      static_cast<float>(update.weight / total_weight));
-  }
-  return result;
+  WeightedStreamingAggregator fold;
+  for (const ClientUpdate& update : updates) fold.fold(update);
+  return fold.finish();
 }
 
 }  // namespace calibre::fl

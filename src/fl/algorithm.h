@@ -10,7 +10,9 @@
 // (e.g. persistent per-client heads) with their own mutex.
 #pragma once
 
+#include <functional>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "data/dataset.h"
@@ -67,6 +69,93 @@ struct PersonalizationContext {
   std::uint64_t seed = 0;
 };
 
+// --- streaming aggregation ---------------------------------------------------
+//
+// The runner folds client updates into the next global state as they arrive
+// (in selection-rank order, enforced by a reorder buffer) instead of
+// buffering all K of them and calling a batch aggregate. A native streaming
+// fold keeps server memory O(model) regardless of how many clients
+// participate; the batch adapter below preserves the legacy behaviour for
+// algorithms whose aggregation is not incremental.
+//
+// Equivalence contract: an algorithm's batch aggregate() and the aggregator
+// returned by make_aggregator() must produce bit-identical states for the
+// same update sequence. The weighted-average family guarantees this by
+// implementing aggregate() *on top of* its streaming fold.
+class StreamingAggregator {
+ public:
+  virtual ~StreamingAggregator() = default;
+
+  StreamingAggregator(const StreamingAggregator&) = delete;
+  StreamingAggregator& operator=(const StreamingAggregator&) = delete;
+
+  // Folds the next update. The caller guarantees rank order over the
+  // updates that arrive (absent ranks are simply skipped).
+  virtual void fold(ClientUpdate update) = 0;
+
+  // Produces the next global state from everything folded so far. Called at
+  // most once, after at least one fold().
+  virtual nn::ModelState finish() = 0;
+
+  // Decoded updates held inside the aggregator: 0 for native streaming
+  // folds, one per fold() for the batch adapter. The runner CHECKs this
+  // against its decoded-update bound when bounded_memory() is true.
+  virtual std::size_t buffered_updates() const { return 0; }
+
+  // True when memory stays O(model) for any participant count.
+  virtual bool bounded_memory() const { return true; }
+
+  int folded() const { return folded_; }
+
+ protected:
+  StreamingAggregator() = default;
+  int folded_ = 0;
+};
+
+// Native streaming fold for the weighted-average family:
+//   acc[j] += w_i * x_i[j]   (double accumulator, O(model))
+//   finish: out[j] = float(acc[j] / sum_i w_i)
+// `weight_of` maps an update to its unnormalised aggregation weight (> 0);
+// the default reads ClientUpdate::weight. Normalisation happens once at
+// finish(), which is what makes a weighted mean foldable without knowing
+// the participant set (or total weight) up front.
+class WeightedStreamingAggregator : public StreamingAggregator {
+ public:
+  using WeightFn = std::function<double(const ClientUpdate&)>;
+  explicit WeightedStreamingAggregator(WeightFn weight_of = nullptr);
+
+  void fold(ClientUpdate update) override;
+  nn::ModelState finish() override;
+
+ private:
+  WeightFn weight_of_;
+  std::vector<double> acc_;
+  double total_weight_ = 0.0;
+};
+
+class Algorithm;
+
+// Legacy-shaped adapter: buffers every update and delegates to the
+// algorithm's batch aggregate() at finish(). Memory O(participants) — the
+// safe default for algorithms whose aggregation the runner knows nothing
+// about.
+class BatchAggregatorAdapter : public StreamingAggregator {
+ public:
+  BatchAggregatorAdapter(Algorithm& algorithm, nn::ModelState global,
+                         int round);
+
+  void fold(ClientUpdate update) override;
+  nn::ModelState finish() override;
+  std::size_t buffered_updates() const override { return updates_.size(); }
+  bool bounded_memory() const override { return false; }
+
+ private:
+  Algorithm& algorithm_;
+  nn::ModelState global_;
+  int round_;
+  std::vector<ClientUpdate> updates_;
+};
+
 class Algorithm {
  public:
   explicit Algorithm(const FlConfig& config) : config_(config) {}
@@ -85,9 +174,20 @@ class Algorithm {
                                     const ClientContext& ctx) = 0;
 
   // Combines updates into the next global state. Default: weighted FedAvg.
+  // Retained as the batch entry point for tests and tools; the runner
+  // aggregates through make_aggregator() instead.
   virtual nn::ModelState aggregate(const nn::ModelState& global,
                                    const std::vector<ClientUpdate>& updates,
                                    int round);
+
+  // Streaming aggregation entry point used by the round loop. The default
+  // wraps this algorithm's batch aggregate() (correct for any override, at
+  // O(participants) memory); algorithms whose aggregation folds
+  // incrementally override it with an O(model) native aggregator. An
+  // override of aggregate() and an override of make_aggregator() must stay
+  // bit-identical — see the contract above.
+  virtual std::unique_ptr<StreamingAggregator> make_aggregator(
+      const nn::ModelState& global, int round);
 
   // Personalization + evaluation for one client; returns test accuracy.
   virtual double personalize(const nn::ModelState& global,
@@ -99,7 +199,9 @@ class Algorithm {
   FlConfig config_;
 };
 
-// Weighted average of updates (weights normalised internally).
+// Weighted average of updates (weights normalised internally). Implemented
+// as a WeightedStreamingAggregator fold over `updates`, so batch and
+// streaming results are bit-identical by construction.
 nn::ModelState fedavg_aggregate(const std::vector<ClientUpdate>& updates);
 
 }  // namespace calibre::fl

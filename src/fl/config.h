@@ -76,6 +76,13 @@ struct FlConfig {
   // against the round's broadcast snapshot. See comm/codec.h.
   comm::Codec wire_codec = comm::Codec::kF32;
 
+  // Cap on clients evaluated in the personalization stage (0 = all). With
+  // 100k virtual clients the training stage is cheap per round but a full
+  // personalization sweep is O(population); the cap evaluates a seeded
+  // without-replacement sample of that size instead, applied independently
+  // to the participating and novel sets.
+  int personalize_cap = 0;
+
   std::uint64_t seed = 42;
   // Worker threads for simulated client devices (0 = library default).
   int threads = 0;

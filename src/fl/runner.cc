@@ -47,36 +47,43 @@ RunResult run_federated(Algorithm& algorithm, const FedDataset& fed,
     router.set_fault_injection(fault);
   }
 
-  // Register one device endpoint per participating client. The handler runs
-  // on the device pool: deserialize global -> local update -> reply.
-  for (int c = 0; c < fed.num_train_clients(); ++c) {
-    router.register_endpoint(c, [&, c](const comm::Message& request) {
-      CALIBRE_CHECK(request.type == comm::MessageType::kTrainRequest);
-      const nn::ModelState global =
-          nn::ModelState::from_bytes(request.payload.bytes());
-      ClientContext ctx;
-      ctx.client_id = c;
-      ctx.round = request.round;
-      ctx.train = &fed.train[static_cast<std::size_t>(c)];
-      ctx.ssl_pool = &fed.ssl_pool[static_cast<std::size_t>(c)];
-      ctx.oracle = fed.pool_is_latent ? &fed.oracle : nullptr;
-      ctx.seed = derive_seed(config.seed,
-                             static_cast<std::uint64_t>(request.round),
-                             static_cast<std::uint64_t>(c));
-      const ClientUpdate update = algorithm.local_update(global, ctx);
+  // Virtual clients: ONE generic device handler serves the whole population,
+  // parameterized by the client id in Message::receiver — registration cost
+  // O(1) instead of O(clients), and no per-client closures. The handler runs
+  // on the device pool: materialise the client's shard (a reference in eager
+  // mode, scratch-filled in virtual mode), deserialize global -> local
+  // update -> reply. Scratch lives on the handler frame, so per-shard memory
+  // is bounded by the pool's thread count, not the population.
+  router.register_default_handler([&](const comm::Message& request) {
+    CALIBRE_CHECK(request.type == comm::MessageType::kTrainRequest);
+    const int c = request.receiver;
+    CALIBRE_CHECK(c >= 0 && c < fed.num_train_clients());
+    const nn::ModelState global =
+        nn::ModelState::from_bytes(request.payload.bytes());
+    data::Dataset train_scratch;
+    tensor::Tensor pool_scratch;
+    ClientContext ctx;
+    ctx.client_id = c;
+    ctx.round = request.round;
+    ctx.train = &fed.train_shard(c, train_scratch);
+    ctx.ssl_pool = &fed.client_ssl_pool(c, pool_scratch);
+    ctx.oracle = fed.pool_is_latent ? &fed.oracle : nullptr;
+    ctx.seed = derive_seed(config.seed,
+                           static_cast<std::uint64_t>(request.round),
+                           static_cast<std::uint64_t>(c));
+    const ClientUpdate update = algorithm.local_update(global, ctx);
 
-      comm::Message response;
-      response.type = comm::MessageType::kTrainResponse;
-      response.sender = c;
-      response.receiver = comm::kServerEndpoint;
-      response.round = request.round;
-      // delta16 replies encode against the global exactly as this client
-      // decoded it — the same reference the server derives from its own
-      // broadcast snapshot, so both sides agree bit-for-bit.
-      response.payload = serialize_update(update, config.wire_codec, &global);
-      router.send(std::move(response));
-    });
-  }
+    comm::Message response;
+    response.type = comm::MessageType::kTrainResponse;
+    response.sender = c;
+    response.receiver = comm::kServerEndpoint;
+    response.round = request.round;
+    // delta16 replies encode against the global exactly as this client
+    // decoded it — the same reference the server derives from its own
+    // broadcast snapshot, so both sides agree bit-for-bit.
+    response.payload = serialize_update(update, config.wire_codec, &global);
+    router.send(std::move(response));
+  });
 
   // --- Training stage -------------------------------------------------------
   nn::ModelState state = algorithm.initialize();
@@ -136,6 +143,64 @@ RunResult run_federated(Algorithm& algorithm, const FedDataset& fed,
     };
     for (const int client : selected) send_request(client);
 
+    // Streaming aggregation: updates fold into the aggregator one at a time,
+    // in selection-rank order — reply arrival order depends on thread
+    // scheduling, and float summation is order-sensitive, so folding in
+    // arrival order would break bit-for-bit reproducibility. A reorder
+    // buffer bridges the gap: replies that arrive ahead of the fold front
+    // are held SERIALIZED (refcounted payload handles, no decode), and the
+    // front decodes+folds them the moment every earlier rank is resolved
+    // (folded or permanently missing). At any instant the server holds at
+    // most ONE decoded update outside the aggregator, so server memory is
+    // O(model + wire bytes in flight), not O(participants × model).
+    const int num_selected = static_cast<int>(selected.size());
+    auto aggregator = algorithm.make_aggregator(state, round);
+    std::unordered_map<int, comm::Payload> held;  // rank -> serialized reply
+    enum : std::uint8_t { kOutstanding = 0, kHeld = 1, kResolved = 2 };
+    std::vector<std::uint8_t> rank_state(selected.size(), kOutstanding);
+    int fold_front = 0;
+    double divergence_total = 0.0;
+    int divergence_count = 0;
+    double norm_total = 0.0;
+    auto fold_payload = [&](const comm::Payload& payload) {
+      ClientUpdate update = deserialize_update(payload.bytes(), update_base);
+      const auto it = update.scalars.find("divergence");
+      if (it != update.scalars.end()) {
+        divergence_total += it->second;
+        ++divergence_count;
+      }
+      norm_total += update.state.norm();
+      aggregator->fold(std::move(update));
+      // Streaming invariant: a bounded-memory aggregator never buffers
+      // decoded updates — combined with the serialized reorder buffer this
+      // is the O(model) server-memory guarantee.
+      if (aggregator->bounded_memory()) {
+        CALIBRE_CHECK_EQ(aggregator->buffered_updates(), std::size_t{0},
+                         "bounded-memory aggregator buffered decoded updates");
+      }
+    };
+    // Folds every resolvable rank at the front: resolved ranks are skipped,
+    // held ranks are decoded+folded, and the walk stops at the first rank
+    // still awaiting its reply. Missing ranks are marked resolved by the
+    // failure/timeout paths below, so a rank that never arrives can never
+    // wedge the front (no deadlock).
+    auto advance_front = [&] {
+      while (fold_front < num_selected) {
+        if (rank_state[static_cast<std::size_t>(fold_front)] == kResolved) {
+          ++fold_front;
+          continue;
+        }
+        if (rank_state[static_cast<std::size_t>(fold_front)] == kHeld) {
+          const auto node = held.extract(fold_front);
+          fold_payload(node.mapped());
+          rank_state[static_cast<std::size_t>(fold_front)] = kResolved;
+          ++fold_front;
+          continue;
+        }
+        break;
+      }
+    };
+
     // Deadline-aware receive with a minimum-participation quorum. Every
     // dispatch is guaranteed exactly one reply (success or kTrainError), so
     // waiting on `pending` cannot hang; the deadline merely lets the round
@@ -145,30 +210,24 @@ RunResult run_federated(Algorithm& algorithm, const FedDataset& fed,
     const bool has_deadline = config.round_deadline_ms > 0;
     const auto deadline = std::chrono::steady_clock::now() +
                           std::chrono::milliseconds(config.round_deadline_ms);
-    const int quorum =
-        std::min(std::max(config.min_participants, 1),
-                 static_cast<int>(selected.size()));
+    const int quorum = std::min(std::max(config.min_participants, 1),
+                                num_selected);
     std::unordered_set<int> pending(selected.begin(), selected.end());
     std::unordered_map<int, int> retries_used;
-    // Updates are tagged with the sender's selection rank and sorted before
-    // aggregation: reply arrival order depends on thread scheduling, and
-    // float summation is order-sensitive, so aggregating in arrival order
-    // would break the bit-for-bit reproducibility the runtime promises.
     std::unordered_map<int, int> selection_rank;
     selection_rank.reserve(selected.size());
     for (std::size_t i = 0; i < selected.size(); ++i) {
       selection_rank[selected[i]] = static_cast<int>(i);
     }
     bool deadline_fired = false;
-    std::vector<std::pair<int, ClientUpdate>> arrived;
-    arrived.reserve(selected.size());
+    int received = 0;  // accepted TrainResponses (folded or held)
     while (!pending.empty()) {
       std::optional<comm::Message> response;
       if (has_deadline && !deadline_fired) {
         response = router.server_mailbox().pop_until(deadline);
         if (!response.has_value() && !router.server_mailbox().closed()) {
           deadline_fired = true;
-          if (static_cast<int>(arrived.size()) >= quorum) break;
+          if (received >= quorum) break;
           continue;  // below quorum: keep waiting, replies are guaranteed
         }
       } else {
@@ -194,6 +253,11 @@ RunResult run_federated(Algorithm& algorithm, const FedDataset& fed,
           send_request(client);
         } else {
           pending.erase(client);
+          // Permanently failed: resolve the rank as missing so the fold
+          // front can move past it instead of waiting forever.
+          rank_state[static_cast<std::size_t>(selection_rank[client])] =
+              kResolved;
+          advance_front();
           log::debug() << algorithm.name() << " round " << round
                        << " client " << client << " failed: "
                        << comm::Router::error_text(*response);
@@ -202,48 +266,53 @@ RunResult run_federated(Algorithm& algorithm, const FedDataset& fed,
       }
       CALIBRE_CHECK(response->type == comm::MessageType::kTrainResponse);
       if (pending.erase(response->sender) == 0) continue;
-      arrived.emplace_back(selection_rank[response->sender],
-                           deserialize_update(response->payload.bytes(),
-                                              update_base));
-      if (deadline_fired && static_cast<int>(arrived.size()) >= quorum) break;
+      const int rank = selection_rank[response->sender];
+      ++received;
+      if (rank == fold_front) {
+        fold_payload(response->payload);
+        rank_state[static_cast<std::size_t>(rank)] = kResolved;
+        ++fold_front;
+        advance_front();
+      } else {
+        held.emplace(rank, std::move(response->payload));
+        rank_state[static_cast<std::size_t>(rank)] = kHeld;
+      }
+      if (deadline_fired && received >= quorum) break;
     }
     round_stats.timeouts = static_cast<int>(pending.size());
-    std::sort(arrived.begin(), arrived.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
-    std::vector<ClientUpdate> updates;
-    updates.reserve(arrived.size());
-    for (auto& [rank, update] : arrived) updates.push_back(std::move(update));
+    // Drain: ranks still pending (deadline stragglers) resolve as missing,
+    // which releases every held reply behind them into the fold. The round's
+    // fold order is therefore always "arrived ranks, ascending" — exactly
+    // the order the batch path aggregated in.
+    for (const int client : pending) {
+      rank_state[static_cast<std::size_t>(selection_rank[client])] = kResolved;
+    }
+    advance_front();
+    CALIBRE_CHECK_MSG(held.empty() && fold_front == num_selected,
+                      "reorder buffer failed to drain");
 
     // Partial aggregation: whatever arrived forms the next global state. A
     // fully failed round (every client errored out) keeps the state as-is
     // rather than aggregating nothing.
-    if (!updates.empty()) {
-      state = algorithm.aggregate(state, updates, round);
+    const int participants = aggregator->folded();
+    if (participants > 0) {
+      state = aggregator->finish();
     } else {
       log::warn() << algorithm.name() << " round " << round
                   << ": no updates arrived; keeping previous global state";
     }
 
-    round_stats.participants = static_cast<int>(updates.size());
+    round_stats.participants = participants;
     round_stats.dropped = dropped;
-    double divergence_total = 0.0;
-    int divergence_count = 0;
-    double norm_total = 0.0;
-    for (const ClientUpdate& update : updates) {
-      const auto it = update.scalars.find("divergence");
-      if (it != update.scalars.end()) {
-        divergence_total += it->second;
-        ++divergence_count;
-      }
-      norm_total += update.state.norm();
-    }
     if (divergence_count > 0) {
       round_stats.mean_divergence =
           static_cast<float>(divergence_total / divergence_count);
     }
-    round_stats.mean_update_norm = updates.empty()
-        ? 0.0f
-        : static_cast<float>(norm_total / static_cast<double>(updates.size()));
+    round_stats.mean_update_norm =
+        participants == 0
+            ? 0.0f
+            : static_cast<float>(norm_total /
+                                 static_cast<double>(participants));
     // Per-round traffic from the router's counters: retries re-sent this
     // round and late replies that surfaced this round are all in the diff.
     const comm::TrafficStats round_traffic =
@@ -253,7 +322,7 @@ RunResult run_federated(Algorithm& algorithm, const FedDataset& fed,
     round_stats.serializations = round_traffic.broadcast_serializations;
     result.history.push_back(round_stats);
     log::debug() << algorithm.name() << " round " << round + 1 << "/"
-                 << config.rounds << " aggregated " << updates.size()
+                 << config.rounds << " aggregated " << participants
                  << " updates (" << round_stats.failures << " failures, "
                  << round_stats.timeouts << " timeouts, "
                  << round_stats.late_dropped << " late-dropped)";
@@ -262,32 +331,52 @@ RunResult run_federated(Algorithm& algorithm, const FedDataset& fed,
   // --- Personalization stage -------------------------------------------------
   {
     common::ThreadPool pool(resolve_threads(config));
-    auto personalize_set =
-        [&](const std::vector<data::Dataset>& train_sets,
-            const std::vector<data::Dataset>& test_sets,
-            std::uint64_t salt, int id_offset) {
-          std::vector<std::future<double>> futures;
-          futures.reserve(train_sets.size());
-          for (std::size_t c = 0; c < train_sets.size(); ++c) {
-            futures.push_back(pool.submit([&, c] {
-              PersonalizationContext ctx;
-              ctx.client_id = id_offset + static_cast<int>(c);
-              ctx.train = &train_sets[c];
-              ctx.test = &test_sets[c];
-              ctx.seed = derive_seed(config.seed, salt,
-                                     static_cast<std::uint64_t>(c));
-              return algorithm.personalize(state, ctx);
-            }));
-          }
-          std::vector<double> accuracies;
-          accuracies.reserve(futures.size());
-          for (auto& future : futures) accuracies.push_back(future.get());
-          return accuracies;
-        };
-    result.train_accuracies = personalize_set(fed.train, fed.test, 0xA11, /*id_offset=*/0);
+    // `novel` switches both the shard accessors and the cap's sample stream;
+    // ids are indices within the respective set. With personalize_cap set, a
+    // seeded without-replacement sample of that size is evaluated instead of
+    // the full sweep (the cap stream is independent of the round sampler, so
+    // capping never perturbs training).
+    auto personalize_set = [&](int count, bool novel, std::uint64_t salt,
+                               int id_offset) {
+      std::vector<int> ids;
+      if (config.personalize_cap > 0 && count > config.personalize_cap) {
+        rng::Generator cap_gen(
+            derive_seed(config.seed, 0x9CA9, novel ? 1 : 0));
+        ids = cap_gen.sample_without_replacement(count,
+                                                 config.personalize_cap);
+        std::sort(ids.begin(), ids.end());
+      } else {
+        ids.resize(static_cast<std::size_t>(count));
+        for (int i = 0; i < count; ++i) ids[static_cast<std::size_t>(i)] = i;
+      }
+      std::vector<std::future<double>> futures;
+      futures.reserve(ids.size());
+      for (const int id : ids) {
+        futures.push_back(pool.submit([&, id] {
+          data::Dataset train_scratch;
+          data::Dataset test_scratch;
+          PersonalizationContext ctx;
+          ctx.client_id = id_offset + id;
+          ctx.train = novel ? &fed.novel_train_shard(id, train_scratch)
+                            : &fed.train_shard(id, train_scratch);
+          ctx.test = novel ? &fed.novel_test_shard(id, test_scratch)
+                           : &fed.test_shard(id, test_scratch);
+          ctx.seed = derive_seed(config.seed, salt,
+                                 static_cast<std::uint64_t>(id));
+          return algorithm.personalize(state, ctx);
+        }));
+      }
+      std::vector<double> accuracies;
+      accuracies.reserve(futures.size());
+      for (auto& future : futures) accuracies.push_back(future.get());
+      return accuracies;
+    };
+    result.train_accuracies = personalize_set(fed.num_train_clients(),
+                                              /*novel=*/false, 0xA11,
+                                              /*id_offset=*/0);
     if (personalize_novel && fed.num_novel_clients() > 0) {
       result.novel_accuracies =
-          personalize_set(fed.novel_train, fed.novel_test, 0xB22,
+          personalize_set(fed.num_novel_clients(), /*novel=*/true, 0xB22,
                           /*id_offset=*/fed.num_train_clients());
     }
   }

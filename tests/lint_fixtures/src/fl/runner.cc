@@ -1,0 +1,19 @@
+// Seeded violation: the real src/fl/runner.cc must stream client updates
+// into Algorithm::make_aggregator's fold; collecting decoded updates into a
+// vector and calling batch aggregate() is exactly the O(cohort * model)
+// server-memory regression the streaming refactor removed.
+// expect-lint: streaming-fold
+#include <vector>
+
+struct ClientUpdate {};
+struct FakeState {};
+
+struct FakeAlgorithm {
+  FakeState aggregate(const std::vector<ClientUpdate>& updates);
+};
+
+FakeState naive_round(FakeAlgorithm& algorithm) {
+  std::vector<ClientUpdate> updates;  // buffers the whole cohort decoded
+  updates.push_back(ClientUpdate{});
+  return algorithm.aggregate(updates);
+}

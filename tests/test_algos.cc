@@ -2,9 +2,12 @@
 // every registered method, plus algorithm-specific behavioural checks.
 #include <cmath>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "algos/client_store.h"
 #include "algos/fedbabu.h"
 #include "algos/lg_fedavg.h"
 #include "algos/registry.h"
@@ -230,6 +233,61 @@ TEST(Determinism, CalibreSameSeedSameResult) {
     return fl::run_federated(*algorithm, world.fed, false).train_accuracies;
   };
   EXPECT_EQ(run_once(), run_once());
+}
+
+// --- client store ------------------------------------------------------------
+
+TEST(ClientStoreTest, VisitBorrowsWithoutCopyAndMutateEditsInPlace) {
+  ClientStore<std::vector<float>> store;
+  EXPECT_FALSE(store.contains(3));
+  EXPECT_FALSE(store.visit(3, [](const std::vector<float>&) { FAIL(); }));
+  EXPECT_FALSE(store.mutate(3, [](std::vector<float>&) { FAIL(); }));
+
+  store.put(3, std::vector<float>{1.0f, 2.0f});
+  const float* stored_data = nullptr;
+  ASSERT_TRUE(store.visit(3, [&](const std::vector<float>& v) {
+    stored_data = v.data();
+    EXPECT_EQ(v, (std::vector<float>{1.0f, 2.0f}));
+  }));
+  // Same buffer on a second visit: the store lends the value, not a copy.
+  ASSERT_TRUE(store.visit(3, [&](const std::vector<float>& v) {
+    EXPECT_EQ(v.data(), stored_data);
+  }));
+
+  ASSERT_TRUE(store.mutate(3, [](std::vector<float>& v) { v[0] = 9.0f; }));
+  const auto copy = store.get(3);
+  ASSERT_TRUE(copy.has_value());
+  EXPECT_EQ((*copy)[0], 9.0f);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(ClientStoreTest, ShardedStoreSurvivesConcurrentClients) {
+  // Simulates the handler pattern at fan-out: many clients, distinct ids,
+  // read-modify-write their own state concurrently. Ids are spread across
+  // every shard (id & 15), so this also catches cross-shard aliasing.
+  ClientStore<int> store;
+  constexpr int kClients = 64;
+  constexpr int kRounds = 50;
+  std::vector<std::thread> workers;
+  workers.reserve(8);
+  for (int w = 0; w < 8; ++w) {
+    workers.emplace_back([&store, w] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (int id = w; id < kClients; id += 8) {
+          if (!store.mutate(id, [](int& value) { ++value; })) {
+            store.put(id, 1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(store.size(), static_cast<std::size_t>(kClients));
+  for (int id = 0; id < kClients; ++id) {
+    int value = 0;
+    ASSERT_TRUE(store.visit(id, [&](const int& v) { value = v; }));
+    EXPECT_EQ(value, kRounds) << "client " << id;
+  }
 }
 
 }  // namespace

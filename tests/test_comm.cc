@@ -532,6 +532,84 @@ TEST(Codec, F16OverflowBoundaryTiesToInfinity) {
   EXPECT_EQ(f32_to_f16(std::nextafterf(65520.0f, 0.0f)), 0x7BFF);
 }
 
+// The SIMD bulk converters must be bit-identical to the scalar functions:
+// the wire format (and the streaming/batch equivalence proof built on it)
+// depends on encode bytes not changing with the instruction set or the
+// position of a value inside a block. Decode side: every one of the 65536
+// f16 patterns through the block path. Encode side: adversarial floats
+// (ties, subnormal boundaries, overflow halfway, NaN payloads) placed at
+// every lane offset, plus a broad random sweep.
+TEST(Codec, BlockConvertersMatchScalarBitwise) {
+  // Decode: exhaustive over all f16 bit patterns, odd length to cover the
+  // scalar tail after the 16-lane groups.
+  std::vector<std::uint16_t> halves(0x10000 + 7);
+  for (std::size_t i = 0; i < halves.size(); ++i) {
+    halves[i] = static_cast<std::uint16_t>(i & 0xFFFFu);
+  }
+  std::vector<float> bulk(halves.size());
+  f16_to_f32_block(halves.data(), nullptr, bulk.data(), halves.size());
+  for (std::size_t i = 0; i < halves.size(); ++i) {
+    const float scalar = f16_to_f32(halves[i]);
+    EXPECT_EQ(std::memcmp(&bulk[i], &scalar, sizeof(float)), 0)
+        << "half 0x" << std::hex << halves[i];
+  }
+
+  // Encode: edge values at every alignment, then a seeded random sweep over
+  // the full f32 range (sign * random exponent * random mantissa).
+  std::vector<float> values;
+  const float edges[] = {0.0f,
+                         -0.0f,
+                         1.0f,
+                         1.0f + 0.00048828125f,  // RNE tie at 1.0
+                         65504.0f,
+                         65519.0f,
+                         65520.0f,  // overflow tie -> inf
+                         -65520.0f,
+                         5.9604645e-8f,   // smallest f16 subnormal
+                         2.9802322e-8f,   // tie to zero
+                         -1e-12f,
+                         1e6f,
+                         std::numeric_limits<float>::infinity(),
+                         -std::numeric_limits<float>::infinity(),
+                         std::numeric_limits<float>::quiet_NaN()};
+  for (const float edge : edges) {
+    for (int offset = 0; offset < 17; ++offset) {
+      values.insert(values.end(), static_cast<std::size_t>(offset), 0.25f);
+      values.push_back(edge);
+    }
+  }
+  rng::Generator gen(0xC0DEC);
+  for (int i = 0; i < 4096; ++i) {
+    const auto bits = static_cast<std::uint32_t>(
+        gen.uniform_index(std::uint64_t{1} << 32));
+    float value = 0.0f;
+    std::memcpy(&value, &bits, sizeof(value));
+    values.push_back(value);
+  }
+  std::vector<std::uint16_t> encoded(values.size());
+  f32_to_f16_block(values.data(), nullptr, encoded.data(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(encoded[i], f32_to_f16(values[i])) << "index " << i;
+  }
+
+  // Fused delta paths: encode (src - base) and decode (base + half) must
+  // match composing the scalar ops by hand.
+  std::vector<float> base(values.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    base[i] = static_cast<float>(gen.uniform());
+  }
+  std::vector<std::uint16_t> delta(values.size());
+  f32_to_f16_block(values.data(), base.data(), delta.data(), values.size());
+  std::vector<float> decoded(values.size());
+  f16_to_f32_block(delta.data(), base.data(), decoded.data(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(delta[i], f32_to_f16(values[i] - base[i])) << "index " << i;
+    const float expect = base[i] + f16_to_f32(delta[i]);
+    EXPECT_EQ(std::memcmp(&decoded[i], &expect, sizeof(float)), 0)
+        << "index " << i;
+  }
+}
+
 // --- Codec: block encode/decode --------------------------------------------
 
 std::vector<float> random_values(std::size_t count, std::uint64_t seed,

@@ -142,6 +142,55 @@ TEST_F(FedDataBuilder, NoUnlabeledPoolFallsBackToLabeledOnly) {
   }
 }
 
+// Virtual mode must be indistinguishable from the eager build through the
+// accessor interface: same shards, same SSL pools, bit for bit — that is
+// what makes the CLI's auto-switch at scale safe.
+TEST_F(FedDataBuilder, VirtualBuildIsBitIdenticalToEager) {
+  rng::Generator eager_gen(11);
+  rng::Generator virtual_gen(11);
+  const FedDataset eager = build_fed_dataset(synth_, partition_, 4, eager_gen);
+  const FedDataset lazy =
+      build_virtual_fed_dataset(synth_, partition_, 4, virtual_gen);
+  EXPECT_FALSE(eager.is_virtual());
+  EXPECT_TRUE(lazy.is_virtual());
+  ASSERT_EQ(lazy.num_train_clients(), eager.num_train_clients());
+  ASSERT_EQ(lazy.num_novel_clients(), eager.num_novel_clients());
+  EXPECT_EQ(lazy.pool_is_latent, eager.pool_is_latent);
+
+  auto expect_same_tensor = [](const tensor::Tensor& a,
+                               const tensor::Tensor& b) {
+    ASSERT_EQ(a.rows(), b.rows());
+    ASSERT_EQ(a.cols(), b.cols());
+    for (std::int64_t r = 0; r < a.rows(); ++r) {
+      for (std::int64_t c = 0; c < a.cols(); ++c) {
+        ASSERT_EQ(a(r, c), b(r, c)) << "element (" << r << ", " << c << ")";
+      }
+    }
+  };
+  auto expect_same_dataset = [&](const data::Dataset& a,
+                                 const data::Dataset& b) {
+    EXPECT_EQ(a.labels, b.labels);
+    EXPECT_EQ(a.num_classes, b.num_classes);
+    expect_same_tensor(a.x, b.x);
+    expect_same_tensor(a.latents, b.latents);
+  };
+
+  data::Dataset scratch;
+  tensor::Tensor pool_scratch;
+  for (int c = 0; c < eager.num_train_clients(); ++c) {
+    expect_same_dataset(lazy.train_shard(c, scratch), eager.train[c]);
+    expect_same_dataset(lazy.test_shard(c, scratch), eager.test[c]);
+    expect_same_tensor(lazy.client_ssl_pool(c, pool_scratch),
+                       eager.ssl_pool[c]);
+  }
+  for (int n = 0; n < eager.num_novel_clients(); ++n) {
+    expect_same_dataset(lazy.novel_train_shard(n, scratch),
+                        eager.novel_train[n]);
+    expect_same_dataset(lazy.novel_test_shard(n, scratch),
+                        eager.novel_test[n]);
+  }
+}
+
 // --- probe ------------------------------------------------------------------
 
 TEST(LinearProbe, SeparableFeaturesReachHighAccuracy) {
@@ -556,6 +605,102 @@ TEST(RunnerTraffic, CompactCodecsTrackTheLosslessRun) {
     // the 2-float toy state).
     EXPECT_LT(compact->history[0].bytes_broadcast,
               f32.history[0].bytes_broadcast);
+  }
+}
+
+// --- streaming aggregation ---------------------------------------------------
+
+// ToyAlgorithm inherits the BatchAggregatorAdapter default (its aggregate()
+// is the batch path); this variant opts into the native O(model) streaming
+// fold. The two must be bit-identical by construction.
+class StreamingToyAlgorithm : public ToyAlgorithm {
+ public:
+  using ToyAlgorithm::ToyAlgorithm;
+  std::unique_ptr<StreamingAggregator> make_aggregator(
+      const nn::ModelState&, int) override {
+    return std::make_unique<WeightedStreamingAggregator>();
+  }
+};
+
+// The equivalence contract of StreamingAggregator, end to end: the native
+// fold and the batch adapter must produce bit-identical global states for
+// any thread count and any arrival order (injected latency makes replies
+// land out of selection order, exercising the reorder buffer).
+TEST(StreamingAggregation, NativeFoldMatchesBatchAdapterBitwise) {
+  const int clients = 7;
+  const FedDataset fed = toy_fed(clients);
+  auto run = [&](bool streaming, int threads, int latency_ms) {
+    FlConfig config = toy_config(clients);
+    config.rounds = 3;
+    config.threads = threads;
+    config.fault_latency_ms = latency_ms;
+    if (streaming) {
+      StreamingToyAlgorithm algorithm(config);
+      return run_federated(algorithm, fed, false).final_state.values();
+    }
+    ToyAlgorithm algorithm(config);
+    return run_federated(algorithm, fed, false).final_state.values();
+  };
+  const std::vector<float> reference = run(false, 1, 0);
+  ASSERT_EQ(reference.size(), 2u);
+  for (const bool streaming : {false, true}) {
+    for (const int threads : {1, 3, 8}) {
+      for (const int latency_ms : {0, 20}) {
+        EXPECT_EQ(run(streaming, threads, latency_ms), reference)
+            << (streaming ? "streaming" : "batch") << " threads=" << threads
+            << " latency=" << latency_ms;
+      }
+    }
+  }
+}
+
+// A permanently failing client leaves a hole at the fold front while
+// latency scrambles arrival order: later ranks pile into the reorder buffer
+// until the failure resolves their blocker. The round must complete without
+// the missing rank (no deadlock), and repeated runs must agree bitwise —
+// fold order is selection order, never arrival order.
+TEST(StreamingAggregation, ReorderBufferDrainsAroundPermanentFailures) {
+  const int clients = 6;
+  const FedDataset fed = toy_fed(clients);
+  auto run = [&] {
+    FlConfig config = toy_config(clients);
+    config.rounds = 3;
+    config.fault_latency_ms = 30;
+    StreamingToyAlgorithm algorithm(config, [](const ClientContext& ctx) {
+      if (ctx.client_id == 2) throw std::runtime_error("permanent failure");
+    });
+    const RunResult result = run_federated(algorithm, fed, false);
+    for (const RoundStats& r : result.history) {
+      EXPECT_EQ(r.participants, clients - 1) << "round " << r.round;
+      EXPECT_EQ(r.failures, 1) << "round " << r.round;
+    }
+    return result.final_state.values();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// Deadline + quorum on top of the reorder buffer: stragglers cut at the
+// deadline leave multiple unresolved ranks, and the buffer must still
+// drain whatever arrived (in selection order) instead of waiting forever.
+TEST(StreamingAggregation, DeadlineQuorumStillDrainsReorderBuffer) {
+  const int clients = 8;
+  const FedDataset fed = toy_fed(clients);
+  FlConfig config = toy_config(clients);
+  config.rounds = 2;
+  config.round_deadline_ms = 150;
+  config.min_participants = 3;
+  std::atomic<int> dispatched{0};
+  StreamingToyAlgorithm algorithm(config, [&](const ClientContext&) {
+    // Every third dispatch stalls well past the deadline.
+    if (dispatched.fetch_add(1) % 3 == 2) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    }
+  });
+  const RunResult result = run_federated(algorithm, fed, false);
+  ASSERT_EQ(result.history.size(), 2u);
+  for (const RoundStats& r : result.history) {
+    EXPECT_GE(r.participants, config.min_participants) << "round " << r.round;
+    EXPECT_EQ(r.participants + r.timeouts, clients) << "round " << r.round;
   }
 }
 

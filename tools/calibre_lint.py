@@ -130,6 +130,13 @@ def _src_except(*allowed: str):
     return pred
 
 
+def _only(*files: str):
+    def pred(rel: str) -> bool:
+        return rel in files
+
+    return pred
+
+
 DETERMINISM_PATTERNS = [
     (re.compile(r"(?<![\w:.>])s?rand\s*\("),
      "libc rand()/srand() breaks run-to-run determinism; use the seeded "
@@ -187,7 +194,19 @@ ASSERT_PATTERNS = [
      "<cassert> has no place in library code; use common/check.h"),
 ]
 
+STREAMING_PATTERNS = [
+    (re.compile(r"std::vector<\s*(?:fl::)?ClientUpdate\b"),
+     "the runner must fold arriving updates through "
+     "Algorithm::make_aggregator; buffering decoded ClientUpdates "
+     "reintroduces O(cohort * model) server memory at scale"),
+    (re.compile(r"(?:\.|->)aggregate\s*\("),
+     "the runner may not call batch aggregate(); use "
+     "make_aggregator()->fold()/finish() so memory stays O(model) — batch "
+     "semantics are preserved by the BatchAggregatorAdapter default"),
+]
+
 PATTERN_RULES = [
+    ("streaming-fold", _only("src/fl/runner.cc"), STREAMING_PATTERNS),
     ("determinism-rng",
      _src_except("src/tensor/rng.cc", "src/tensor/rng.h"),
      DETERMINISM_PATTERNS),

@@ -44,6 +44,11 @@ else
   # Tier-1: everything except the nested sanitizer lanes and lint entries.
   run_step "tier1.ctest" ctest --test-dir "$BUILD_DIR" --output-on-failure \
     -j "$NPROC" -E '^(tsan|asan|ubsan|lint)\.'
+  # Scalability gate, surfaced as its own summary row: streaming rounds over
+  # a virtual FedDataset must keep peak RSS flat as the population grows
+  # (bench_scale exits nonzero on a superlinear blow-up).
+  run_step "bench.scale" ctest --test-dir "$BUILD_DIR" \
+    --output-on-failure -R '^bench\.scale_smoke$'
   for lane in tsan asan ubsan; do
     run_step "lane.$lane" ctest --test-dir "$BUILD_DIR" \
       --output-on-failure -R "^$lane\."
