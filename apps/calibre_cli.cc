@@ -25,6 +25,18 @@
 //   --retries           per-round retries of a failed client   (0)
 //   --fault-rate        injected handler-failure probability   (0)
 //   --fault-latency-ms  injected per-dispatch latency cap      (0)
+//   --device-classes    heterogeneous fault profiles, one per class:
+//                       "name:fault_rate:latency_ms:duty[:period],..."
+//                       (client c belongs to class c % num_classes; duty < 1
+//                       takes the device offline for part of every `period`
+//                       rounds, staggered per client; overrides --fault-rate
+//                       / --fault-latency-ms)
+//   --async             buffered asynchronous aggregation: no round barrier;
+//                       folds replies as they arrive (deterministically, in
+//                       dispatch order) and commits a new global version
+//                       every --buffer-size folds; --rounds counts commits
+//   --buffer-size       folds per async commit                  (8)
+//   --staleness-alpha   staleness discount w(s)=1/(1+s)^alpha   (0.5)
 //   --wire-codec        f32 | f16 | delta16 model payloads     (f32)
 //   --virtual-clients   force virtual-client mode: shards materialise on
 //                       demand, memory stays O(dataset) at any --clients
@@ -39,6 +51,7 @@
 //   --load              skip training; load a state and only personalize
 //   --history           print per-round progress
 #include <iostream>
+#include <sstream>
 
 #include "algos/registry.h"
 #include "comm/codec.h"
@@ -52,6 +65,44 @@
 #include "nn/checkpoint.h"
 
 using namespace calibre;
+
+// Parses "--device-classes name:fault_rate:latency_ms:duty[:period],..."
+// into DeviceClass entries. Returns false (with a message on stderr) on a
+// malformed spec; range validation happens in fl::validate().
+static bool parse_device_classes(const std::string& spec,
+                                 std::vector<fl::DeviceClass>& out) {
+  std::istringstream entries(spec);
+  std::string entry;
+  while (std::getline(entries, entry, ',')) {
+    std::istringstream fields(entry);
+    std::string field;
+    std::vector<std::string> parts;
+    while (std::getline(fields, field, ':')) parts.push_back(field);
+    if (parts.size() < 4 || parts.size() > 5 || parts[0].empty()) {
+      std::cerr << "bad --device-classes entry '" << entry
+                << "' (expected name:fault_rate:latency_ms:duty[:period])\n";
+      return false;
+    }
+    fl::DeviceClass device;
+    device.name = parts[0];
+    try {
+      device.fault_rate = std::stof(parts[1]);
+      device.fault_latency_ms = std::stoi(parts[2]);
+      device.duty_cycle = std::stof(parts[3]);
+      if (parts.size() == 5) device.period_rounds = std::stoi(parts[4]);
+    } catch (const std::exception&) {
+      std::cerr << "bad --device-classes entry '" << entry
+                << "' (non-numeric field)\n";
+      return false;
+    }
+    out.push_back(std::move(device));
+  }
+  if (out.empty()) {
+    std::cerr << "--device-classes given but no classes parsed\n";
+    return false;
+  }
+  return true;
+}
 
 int main(int argc, char** argv) {
   const flags::Parser args(argc, argv);
@@ -121,6 +172,15 @@ int main(int argc, char** argv) {
   config.max_client_retries = args.get_int("retries", 0);
   config.fault_rate = static_cast<float>(args.get_double("fault-rate", 0.0));
   config.fault_latency_ms = args.get_int("fault-latency-ms", 0);
+  const std::string device_classes = args.get("device-classes", "");
+  if (!device_classes.empty() &&
+      !parse_device_classes(device_classes, config.device_classes)) {
+    return 2;
+  }
+  config.async_mode = args.has("async");
+  config.async_buffer_size = args.get_int("buffer-size", 8);
+  config.staleness_alpha =
+      static_cast<float>(args.get_double("staleness-alpha", 0.5));
   const std::string wire_codec = args.get("wire-codec", "f32");
   if (wire_codec != "f32" && wire_codec != "f16" && wire_codec != "delta16") {
     std::cerr << "unknown --wire-codec: " << wire_codec
@@ -139,6 +199,16 @@ int main(int argc, char** argv) {
   const bool print_history = args.has("history");
   for (const auto& name : args.unused()) {
     std::cerr << "warning: unknown flag --" << name << "\n";
+  }
+
+  // Fail fast on impossible configurations (e.g. --min-participants above
+  // --clients-per-round, sync-only knobs combined with --async) instead of
+  // silently reinterpreting them mid-run.
+  try {
+    fl::validate(config);
+  } catch (const std::exception& error) {
+    std::cerr << "invalid configuration: " << error.what() << "\n";
+    return 2;
   }
 
   const auto algorithm = algos::make_algorithm(method, config);
@@ -173,19 +243,37 @@ int main(int argc, char** argv) {
   }
 
   if (print_history) {
-    std::cout << "round  participants  dropped  failed  retried  timed_out"
-                 "  late  bcast_kB  coll_kB  ser  mean_divergence"
-                 "  update_norm\n";
-    for (const fl::RoundStats& r : result.history) {
-      std::printf(
-          "%5d  %12d  %7d  %6d  %7d  %9d  %4d  %8.1f  %7.1f  %3llu"
-          "  %15.4f  %11.3f\n",
-          r.round, r.participants, r.dropped, r.failures, r.retries,
-          r.timeouts, r.late_dropped,
-          static_cast<double>(r.bytes_broadcast) / 1e3,
-          static_cast<double>(r.bytes_collected) / 1e3,
-          static_cast<unsigned long long>(r.serializations),
-          r.mean_divergence, r.mean_update_norm);
+    if (config.async_mode) {
+      // Async history: one entry per buffer commit; staleness columns show
+      // how far behind the committed version the folded updates trained.
+      std::cout << "commit  version  folds  failed  retried  late"
+                   "  stale_mean  stale_max  bcast_kB  coll_kB"
+                   "  mean_divergence  update_norm\n";
+      for (const fl::RoundStats& r : result.history) {
+        std::printf(
+            "%6d  %7d  %5d  %6d  %7d  %4d  %10.2f  %9d  %8.1f  %7.1f"
+            "  %15.4f  %11.3f\n",
+            r.round, r.committed_version, r.participants, r.failures,
+            r.retries, r.late_dropped, r.staleness_mean, r.staleness_max,
+            static_cast<double>(r.bytes_broadcast) / 1e3,
+            static_cast<double>(r.bytes_collected) / 1e3, r.mean_divergence,
+            r.mean_update_norm);
+      }
+    } else {
+      std::cout << "round  participants  dropped  failed  retried  timed_out"
+                   "  late  bcast_kB  coll_kB  ser  mean_divergence"
+                   "  update_norm\n";
+      for (const fl::RoundStats& r : result.history) {
+        std::printf(
+            "%5d  %12d  %7d  %6d  %7d  %9d  %4d  %8.1f  %7.1f  %3llu"
+            "  %15.4f  %11.3f\n",
+            r.round, r.participants, r.dropped, r.failures, r.retries,
+            r.timeouts, r.late_dropped,
+            static_cast<double>(r.bytes_broadcast) / 1e3,
+            static_cast<double>(r.bytes_collected) / 1e3,
+            static_cast<unsigned long long>(r.serializations),
+            r.mean_divergence, r.mean_update_norm);
+      }
     }
   }
 

@@ -1,7 +1,7 @@
 #include "comm/router.h"
 
 #include <chrono>
-#include <thread>
+#include <cmath>
 
 #include "comm/serde.h"
 #include "common/check.h"
@@ -25,6 +25,38 @@ double unit_double(std::uint64_t bits) {
   return static_cast<double>(bits >> 11) * 0x1.0p-53;
 }
 
+// Diurnal availability: a pure function of (seed, receiver, round). Each
+// receiver gets a stable phase inside the period, so the population's
+// offline windows are staggered; within a round the answer never changes
+// (retries against an offline device keep failing until the schedule
+// flips).
+bool endpoint_available(const FaultConfig& fault, int receiver, int round) {
+  if (fault.period_rounds <= 0 || fault.duty_cycle >= 1.0f) return true;
+  const auto period = static_cast<std::uint64_t>(fault.period_rounds);
+  const std::uint64_t phase =
+      mix(fault.seed, static_cast<std::uint64_t>(receiver), 0x0FF1CE, 0) %
+      period;
+  const std::uint64_t pos =
+      (static_cast<std::uint64_t>(round) + phase) % period;
+  // ceil: a positive duty cycle always yields at least one on-round, so a
+  // device class can be flaky without being permanently unreachable.
+  const auto on_rounds = static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(fault.duty_cycle) *
+                static_cast<double>(period)));
+  return pos < on_rounds;
+}
+
+void validate_fault_config(const FaultConfig& config) {
+  CALIBRE_CHECK_MSG(config.failure_rate >= 0.0f && config.failure_rate <= 1.0f,
+                    "failure_rate must be in [0, 1], got "
+                        << config.failure_rate);
+  CALIBRE_CHECK_MSG(config.latency_ms >= 0, "latency_ms must be >= 0");
+  CALIBRE_CHECK_MSG(config.duty_cycle > 0.0f && config.duty_cycle <= 1.0f,
+                    "duty_cycle must be in (0, 1], got " << config.duty_cycle);
+  CALIBRE_CHECK_MSG(config.duty_cycle >= 1.0f || config.period_rounds > 0,
+                    "duty_cycle < 1 needs period_rounds > 0");
+}
+
 }  // namespace
 
 Router::Router(std::size_t num_threads) : pool_(num_threads) {}
@@ -44,11 +76,32 @@ void Router::register_default_handler(Handler handler) {
 }
 
 void Router::set_fault_injection(FaultConfig config) {
-  CALIBRE_CHECK_MSG(config.failure_rate >= 0.0f && config.failure_rate <= 1.0f,
-                    "failure_rate must be in [0, 1], got "
-                        << config.failure_rate);
-  CALIBRE_CHECK_MSG(config.latency_ms >= 0, "latency_ms must be >= 0");
+  validate_fault_config(config);
   fault_ = config;
+  if (fault_.latency_ms > 0) ensure_timer();
+}
+
+void Router::set_fault_profiles(std::vector<FaultConfig> profiles,
+                                std::function<std::size_t(int)> class_of) {
+  CALIBRE_CHECK_MSG(!profiles.empty(), "need at least one fault profile");
+  CALIBRE_CHECK_MSG(class_of != nullptr, "class_of must be callable");
+  for (const FaultConfig& profile : profiles) {
+    validate_fault_config(profile);
+  }
+  fault_profiles_ = std::move(profiles);
+  fault_class_of_ = std::move(class_of);
+  for (const FaultConfig& profile : fault_profiles_) {
+    if (profile.latency_ms > 0) ensure_timer();
+  }
+}
+
+const FaultConfig& Router::profile_for(int receiver) const {
+  if (fault_profiles_.empty()) return fault_;
+  return fault_profiles_[fault_class_of_(receiver) % fault_profiles_.size()];
+}
+
+void Router::ensure_timer() {
+  if (timer_ == nullptr) timer_ = std::make_unique<common::TimerQueue>();
 }
 
 void Router::send(Message message) {
@@ -80,9 +133,12 @@ void Router::send(Message message) {
   // Roll the fault dice on the sending thread: per-endpoint attempt counters
   // advance in send order, so decisions are deterministic no matter how the
   // pool interleaves execution.
+  const FaultConfig& fault = profile_for(message.receiver);
   bool inject_failure = false;
+  bool offline = false;
   int delay_ms = 0;
-  if (fault_.failure_rate > 0.0f || fault_.latency_ms > 0) {
+  if (fault.failure_rate > 0.0f || fault.latency_ms > 0 ||
+      fault.duty_cycle < 1.0f) {
     std::uint64_t attempt = 0;
     {
       std::lock_guard<std::mutex> lock(attempts_mutex_);
@@ -90,31 +146,31 @@ void Router::send(Message message) {
     }
     const auto receiver = static_cast<std::uint64_t>(message.receiver);
     const auto round = static_cast<std::uint64_t>(message.round);
+    offline = !endpoint_available(fault, message.receiver, message.round);
     inject_failure =
-        fault_.failure_rate > 0.0f &&
-        unit_double(mix(fault_.seed, receiver, round, attempt * 2)) <
-            static_cast<double>(fault_.failure_rate);
-    if (fault_.latency_ms > 0) {
-      delay_ms = static_cast<int>(mix(fault_.seed, receiver, round,
+        offline ||
+        (fault.failure_rate > 0.0f &&
+         unit_double(mix(fault.seed, receiver, round, attempt * 2)) <
+             static_cast<double>(fault.failure_rate));
+    if (fault.latency_ms > 0) {
+      delay_ms = static_cast<int>(mix(fault.seed, receiver, round,
                                       attempt * 2 + 1) %
                                   static_cast<std::uint64_t>(
-                                      fault_.latency_ms + 1));
+                                      fault.latency_ms + 1));
     }
   }
 
   // The handler reference stays valid: registration is frozen before sending.
   // A throwing handler (or an injected fault) must never strand the server:
   // every dispatch produces exactly one reply, success or kTrainError.
-  pool_.submit([this, &handler, inject_failure, delay_ms,
-                message = std::move(message)]() mutable {
+  auto dispatch = [this, &handler, inject_failure, offline,
+                   message = std::move(message)]() mutable {
     const int client = message.receiver;
     const int round = message.round;
-    if (delay_ms > 0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
-    }
     try {
       if (inject_failure) {
-        throw std::runtime_error("injected handler fault");
+        throw std::runtime_error(offline ? kOfflineErrorText
+                                         : "injected handler fault");
       }
       handler(message);
     } catch (const std::exception& error) {
@@ -129,7 +185,20 @@ void Router::send(Message message) {
       } catch (...) {
       }
     }
-  });
+  };
+  if (delay_ms > 0) {
+    // Injected latency must never park a pool worker (a small pool plus a
+    // high latency cap would serialize dispatch): the timer holds the
+    // dispatch and feeds it to the pool when the delay elapses. The timer
+    // exists whenever any profile carries latency (ensure_timer).
+    CALIBRE_CHECK_MSG(timer_ != nullptr, "latency injected without a timer");
+    timer_->schedule_after(std::chrono::milliseconds(delay_ms),
+                           [this, dispatch = std::move(dispatch)]() mutable {
+                             pool_.submit(std::move(dispatch));
+                           });
+    return;
+  }
+  pool_.submit(std::move(dispatch));
 }
 
 TrafficStats operator-(const TrafficStats& end, const TrafficStats& start) {

@@ -11,7 +11,10 @@
 // kTrainError message carrying the error text, so the round loop can
 // account for the failure instead of blocking forever. An optional fault
 // injector (seeded, deterministic) simulates flaky devices by failing a
-// configurable fraction of dispatches and adding artificial latency.
+// configurable fraction of dispatches, adding artificial latency (deferred
+// through a TimerQueue, never a pool-thread sleep), and taking endpoints
+// offline on a diurnal schedule; heterogeneous device classes map each
+// endpoint to its own fault profile.
 #pragma once
 
 #include <atomic>
@@ -20,9 +23,11 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "comm/mailbox.h"
 #include "common/thread_pool.h"
+#include "common/timer_queue.h"
 
 namespace calibre::comm {
 
@@ -52,12 +57,26 @@ TrafficStats operator-(const TrafficStats& end, const TrafficStats& start);
 // Decisions are a pure function of (seed, receiver, round, attempt), where
 // attempt counts dispatches to that endpoint — so a run is reproducible
 // bit-for-bit from its seed, and a retry of a failed client re-rolls the
-// dice instead of failing forever.
+// dice instead of failing forever. (The availability schedule below ignores
+// `attempt` on purpose: an offline device stays offline for the whole
+// round, so retries against it keep failing until the schedule flips.)
 struct FaultConfig {
   float failure_rate = 0.0f;  // P(dispatch fails before the handler runs)
   int latency_ms = 0;         // per-dispatch artificial delay in [0, latency_ms]
   std::uint64_t seed = 0;     // fault stream seed
+  // Diurnal availability: with duty_cycle < 1 and period_rounds > 0 the
+  // endpoint is offline for the tail of every period_rounds-round cycle,
+  // with a per-receiver phase (derived from the seed) so churn is staggered
+  // across the population. A dispatch to an offline endpoint fails before
+  // the handler runs, with error text kOfflineErrorText. duty_cycle >= 1 or
+  // period_rounds <= 0 disables the schedule.
+  float duty_cycle = 1.0f;
+  int period_rounds = 0;
 };
+
+// Error text carried by an availability-schedule failure, distinguishable
+// from a random injected fault ("injected handler fault").
+inline constexpr const char* kOfflineErrorText = "injected offline";
 
 class Router {
  public:
@@ -83,6 +102,14 @@ class Router {
   // Must not be called concurrently with send().
   void set_fault_injection(FaultConfig config);
 
+  // Heterogeneous device classes: endpoint `e` uses
+  // profiles[class_of(e) % profiles.size()]. Overrides any uniform
+  // set_fault_injection() config. `class_of` must be pure (called on the
+  // sending thread for every dispatch). Must not be called concurrently
+  // with send().
+  void set_fault_profiles(std::vector<FaultConfig> profiles,
+                          std::function<std::size_t(int)> class_of);
+
   // Routes `message`: server-addressed messages go to the server mailbox;
   // client-addressed ones are dispatched to the endpoint handler on the pool.
   // A handler that throws (or an injected fault) produces a kTrainError
@@ -102,10 +129,17 @@ class Router {
   static std::string error_text(const Message& message);
 
  private:
+  // The fault profile governing dispatches to `receiver`.
+  const FaultConfig& profile_for(int receiver) const;
+  // Lazily creates the delay timer once any profile can inject latency.
+  void ensure_timer();
+
   Mailbox server_mailbox_;
   std::unordered_map<int, Handler> handlers_;
   Handler default_handler_;
   FaultConfig fault_;
+  std::vector<FaultConfig> fault_profiles_;       // empty => uniform fault_
+  std::function<std::size_t(int)> fault_class_of_;
   std::mutex attempts_mutex_;
   std::unordered_map<int, std::uint64_t> attempts_;  // dispatches per endpoint
   std::atomic<std::uint64_t> messages_{0};
@@ -115,10 +149,13 @@ class Router {
   std::atomic<std::uint64_t> collected_bytes_{0};
   std::atomic<std::uint64_t> broadcast_serializations_{0};
   std::atomic<std::uint64_t> collect_serializations_{0};
-  // Declared last => destroyed first: ~ThreadPool drains straggler handler
-  // tasks (which touch the mailbox and handlers_) before the rest of the
-  // router goes away.
+  // Destroyed before the rest of the router: ~ThreadPool drains straggler
+  // handler tasks (which touch the mailbox and handlers_) first, and the
+  // timer — destroyed before even the pool — flushes every delayed dispatch
+  // into the pool on its way out, so "one reply per dispatch" survives
+  // shutdown.
   common::ThreadPool pool_;
+  std::unique_ptr<common::TimerQueue> timer_;  // null until latency is set
 };
 
 }  // namespace calibre::comm

@@ -1,0 +1,60 @@
+#include "common/timer_queue.h"
+
+#include "common/check.h"
+
+namespace calibre::common {
+
+TimerQueue::TimerQueue() : worker_(1) {
+  worker_.submit([this] { worker_loop(); });
+}
+
+TimerQueue::~TimerQueue() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  // ~ThreadPool joins the worker, which early-fires every pending entry on
+  // its way out (stopping_ short-circuits the deadline wait below).
+}
+
+void TimerQueue::schedule_after(std::chrono::milliseconds delay,
+                                std::function<void()> fn) {
+  CALIBRE_CHECK_MSG(fn != nullptr, "TimerQueue callback must be callable");
+  const auto when =
+      Clock::now() + std::chrono::milliseconds(std::max<std::int64_t>(
+                         0, static_cast<std::int64_t>(delay.count())));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CALIBRE_CHECK_MSG(!stopping_, "schedule_after on a stopping TimerQueue");
+    entries_.emplace(Key{when, next_seq_++}, std::move(fn));
+  }
+  cv_.notify_all();
+}
+
+std::size_t TimerQueue::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void TimerQueue::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (entries_.empty()) {
+      if (stopping_) return;
+      cv_.wait(lock);
+      continue;
+    }
+    const auto when = entries_.begin()->first.first;
+    if (stopping_ || Clock::now() >= when) {
+      auto node = entries_.extract(entries_.begin());
+      lock.unlock();
+      node.mapped()();  // outside the lock: fn may schedule more entries
+      lock.lock();
+      continue;
+    }
+    cv_.wait_until(lock, when);
+  }
+}
+
+}  // namespace calibre::common

@@ -1,0 +1,68 @@
+// Deferred execution without occupying a caller or pool thread.
+//
+// The comm layer's injected latency used to sleep_for() inside the handler
+// task, so every delayed dispatch parked a pool worker for the whole delay —
+// a small pool plus high --fault-latency-ms serialized dispatch and
+// distorted deadline/async timing. TimerQueue is the designated place for
+// time-based deferral: callbacks are held in a deadline-ordered queue and
+// fired by ONE dedicated worker (a ThreadPool of size 1, so the
+// thread-funnel contract still holds), which waits on a condition variable
+// instead of sleeping. The `blocking-sleep` lint rule forbids
+// sleep_for/sleep_until everywhere else in the tree.
+//
+// Ordering: entries with equal deadlines fire in schedule order (a
+// monotonic sequence number breaks ties). Destruction fires every pending
+// callback immediately (early, never dropped) and then joins the worker —
+// callers that promise "exactly one completion per scheduled entry" keep
+// that promise through shutdown.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "common/thread_pool.h"
+
+namespace calibre::common {
+
+class TimerQueue {
+ public:
+  TimerQueue();
+
+  // Fires every still-pending callback immediately, then joins the worker.
+  ~TimerQueue();
+
+  TimerQueue(const TimerQueue&) = delete;
+  TimerQueue& operator=(const TimerQueue&) = delete;
+
+  // Runs `fn` on the timer worker once `delay` has elapsed (immediately when
+  // delay <= 0). `fn` must not block for long: the worker is shared by every
+  // pending entry, so long work should be re-submitted to a real pool.
+  void schedule_after(std::chrono::milliseconds delay,
+                      std::function<void()> fn);
+
+  // Entries scheduled but not yet fired.
+  std::size_t pending() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  // (deadline, schedule seq) -> callback; the map IS the priority queue.
+  using Key = std::pair<Clock::time_point, std::uint64_t>;
+
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<Key, std::function<void()>> entries_;
+  std::uint64_t next_seq_ = 0;
+  bool stopping_ = false;
+  // Declared last: constructed after the state above (the worker reads it)
+  // and destroyed first (joins the drain loop while the state is alive).
+  ThreadPool worker_;
+};
+
+}  // namespace calibre::common

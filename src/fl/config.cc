@@ -1,0 +1,70 @@
+#include "fl/config.h"
+
+#include "common/check.h"
+
+namespace calibre::fl {
+
+void validate(const FlConfig& config) {
+  // rounds == 0 is the personalization-only / scripted-algorithm mode.
+  CALIBRE_CHECK_MSG(config.rounds >= 0, "rounds must be >= 0");
+  CALIBRE_CHECK_MSG(config.clients_per_round > 0,
+                    "clients_per_round must be > 0");
+  CALIBRE_CHECK_MSG(config.min_participants >= 1,
+                    "min_participants must be >= 1, got "
+                        << config.min_participants);
+  // Previously this was clamped down silently, so a typo like
+  // --min-participants 50 with --clients-per-round 10 ran with a quorum of
+  // 10 and no warning. A quorum above the sample size is unsatisfiable by
+  // construction: reject it. (Dropout shrinking a round below the quorum at
+  // runtime is a different, legitimate situation and is still clamped.)
+  CALIBRE_CHECK_MSG(
+      config.min_participants <= config.clients_per_round,
+      "min_participants (" << config.min_participants
+                           << ") exceeds clients_per_round ("
+                           << config.clients_per_round
+                           << "): the quorum can never be met");
+  CALIBRE_CHECK_MSG(
+      config.client_dropout_rate >= 0.0f && config.client_dropout_rate < 1.0f,
+      "client_dropout_rate must be in [0, 1)");
+  CALIBRE_CHECK_MSG(config.round_deadline_ms >= 0,
+                    "round_deadline_ms must be >= 0");
+  CALIBRE_CHECK_MSG(config.max_client_retries >= 0,
+                    "max_client_retries must be >= 0");
+  CALIBRE_CHECK_MSG(config.fault_rate >= 0.0f && config.fault_rate <= 1.0f,
+                    "fault_rate must be in [0, 1]");
+  CALIBRE_CHECK_MSG(config.fault_latency_ms >= 0,
+                    "fault_latency_ms must be >= 0");
+  for (const DeviceClass& device : config.device_classes) {
+    CALIBRE_CHECK_MSG(
+        device.fault_rate >= 0.0f && device.fault_rate <= 1.0f,
+        "device class '" << device.name << "': fault_rate must be in [0, 1]");
+    CALIBRE_CHECK_MSG(device.fault_latency_ms >= 0,
+                      "device class '" << device.name
+                                       << "': fault_latency_ms must be >= 0");
+    CALIBRE_CHECK_MSG(device.duty_cycle > 0.0f && device.duty_cycle <= 1.0f,
+                      "device class '" << device.name
+                                       << "': duty_cycle must be in (0, 1]");
+    CALIBRE_CHECK_MSG(device.duty_cycle >= 1.0f || device.period_rounds > 0,
+                      "device class '" << device.name
+                                       << "': duty_cycle < 1 needs "
+                                          "period_rounds > 0");
+  }
+  if (config.async_mode) {
+    CALIBRE_CHECK_MSG(config.async_buffer_size >= 1,
+                      "async_buffer_size must be >= 1, got "
+                          << config.async_buffer_size);
+    CALIBRE_CHECK_MSG(config.staleness_alpha >= 0.0f,
+                      "staleness_alpha must be >= 0, got "
+                          << config.staleness_alpha);
+    // Async has no per-round barrier, so a per-round wall-clock deadline and
+    // pre-dispatch dropout have no meaning there; reject rather than ignore.
+    CALIBRE_CHECK_MSG(config.round_deadline_ms == 0,
+                      "round_deadline_ms is a sync-only knob; async mode "
+                      "paces itself by buffer commits");
+    CALIBRE_CHECK_MSG(config.client_dropout_rate == 0.0f,
+                      "client_dropout_rate is a sync-only knob; model device "
+                      "churn with --device-classes duty cycles instead");
+  }
+}
+
+}  // namespace calibre::fl

@@ -2,6 +2,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "comm/codec.h"
 #include "data/augment.h"
@@ -21,6 +23,17 @@ struct ProbeConfig {
   float learning_rate = 0.05f;
   float momentum = 0.9f;
   int batch_size = 32;
+};
+
+// One heterogeneous device class: clients are assigned round-robin
+// (client_id % num_classes) and inherit the class's fault profile. Maps
+// onto comm::FaultConfig; see the availability-schedule semantics there.
+struct DeviceClass {
+  std::string name;           // label for history/bench output
+  float fault_rate = 0.0f;    // P(dispatch fails)
+  int fault_latency_ms = 0;   // per-dispatch delay in [0, fault_latency_ms]
+  float duty_cycle = 1.0f;    // fraction of each period the device is online
+  int period_rounds = 24;     // diurnal period (rounds); used when duty < 1
 };
 
 struct FlConfig {
@@ -69,6 +82,24 @@ struct FlConfig {
   // [0, fault_latency_ms]. Seeded from `seed`; 0/0 disables injection.
   float fault_rate = 0.0f;
   int fault_latency_ms = 0;
+  // Heterogeneous device classes (empty = uniform fault_rate /
+  // fault_latency_ms above). Client c belongs to class
+  // device_classes[c % device_classes.size()].
+  std::vector<DeviceClass> device_classes;
+
+  // --- Asynchronous federation ----------------------------------------------
+  // FedBuff-style buffered asynchronous aggregation. Instead of a per-round
+  // barrier, the server keeps `clients_per_round` requests in flight at all
+  // times, folds replies as they arrive (in dispatch order, so runs are
+  // bit-identical across thread counts), weights each update by the
+  // staleness of the global version it trained against,
+  //   w(s) = 1 / (1 + s)^staleness_alpha,
+  // and commits a new global version every `async_buffer_size` folds. The
+  // run ends after `rounds` commits. Sync-only knobs (round_deadline_ms,
+  // client_dropout_rate) are rejected in async mode.
+  bool async_mode = false;
+  int async_buffer_size = 8;
+  float staleness_alpha = 0.5f;
 
   // Wire codec for model payloads (broadcasts and updates). kF32 keeps runs
   // bitwise identical to pre-codec builds; kF16 halves model bytes on the
@@ -91,5 +122,13 @@ struct FlConfig {
   // driver sets it to match the FedDataset.
   int num_train_clients = 100;
 };
+
+// Fails fast (throws common::CheckError) on configurations that the round
+// loop used to accept and silently reinterpret — most notably
+// min_participants > clients_per_round, which was clamped down instead of
+// rejected. run_federated() calls this before any work starts; the CLI
+// calls it at flag-parse time so bad invocations exit with a clear message
+// rather than a truncated run.
+void validate(const FlConfig& config);
 
 }  // namespace calibre::fl

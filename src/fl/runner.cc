@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <future>
 #include <unordered_map>
 #include <unordered_set>
@@ -18,7 +19,347 @@ std::size_t resolve_threads(const FlConfig& config) {
                             : common::ThreadPool::default_parallelism();
 }
 
+// Wires the config's fault model into the router: heterogeneous device
+// classes when configured (client c -> class c % num_classes), else the
+// uniform fault knobs. The fault stream seed is derived once, so sync and
+// async runs over the same config see the same faults.
+void configure_faults(const FlConfig& config, comm::Router& router) {
+  const std::uint64_t fault_seed = derive_seed(config.seed, 0xFA01, 0);
+  if (!config.device_classes.empty()) {
+    std::vector<comm::FaultConfig> profiles;
+    profiles.reserve(config.device_classes.size());
+    for (const DeviceClass& device : config.device_classes) {
+      comm::FaultConfig profile;
+      profile.failure_rate = device.fault_rate;
+      profile.latency_ms = device.fault_latency_ms;
+      profile.seed = fault_seed;
+      profile.duty_cycle = device.duty_cycle;
+      profile.period_rounds = device.period_rounds;
+      profiles.push_back(profile);
+    }
+    router.set_fault_profiles(
+        std::move(profiles),
+        [num_classes = config.device_classes.size()](int endpoint) {
+          return static_cast<std::size_t>(endpoint) % num_classes;
+        });
+    return;
+  }
+  if (config.fault_rate > 0.0f || config.fault_latency_ms > 0) {
+    comm::FaultConfig fault;
+    fault.failure_rate = config.fault_rate;
+    fault.latency_ms = config.fault_latency_ms;
+    fault.seed = fault_seed;
+    router.set_fault_injection(fault);
+  }
+}
+
+// --- Buffered asynchronous training (FedBuff-style) -------------------------
+//
+// The server keeps `clients_per_round` requests in flight. Replies fold into
+// a StreamingAggregator as they resolve; every `async_buffer_size` folds the
+// buffer commits a new global version, and each folded update is discounted
+// by staleness_weight(commit_version - base_version, staleness_alpha).
+//
+// Determinism: reply ARRIVAL order depends on thread scheduling, so — like
+// the sync loop's selection-rank reorder buffer — the async loop folds in
+// DISPATCH order. Each dispatch gets a sequence number; replies that arrive
+// ahead of the fold front are held serialized, and the front decodes+folds
+// (or skips a permanently failed seq) only when every earlier seq resolved.
+// Replacement dispatches and commits happen at front-advance time, so the
+// sampler's draw order, every base version, and every fold are pure
+// functions of the seed: a run is bit-identical across thread counts.
+//
+// Each client has at most one dispatch in flight (a device trains one model
+// at a time), so a reply's sender uniquely identifies its sequence number.
+void run_async_training(Algorithm& algorithm, const FedDataset& fed,
+                        const FlConfig& config, comm::Router& router,
+                        rng::Generator& sampler, nn::ModelState& state,
+                        RunResult& result) {
+  const int concurrency = config.clients_per_round;
+  const int buffer_size = config.async_buffer_size;
+
+  // Snapshot registry: one serialized broadcast per committed version, kept
+  // alive while any in-flight dispatch trained against it (delta16 replies
+  // decode against the base of *their* version, not the newest one).
+  struct VersionSnapshot {
+    comm::Payload payload;
+    nn::ModelState base;  // decoded reference for lossy codecs
+    bool has_base = false;
+    int refs = 0;
+  };
+  std::unordered_map<int, VersionSnapshot> snapshots;
+  int version = 0;
+  auto make_snapshot = [&](int v) {
+    VersionSnapshot& snap = snapshots[v];
+    snap.payload = comm::Payload(state.to_bytes(config.wire_codec));
+    if (config.wire_codec != comm::Codec::kF32) {
+      snap.base = nn::ModelState::from_bytes(snap.payload.bytes());
+      snap.has_base = true;
+    }
+  };
+  auto release_version = [&](int v) {
+    const auto it = snapshots.find(v);
+    CALIBRE_CHECK(it != snapshots.end() && it->second.refs > 0);
+    // The current version stays cached for future dispatches even at zero
+    // refs; superseded versions die with their last in-flight dispatch.
+    if (--it->second.refs == 0 && v != version) snapshots.erase(it);
+  };
+
+  // Reorder buffer over dispatch sequence numbers.
+  enum class SlotState : std::uint8_t { kOutstanding, kHeld, kFailed };
+  struct Slot {
+    SlotState status = SlotState::kOutstanding;
+    int client = -1;
+    int base_version = 0;
+    int retries_used = 0;
+    comm::Payload reply;  // set when kHeld
+  };
+  std::unordered_map<int, Slot> slots;         // seq -> slot (active window)
+  // client -> unresolved seq. A client is released for re-sampling at front
+  // RESOLUTION, not at reply arrival: arrival order is thread-schedule
+  // noise, and freeing a client on arrival would make the rejection
+  // sampler's candidate set (and thus every later draw) nondeterministic.
+  std::unordered_map<int, int> seq_of_client;
+  int next_seq = 0;
+  int fold_front = 0;
+  int awaiting_reply = 0;  // dispatches (incl. retries) without a reply yet
+
+  auto send_request = [&](int client, int base_version) {
+    ++awaiting_reply;
+    comm::Message request;
+    request.type = comm::MessageType::kTrainRequest;
+    request.sender = comm::kServerEndpoint;
+    request.receiver = client;
+    // The round tag carries the base version: clients run against it, the
+    // fault injector's availability schedule keys on it (a device-class
+    // "period" counts versions here, rounds in sync mode).
+    request.round = base_version;
+    request.payload = snapshots.at(base_version).payload;
+    router.send(std::move(request));
+  };
+  auto dispatch_new = [&] {
+    // Rejection-sample a client with no dispatch in flight. Terminates:
+    // in-flight < population whenever this is called (clients_per_round <=
+    // num_train_clients, and a slot was just resolved for replacements).
+    int client;
+    do {
+      client = static_cast<int>(sampler.uniform_index(
+          static_cast<std::uint64_t>(fed.num_train_clients())));
+    } while (seq_of_client.count(client) != 0);
+    Slot slot;
+    slot.client = client;
+    slot.base_version = version;
+    slots.emplace(next_seq, std::move(slot));
+    seq_of_client[client] = next_seq;
+    ++snapshots.at(version).refs;
+    send_request(client, version);
+    ++next_seq;
+  };
+
+  auto aggregator = algorithm.make_aggregator(state, /*round=*/0);
+  int commits = 0;
+  int folds_in_window = 0;
+  int consecutive_failures = 0;
+  // Legit high-fault configs recover within tens of dispatches; only a
+  // configuration that can never fold (e.g. every class offline at the
+  // current version, which no commit will ever advance) hits this bound.
+  const int max_consecutive_failures = 1000 + 50 * concurrency;
+  RoundStats window_stats;
+  double window_divergence_total = 0.0;
+  int window_divergence_count = 0;
+  double window_norm_total = 0.0;
+  double window_staleness_total = 0.0;
+  int window_staleness_max = 0;
+  comm::TrafficStats traffic_at_window_start = router.stats();
+
+  auto fold_slot = [&](Slot& slot) {
+    const VersionSnapshot& snap = snapshots.at(slot.base_version);
+    ClientUpdate update = deserialize_update(
+        slot.reply.bytes(), snap.has_base ? &snap.base : nullptr);
+    const int staleness = version - slot.base_version;
+    CALIBRE_CHECK(staleness >= 0);
+    update.weight *= staleness_weight(staleness, config.staleness_alpha);
+    const auto it = update.scalars.find("divergence");
+    if (it != update.scalars.end()) {
+      window_divergence_total += it->second;
+      ++window_divergence_count;
+    }
+    window_norm_total += update.state.norm();
+    window_staleness_total += staleness;
+    window_staleness_max = std::max(window_staleness_max, staleness);
+    aggregator->fold(std::move(update));
+    if (aggregator->bounded_memory()) {
+      CALIBRE_CHECK_EQ(aggregator->buffered_updates(), std::size_t{0},
+                       "bounded-memory aggregator buffered decoded updates");
+    }
+    ++folds_in_window;
+    consecutive_failures = 0;
+  };
+  auto commit = [&] {
+    state = aggregator->finish();
+    ++version;
+    ++commits;
+    aggregator = algorithm.make_aggregator(state, /*round=*/version);
+    if (commits < config.rounds) make_snapshot(version);
+
+    window_stats.round = commits - 1;
+    window_stats.committed_version = version;
+    window_stats.participants = folds_in_window;
+    window_stats.staleness_mean = static_cast<float>(
+        window_staleness_total / static_cast<double>(folds_in_window));
+    window_stats.staleness_max = window_staleness_max;
+    if (window_divergence_count > 0) {
+      window_stats.mean_divergence = static_cast<float>(
+          window_divergence_total / window_divergence_count);
+    }
+    window_stats.mean_update_norm = static_cast<float>(
+        window_norm_total / static_cast<double>(folds_in_window));
+    const comm::TrafficStats window_traffic =
+        router.stats() - traffic_at_window_start;
+    window_stats.bytes_broadcast = window_traffic.broadcast_bytes;
+    window_stats.bytes_collected = window_traffic.collected_bytes;
+    window_stats.serializations = window_traffic.broadcast_serializations;
+    result.history.push_back(window_stats);
+    log::debug() << algorithm.name() << " async commit " << commits << "/"
+                 << config.rounds << " (version " << version << ", "
+                 << folds_in_window << " folds, staleness mean "
+                 << window_stats.staleness_mean << ")";
+    window_stats = RoundStats{};
+    folds_in_window = 0;
+    window_divergence_total = 0.0;
+    window_divergence_count = 0;
+    window_norm_total = 0.0;
+    window_staleness_total = 0.0;
+    window_staleness_max = 0;
+    traffic_at_window_start = router.stats();
+  };
+  // Resolves every foldable seq at the front, committing when the buffer
+  // fills and back-filling the in-flight window — all in seq order, which
+  // is what pins the sampler draws and base versions regardless of reply
+  // arrival order. Stops at the first seq still awaiting its reply, or once
+  // the final commit lands.
+  auto advance_front = [&] {
+    while (commits < config.rounds) {
+      const auto it = slots.find(fold_front);
+      if (it == slots.end() || it->second.status == SlotState::kOutstanding) {
+        return;
+      }
+      Slot slot = std::move(it->second);
+      slots.erase(it);
+      seq_of_client.erase(slot.client);
+      ++fold_front;
+      // Failures/retries are attributed to the commit window in which the
+      // seq RESOLVES, not the one where the error reply happened to arrive:
+      // resolution order is deterministic, so the history's counters are
+      // bit-identical across thread counts (only the byte columns, diffed
+      // from the router's arrival-timed counters, are wall-clock).
+      window_stats.retries += slot.retries_used;
+      window_stats.failures +=
+          slot.retries_used + (slot.status == SlotState::kFailed ? 1 : 0);
+      if (slot.status == SlotState::kHeld) {
+        fold_slot(slot);
+      } else {
+        ++consecutive_failures;
+        CALIBRE_CHECK_MSG(
+            consecutive_failures <= max_consecutive_failures,
+            "async made no progress after "
+                << consecutive_failures
+                << " consecutive permanent failures; with duty-cycled device "
+                   "classes the availability schedule only advances on "
+                   "commits, so a population that is fully offline at the "
+                   "current version can never recover");
+      }
+      release_version(slot.base_version);
+      if (folds_in_window == buffer_size) commit();
+      if (commits < config.rounds) dispatch_new();
+    }
+  };
+
+  make_snapshot(0);
+  for (int i = 0; i < concurrency; ++i) dispatch_new();
+
+  while (commits < config.rounds) {
+    std::optional<comm::Message> response = router.server_mailbox().pop();
+    CALIBRE_CHECK_MSG(response.has_value(), "server mailbox closed early");
+    const int client = response->sender;
+    --awaiting_reply;
+    const auto seq_it = seq_of_client.find(client);
+    // Every reply maps to an unresolved dispatch: a client gets a new
+    // request only after its previous seq resolved, which happens after its
+    // previous reply arrived.
+    CALIBRE_CHECK_MSG(seq_it != seq_of_client.end(),
+                      "async reply from client " << client
+                                                 << " with nothing in flight");
+    Slot& slot = slots.at(seq_it->second);
+    if (response->type == comm::MessageType::kTrainError) {
+      // Shared retry policy with the sync loop; the scratch stats are
+      // discarded because this window's counters are credited at front
+      // resolution (see advance_front), keeping attribution deterministic.
+      RoundStats arrival_scratch;
+      if (account_error_reply(/*client_pending=*/true, slot.retries_used,
+                              config.max_client_retries, arrival_scratch)) {
+        // Retry keeps its seq (its place in fold order) and its snapshot:
+        // the device re-runs the same request.
+        send_request(client, slot.base_version);
+        continue;
+      }
+      log::debug() << algorithm.name() << " async seq " << seq_it->second
+                   << " client " << client << " failed: "
+                   << comm::Router::error_text(*response);
+      slot.status = SlotState::kFailed;
+    } else {
+      CALIBRE_CHECK(response->type == comm::MessageType::kTrainResponse);
+      slot.status = SlotState::kHeld;
+      slot.reply = std::move(response->payload);
+    }
+    advance_front();
+  }
+
+  // Drain: requests still in flight after the final commit get their
+  // guaranteed reply; every dispatch left unresolved — outstanding,
+  // held-but-unfolded behind a straggler, or failed behind one — is
+  // discarded, never folded into a future version. The count is the
+  // unresolved slot window, which is deterministic; whether an individual
+  // straggler's reply arrived before or after the final commit is not.
+  const int discarded = static_cast<int>(slots.size());
+  while (awaiting_reply > 0) {
+    std::optional<comm::Message> response = router.server_mailbox().pop();
+    CALIBRE_CHECK_MSG(response.has_value(), "server mailbox closed early");
+    --awaiting_reply;
+    CALIBRE_CHECK_MSG(seq_of_client.count(response->sender) != 0,
+                      "async drain reply from client "
+                          << response->sender << " with nothing in flight");
+  }
+  if (!result.history.empty()) {
+    result.history.back().late_dropped += discarded;
+  }
+}
+
 }  // namespace
+
+bool account_error_reply(bool client_pending, int& retries_used,
+                         int max_client_retries, RoundStats& stats) {
+  // Guard BEFORE counting: an error reply for a client that already
+  // resolved (delivered, permanently failed, or cut at the deadline) is
+  // stale noise, not a new failure. The pre-fix code incremented
+  // stats.failures unconditionally, overcounting exactly these replies.
+  if (!client_pending) return false;
+  ++stats.failures;
+  if (retries_used < max_client_retries) {
+    ++retries_used;
+    ++stats.retries;
+    return true;
+  }
+  return false;
+}
+
+float staleness_weight(int staleness, float alpha) {
+  CALIBRE_CHECK_MSG(staleness >= 0, "staleness must be >= 0");
+  if (alpha == 0.0f || staleness == 0) return 1.0f;
+  return static_cast<float>(
+      1.0 / std::pow(1.0 + static_cast<double>(staleness),
+                     static_cast<double>(alpha)));
+}
 
 std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t a,
                           std::uint64_t b) {
@@ -32,6 +373,7 @@ std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t a,
 RunResult run_federated(Algorithm& algorithm, const FedDataset& fed,
                         bool personalize_novel) {
   const FlConfig& config = algorithm.config();
+  validate(config);
   CALIBRE_CHECK(fed.num_train_clients() > 0);
   CALIBRE_CHECK_MSG(config.clients_per_round <= fed.num_train_clients(),
                     "cannot sample " << config.clients_per_round << " of "
@@ -39,13 +381,7 @@ RunResult run_federated(Algorithm& algorithm, const FedDataset& fed,
   const auto start_time = std::chrono::steady_clock::now();
 
   comm::Router router(resolve_threads(config));
-  if (config.fault_rate > 0.0f || config.fault_latency_ms > 0) {
-    comm::FaultConfig fault;
-    fault.failure_rate = config.fault_rate;
-    fault.latency_ms = config.fault_latency_ms;
-    fault.seed = derive_seed(config.seed, 0xFA01, 0);
-    router.set_fault_injection(fault);
-  }
+  configure_faults(config, router);
 
   // Virtual clients: ONE generic device handler serves the whole population,
   // parameterized by the client id in Message::receiver — registration cost
@@ -90,7 +426,14 @@ RunResult run_federated(Algorithm& algorithm, const FedDataset& fed,
   rng::Generator sampler(derive_seed(config.seed, 0xC1, 0xE57));
   RunResult result;
   result.algorithm = algorithm.name();
-  for (int round = 0; round < config.rounds; ++round) {
+  // Async mode replaces the barriered round loop below with the buffered
+  // asynchronous loop; the sync path is untouched (bit-identical to the
+  // pre-async build).
+  if (config.async_mode) {
+    run_async_training(algorithm, fed, config, router, sampler, state, result);
+  }
+  const int sync_rounds = config.async_mode ? 0 : config.rounds;
+  for (int round = 0; round < sync_rounds; ++round) {
     RoundStats round_stats;
     round_stats.round = round;
     const comm::TrafficStats traffic_at_round_start = router.stats();
@@ -210,8 +553,10 @@ RunResult run_federated(Algorithm& algorithm, const FedDataset& fed,
     const bool has_deadline = config.round_deadline_ms > 0;
     const auto deadline = std::chrono::steady_clock::now() +
                           std::chrono::milliseconds(config.round_deadline_ms);
-    const int quorum = std::min(std::max(config.min_participants, 1),
-                                num_selected);
+    // validate() already rejected min_participants outside
+    // [1, clients_per_round]; the clamp here only covers dropout legitimately
+    // shrinking the round below the configured quorum.
+    const int quorum = std::min(config.min_participants, num_selected);
     std::unordered_set<int> pending(selected.begin(), selected.end());
     std::unordered_map<int, int> retries_used;
     std::unordered_map<int, int> selection_rank;
@@ -243,15 +588,15 @@ RunResult run_federated(Algorithm& algorithm, const FedDataset& fed,
         continue;
       }
       if (response->type == comm::MessageType::kTrainError) {
-        ++round_stats.failures;
         const int client = response->sender;
-        if (pending.count(client) == 0) continue;  // already resolved
-        int& used = retries_used[client];
-        if (used < config.max_client_retries) {
-          ++used;
-          ++round_stats.retries;
+        const bool client_pending = pending.count(client) != 0;
+        int stale_retries = 0;  // scratch so a stale reply touches no state
+        if (account_error_reply(client_pending,
+                                client_pending ? retries_used[client]
+                                               : stale_retries,
+                                config.max_client_retries, round_stats)) {
           send_request(client);
-        } else {
+        } else if (client_pending) {
           pending.erase(client);
           // Permanently failed: resolve the rank as missing so the fold
           // front can move past it instead of waiting forever.

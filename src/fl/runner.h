@@ -37,6 +37,14 @@ struct RoundStats {
   float mean_divergence = 0.0f;  // mean of the updates' "divergence" scalar
                                  // (0 when the algorithm does not report it)
   float mean_update_norm = 0.0f;
+  // --- Async mode only (zero in sync runs) ---------------------------------
+  // Global version committed at the end of this entry (async "rounds" are
+  // buffer commits; version k is the state after commit k).
+  int committed_version = 0;
+  // Staleness of the folded updates: commit version minus the version the
+  // client's base model came from.
+  float staleness_mean = 0.0f;
+  int staleness_max = 0;
 };
 
 struct RunResult {
@@ -51,6 +59,20 @@ struct RunResult {
 
 // Deterministic per-(seed, round, client) sub-stream seed.
 std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t a, std::uint64_t b);
+
+// Accounts one kTrainError reply. Counts a failure (and decides whether a
+// retry is owed) ONLY for a still-pending client: an error reply from a
+// client that already delivered, was dropped at the deadline, or belongs to
+// a finished round must not inflate `failures` — the historical bug was
+// incrementing before the pending check. Returns true when the caller
+// should re-dispatch (pending, and retry budget remains; `retries_used` and
+// stats.retries are advanced). Shared by the sync and async loops.
+bool account_error_reply(bool client_pending, int& retries_used,
+                         int max_client_retries, RoundStats& stats);
+
+// FedBuff-style staleness discount w(s) = 1 / (1 + s)^alpha, s >= 0.
+// alpha = 0 disables discounting (w = 1 for all s).
+float staleness_weight(int staleness, float alpha);
 
 // Runs training + personalization. `personalize_novel` controls whether the
 // novel-client pass (paper Fig. 4 right column) is executed.

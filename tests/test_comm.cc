@@ -2,9 +2,12 @@
 // concurrency, and the router.
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <set>
 #include <thread>
 #include <tuple>
+#include <vector>
 
 #include <cmath>
 #include <cstring>
@@ -17,6 +20,7 @@
 #include "comm/router.h"
 #include "comm/serde.h"
 #include "common/check.h"
+#include "common/timer_queue.h"
 #include "fl/algorithm.h"
 #include "nn/state.h"
 #include "tensor/rng.h"
@@ -987,6 +991,208 @@ TEST(Router, ConcurrentHandlersReadOneSharedBufferSafely) {
               expected_sum & 0x7FFFFFFF);
   }
   EXPECT_EQ(router.stats().broadcast_serializations, 1u);
+}
+
+// --- heterogeneous device classes + availability schedule -------------------
+
+TEST(Router, FaultProfilesRouteByDeviceClass) {
+  Router router(2);
+  std::atomic<int> handler_runs{0};
+  for (int e = 0; e < 6; ++e) {
+    router.register_endpoint(e, [&router, &handler_runs, e](const Message&) {
+      ++handler_runs;
+      Message response;
+      response.type = MessageType::kTrainResponse;
+      response.sender = e;
+      response.receiver = kServerEndpoint;
+      router.send(std::move(response));
+    });
+  }
+  FaultConfig broken;
+  broken.failure_rate = 1.0f;
+  broken.seed = 9;
+  FaultConfig healthy;
+  healthy.seed = 9;
+  // Even endpoints are class 0 (always fail), odd ones class 1 (never).
+  router.set_fault_profiles({broken, healthy},
+                            [](int e) { return static_cast<std::size_t>(e % 2); });
+  for (int e = 0; e < 6; ++e) {
+    Message request;
+    request.receiver = e;
+    router.send(std::move(request));
+  }
+  int errors = 0;
+  for (int i = 0; i < 6; ++i) {
+    const auto reply =
+        router.server_mailbox().pop_for(std::chrono::seconds(30));
+    ASSERT_TRUE(reply.has_value());
+    if (reply->type == MessageType::kTrainError) {
+      EXPECT_EQ(reply->sender % 2, 0) << "healthy class produced an error";
+      ++errors;
+    } else {
+      EXPECT_EQ(reply->sender % 2, 1);
+    }
+  }
+  EXPECT_EQ(errors, 3);
+  EXPECT_EQ(handler_runs.load(), 3);
+}
+
+TEST(Router, AvailabilityScheduleIsOfflineForWholeRounds) {
+  // duty 0.5 over a 2-round period: every endpoint alternates online /
+  // offline with a per-endpoint phase. Offline dispatches fail before the
+  // handler with the dedicated error text, and a retry in the same round
+  // keeps failing — the schedule ignores the attempt counter on purpose.
+  Router router(2);
+  std::atomic<int> handler_runs{0};
+  router.register_endpoint(7, [&router, &handler_runs](const Message& m) {
+    ++handler_runs;
+    Message response;
+    response.type = MessageType::kTrainResponse;
+    response.sender = 7;
+    response.receiver = kServerEndpoint;
+    response.round = m.round;
+    router.send(std::move(response));
+  });
+  FaultConfig fault;
+  fault.seed = 33;
+  fault.duty_cycle = 0.5f;
+  fault.period_rounds = 2;
+  router.set_fault_injection(fault);
+  std::vector<bool> online_by_round;
+  for (int round = 0; round < 6; ++round) {
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      Message request;
+      request.receiver = 7;
+      request.round = round;
+      router.send(std::move(request));
+      const auto reply =
+          router.server_mailbox().pop_for(std::chrono::seconds(30));
+      ASSERT_TRUE(reply.has_value());
+      const bool online = reply->type == MessageType::kTrainResponse;
+      if (!online) {
+        EXPECT_EQ(Router::error_text(*reply), kOfflineErrorText);
+      }
+      if (attempt == 0) {
+        online_by_round.push_back(online);
+      } else {
+        EXPECT_EQ(online, online_by_round.back())
+            << "round " << round << ": availability flipped between attempts";
+      }
+    }
+  }
+  // duty 0.5, period 2: exactly one online round per period, so 3 of 6.
+  int online_rounds = 0;
+  for (const bool online : online_by_round) online_rounds += online ? 1 : 0;
+  EXPECT_EQ(online_rounds, 3);
+  EXPECT_EQ(handler_runs.load(), 2 * online_rounds);
+}
+
+TEST(Router, RejectsInvalidFaultConfigs) {
+  Router router(1);
+  FaultConfig fault;
+  fault.failure_rate = 1.5f;
+  EXPECT_THROW(router.set_fault_injection(fault), CheckError);
+  fault.failure_rate = 0.0f;
+  fault.latency_ms = -1;
+  EXPECT_THROW(router.set_fault_injection(fault), CheckError);
+  fault.latency_ms = 0;
+  fault.duty_cycle = 0.5f;  // needs period_rounds > 0
+  EXPECT_THROW(router.set_fault_injection(fault), CheckError);
+  fault.duty_cycle = 1.0f;
+  EXPECT_THROW(router.set_fault_profiles({}, [](int) { return 0u; }),
+               CheckError);
+}
+
+// Regression for injected latency parking pool workers: with ONE pool
+// thread and per-dispatch delays up to 300 ms, eight dispatches used to
+// sleep back-to-back on that thread (~ sum of the delays). Delays now wait
+// on the TimerQueue and only the handler runs on the pool, so the batch
+// completes in roughly max(delay), far under the serialized sum.
+TEST(Router, InjectedLatencyDoesNotSerializeOnPoolWorkers) {
+  Router router(1);
+  constexpr int kDispatches = 8;
+  router.register_endpoint(0, [&router](const Message& m) {
+    Message response;
+    response.type = MessageType::kTrainResponse;
+    response.sender = 0;
+    response.receiver = kServerEndpoint;
+    response.round = m.round;
+    router.send(std::move(response));
+  });
+  FaultConfig fault;
+  fault.latency_ms = 300;
+  fault.seed = 5;
+  router.set_fault_injection(fault);
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kDispatches; ++i) {
+    Message request;
+    request.receiver = 0;
+    request.round = i;
+    router.send(std::move(request));
+  }
+  for (int i = 0; i < kDispatches; ++i) {
+    const auto reply =
+        router.server_mailbox().pop_for(std::chrono::seconds(30));
+    ASSERT_TRUE(reply.has_value());
+  }
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  // Serialized sleeps would take the sum of 8 uniform [0, 300] ms draws
+  // (~1200 ms expected; this seed's draws sum well above the bound below).
+  // Concurrent timers finish in max(delay) <= 300 ms plus slack.
+  EXPECT_LT(elapsed.count(), 900) << "delays appear to serialize";
+}
+
+// --- TimerQueue (the designated sleep-free deferral point) ------------------
+
+TEST(TimerQueue, FiresInDeadlineOrderNotScheduleOrder) {
+  common::TimerQueue timer;
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<int> order;
+  auto record = [&](int id) {
+    std::lock_guard<std::mutex> lock(mutex);
+    order.push_back(id);
+    cv.notify_all();
+  };
+  // Scheduled first but due last: a sleeping implementation would fire 1
+  // before 2; the deadline-ordered queue must not.
+  timer.schedule_after(std::chrono::milliseconds(400), [&] { record(1); });
+  timer.schedule_after(std::chrono::milliseconds(40), [&] { record(2); });
+  std::unique_lock<std::mutex> lock(mutex);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                          [&] { return order.size() == 2; }));
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(TimerQueue, DestructionFiresEveryPendingCallback) {
+  std::atomic<int> fired{0};
+  {
+    common::TimerQueue timer;
+    for (int i = 0; i < 5; ++i) {
+      // Hours out: only the destructor's early-fire can run these today.
+      timer.schedule_after(std::chrono::hours(2), [&] { ++fired; });
+    }
+    EXPECT_EQ(timer.pending(), 5u);
+  }
+  EXPECT_EQ(fired.load(), 5) << "shutdown dropped scheduled callbacks";
+}
+
+TEST(TimerQueue, RejectsNullCallbacksAndNegativeDelayRunsPromptly) {
+  common::TimerQueue timer;
+  EXPECT_THROW(timer.schedule_after(std::chrono::milliseconds(1), nullptr),
+               CheckError);
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool ran = false;
+  timer.schedule_after(std::chrono::milliseconds(-50), [&] {
+    std::lock_guard<std::mutex> lock(mutex);
+    ran = true;
+    cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(mutex);
+  EXPECT_TRUE(
+      cv.wait_for(lock, std::chrono::seconds(30), [&] { return ran; }));
 }
 
 }  // namespace

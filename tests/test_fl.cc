@@ -427,6 +427,49 @@ TEST(RunnerFaults, DeadlineCutsStragglersAndDiscardsLateReplies) {
   EXPECT_EQ(result.history[1].late_dropped, 1);
 }
 
+// Cross-round straggler accounting must not depend on worker-thread count:
+// a late reply is counted as late_dropped exactly once, never folded into a
+// later round, and the aggregate stays bit-identical. (threads == 1 is
+// excluded on purpose — a single worker serializes the sleeper and changes
+// which clients beat the deadline.)
+TEST(RunnerFaults, CrossRoundStragglerAccountingStableAcrossThreadCounts) {
+  const int clients = 4;
+  const FedDataset fed = toy_fed(clients);
+  for (const int threads : {3, 8}) {
+    FlConfig config = toy_config(clients);
+    config.rounds = 2;
+    config.threads = threads;
+    config.round_deadline_ms = 800;
+    config.min_participants = 3;
+    ToyAlgorithm algorithm(config, [](const ClientContext& ctx) {
+      if (ctx.round == 0 && ctx.client_id == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+      }
+      if (ctx.round == 1 && ctx.client_id == 1) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(3000));
+      }
+    });
+    const RunResult result = run_federated(algorithm, fed, false);
+    ASSERT_EQ(result.history.size(), 2u);
+    EXPECT_EQ(result.history[0].participants, 3) << "threads=" << threads;
+    EXPECT_EQ(result.history[0].timeouts, 1) << "threads=" << threads;
+    EXPECT_EQ(result.history[0].late_dropped, 0) << "threads=" << threads;
+    EXPECT_EQ(result.history[0].failures, 0) << "threads=" << threads;
+    EXPECT_EQ(result.history[1].participants, 3) << "threads=" << threads;
+    EXPECT_EQ(result.history[1].timeouts, 1) << "threads=" << threads;
+    // Client 0's round-0 reply lands mid-round-1: dropped once, not folded.
+    EXPECT_EQ(result.history[1].late_dropped, 1) << "threads=" << threads;
+    EXPECT_EQ(result.history[1].failures, 0) << "threads=" << threads;
+    // Round 0 folds clients {1,2,3}: mean bump (0.5 + 0.25*2) = 1.0 → state
+    // {2, 0}. Round 1 folds {0,2,3}: mean bump 0.5 + 0.25 * (5/3) = 11/12
+    // over {2+..}: exact means below.
+    EXPECT_FLOAT_EQ(result.final_state.values()[0], 8.75f / 3.0f)
+        << "threads=" << threads;
+    EXPECT_FLOAT_EQ(result.final_state.values()[1], 2.75f / 3.0f)
+        << "threads=" << threads;
+  }
+}
+
 TEST(RunnerFaults, InjectedFaultsAreDeterministicAcrossRuns) {
   const int clients = 5;
   FlConfig config = toy_config(clients);
@@ -702,6 +745,215 @@ TEST(StreamingAggregation, DeadlineQuorumStillDrainsReorderBuffer) {
     EXPECT_GE(r.participants, config.min_participants) << "round " << r.round;
     EXPECT_EQ(r.participants + r.timeouts, clients) << "round " << r.round;
   }
+}
+
+// --- failure accounting (regression) ----------------------------------------
+
+// Regression for the failure-overcounting bug: the round loop incremented
+// stats.failures BEFORE checking whether the erroring client was still
+// pending, so an error reply for an already-resolved client inflated the
+// count. The shared helper must count nothing for a non-pending client.
+TEST(FailureAccounting, ErrorRepliesForResolvedClientsCountNothing) {
+  RoundStats stats;
+  int retries_used = 0;
+  // Pending with retry budget: failure + retry granted.
+  EXPECT_TRUE(account_error_reply(true, retries_used, 1, stats));
+  EXPECT_EQ(stats.failures, 1);
+  EXPECT_EQ(stats.retries, 1);
+  EXPECT_EQ(retries_used, 1);
+  // Pending, budget exhausted: failure counted, no retry.
+  EXPECT_FALSE(account_error_reply(true, retries_used, 1, stats));
+  EXPECT_EQ(stats.failures, 2);
+  EXPECT_EQ(stats.retries, 1);
+  // Already resolved: the bug — nothing may change, retry budget included.
+  EXPECT_FALSE(account_error_reply(false, retries_used, 5, stats));
+  EXPECT_EQ(stats.failures, 2);
+  EXPECT_EQ(stats.retries, 1);
+  EXPECT_EQ(retries_used, 1);
+}
+
+// --- config validation -------------------------------------------------------
+
+TEST(ConfigValidation, MinParticipantsAboveClientsPerRoundFailsFast) {
+  const int clients = 4;
+  FlConfig config = toy_config(clients);
+  config.min_participants = clients + 1;
+  // Both the direct validator and the runner entry point must reject the
+  // unsatisfiable quorum instead of silently clamping it to the sample size.
+  EXPECT_THROW(validate(config), CheckError);
+  ToyAlgorithm algorithm(config);
+  const FedDataset fed = toy_fed(clients);
+  EXPECT_THROW(run_federated(algorithm, fed, false), CheckError);
+  config.min_participants = clients;
+  EXPECT_NO_THROW(validate(config));
+  config.min_participants = 0;
+  EXPECT_THROW(validate(config), CheckError);
+}
+
+TEST(ConfigValidation, AsyncRejectsSyncOnlyKnobs) {
+  FlConfig config = toy_config(4);
+  config.async_mode = true;
+  EXPECT_NO_THROW(validate(config));
+  config.round_deadline_ms = 100;
+  EXPECT_THROW(validate(config), CheckError);
+  config.round_deadline_ms = 0;
+  config.client_dropout_rate = 0.2f;
+  EXPECT_THROW(validate(config), CheckError);
+  config.client_dropout_rate = 0.0f;
+  config.async_buffer_size = 0;
+  EXPECT_THROW(validate(config), CheckError);
+  config.async_buffer_size = 8;
+  config.staleness_alpha = -0.5f;
+  EXPECT_THROW(validate(config), CheckError);
+}
+
+TEST(ConfigValidation, DeviceClassRangesChecked) {
+  FlConfig config = toy_config(4);
+  config.device_classes.push_back({"ok", 0.1f, 5, 0.75f, 24});
+  EXPECT_NO_THROW(validate(config));
+  config.device_classes.push_back({"bad-rate", 1.5f, 0, 1.0f, 0});
+  EXPECT_THROW(validate(config), CheckError);
+  config.device_classes.pop_back();
+  config.device_classes.push_back({"no-period", 0.0f, 0, 0.5f, 0});
+  EXPECT_THROW(validate(config), CheckError);
+}
+
+// --- staleness weighting -----------------------------------------------------
+
+TEST(StalenessWeight, MatchesClosedForm) {
+  EXPECT_FLOAT_EQ(staleness_weight(0, 0.5f), 1.0f);
+  EXPECT_FLOAT_EQ(staleness_weight(7, 0.0f), 1.0f);  // alpha 0 disables
+  EXPECT_FLOAT_EQ(staleness_weight(1, 1.0f), 0.5f);
+  EXPECT_FLOAT_EQ(staleness_weight(3, 0.5f), 0.5f);  // 1/sqrt(4)
+  EXPECT_FLOAT_EQ(staleness_weight(3, 1.0f), 0.25f);
+  EXPECT_THROW(staleness_weight(-1, 0.5f), CheckError);
+}
+
+// --- buffered asynchronous aggregation ---------------------------------------
+
+FlConfig async_toy_config(int clients) {
+  FlConfig config = toy_config(clients);
+  config.async_mode = true;
+  config.rounds = 4;  // commits, not barriered rounds
+  config.async_buffer_size = 3;
+  config.clients_per_round = 3;  // in-flight request budget
+  return config;
+}
+
+TEST(AsyncAggregation, CommitsEveryBufferSizeFolds) {
+  const int clients = 6;
+  FlConfig config = async_toy_config(clients);
+  ToyAlgorithm algorithm(config);
+  const FedDataset fed = toy_fed(clients);
+  const RunResult result = run_federated(algorithm, fed, false);
+  ASSERT_EQ(result.history.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    const RoundStats& commit = result.history[static_cast<std::size_t>(i)];
+    EXPECT_EQ(commit.round, i);
+    EXPECT_EQ(commit.committed_version, i + 1);
+    EXPECT_EQ(commit.participants, config.async_buffer_size);
+    EXPECT_EQ(commit.timeouts, 0);  // sync-only counter stays zero
+    EXPECT_EQ(commit.dropped, 0);
+  }
+  // First window folds only version-0 updates; afterwards the pipeline runs
+  // one version behind for the two slots dispatched before each commit.
+  EXPECT_FLOAT_EQ(result.history[0].staleness_mean, 0.0f);
+  EXPECT_EQ(result.history[0].staleness_max, 0);
+  for (int i = 1; i < 4; ++i) {
+    const RoundStats& commit = result.history[static_cast<std::size_t>(i)];
+    EXPECT_FLOAT_EQ(commit.staleness_mean, 2.0f / 3.0f) << "commit " << i;
+    EXPECT_EQ(commit.staleness_max, 1) << "commit " << i;
+  }
+}
+
+TEST(AsyncAggregation, DeterministicAcrossThreadCountsUnderChurn) {
+  const int clients = 9;
+  const FedDataset fed = toy_fed(clients);
+  auto run = [&](int threads) {
+    FlConfig config = toy_config(clients);
+    config.async_mode = true;
+    config.rounds = 5;
+    config.async_buffer_size = 2;
+    config.clients_per_round = 4;
+    config.max_client_retries = 1;
+    config.threads = threads;
+    // Three device classes: reliable, flaky+slow, and a diurnal class that
+    // is offline for half of the committed versions.
+    config.device_classes = {{"fast", 0.0f, 0, 1.0f, 0},
+                             {"flaky", 0.3f, 25, 1.0f, 0},
+                             {"night", 0.0f, 10, 0.5f, 4}};
+    StreamingToyAlgorithm algorithm(config);
+    return run_federated(algorithm, fed, false);
+  };
+  const RunResult reference = run(1);
+  ASSERT_EQ(reference.history.size(), 5u);
+  for (const int threads : {3, 8}) {
+    const RunResult other = run(threads);
+    EXPECT_EQ(other.final_state.values(), reference.final_state.values())
+        << "threads=" << threads;
+    ASSERT_EQ(other.history.size(), reference.history.size());
+    for (std::size_t i = 0; i < reference.history.size(); ++i) {
+      const RoundStats& a = reference.history[i];
+      const RoundStats& b = other.history[i];
+      EXPECT_EQ(b.participants, a.participants) << "commit " << i;
+      EXPECT_EQ(b.failures, a.failures) << "commit " << i;
+      EXPECT_EQ(b.retries, a.retries) << "commit " << i;
+      EXPECT_EQ(b.late_dropped, a.late_dropped) << "commit " << i;
+      EXPECT_EQ(b.committed_version, a.committed_version) << "commit " << i;
+      EXPECT_FLOAT_EQ(b.staleness_mean, a.staleness_mean) << "commit " << i;
+      EXPECT_EQ(b.staleness_max, a.staleness_max) << "commit " << i;
+      EXPECT_FLOAT_EQ(b.mean_update_norm, a.mean_update_norm)
+          << "commit " << i;
+    }
+  }
+}
+
+TEST(AsyncAggregation, StragglersDrainWithoutFoldingIntoLaterVersions) {
+  const int clients = 8;
+  const FedDataset fed = toy_fed(clients);
+  for (const int threads : {1, 3, 8}) {
+    FlConfig config = toy_config(clients);
+    config.async_mode = true;
+    config.rounds = 5;
+    config.async_buffer_size = 2;
+    config.clients_per_round = 4;
+    config.threads = threads;
+    config.fault_latency_ms = 30;  // scramble arrival order
+    StreamingToyAlgorithm algorithm(config);
+    const RunResult result = run_federated(algorithm, fed, false);
+    ASSERT_EQ(result.history.size(), 5u);
+    int folds = 0;
+    int late = 0;
+    for (const RoundStats& commit : result.history) {
+      folds += commit.participants;
+      late += commit.late_dropped;
+      EXPECT_EQ(commit.failures, 0);
+    }
+    // Exactly rounds * buffer_size updates ever fold — a reply left in
+    // flight at the final commit is never aggregated into a later version.
+    EXPECT_EQ(folds, config.rounds * config.async_buffer_size)
+        << "threads=" << threads;
+    // Every other dispatch resolves exactly once, as a drained straggler:
+    // the in-flight window minus the seq whose fold triggered the final
+    // commit.
+    EXPECT_EQ(late, config.clients_per_round - 1) << "threads=" << threads;
+  }
+}
+
+TEST(AsyncAggregation, StalenessDiscountsShiftTheAggregate) {
+  // alpha > 0 down-weights stale folds, so the trajectory must differ from
+  // the alpha = 0 run under the same schedule — proof the weight is applied
+  // — while staying deterministic for a fixed alpha.
+  const int clients = 6;
+  const FedDataset fed = toy_fed(clients);
+  auto run = [&](float alpha) {
+    FlConfig config = async_toy_config(clients);
+    config.staleness_alpha = alpha;
+    StreamingToyAlgorithm algorithm(config);
+    return run_federated(algorithm, fed, false).final_state.values();
+  };
+  EXPECT_EQ(run(0.5f), run(0.5f));
+  EXPECT_NE(run(0.0f), run(0.5f));
 }
 
 TEST(DeriveSeed, DeterministicAndDistinct) {

@@ -23,6 +23,11 @@ DESIGN.md §9 maps rule -> contract -> PR):
   check-not-assert   Library code (src/) must use CALIBRE_CHECK*, never
                      assert(): asserts vanish in release builds, and a
                      silently-corrupted experiment is worse than a crash.
+  blocking-sleep     sleep_for/sleep_until/usleep/nanosleep are only legal
+                     in common/timer_queue.*. A sleep on a ThreadPool worker
+                     serializes every dispatch queued behind it (the injected
+                     fault-latency bug); deferred work must go through the
+                     TimerQueue so workers stay free.
   serde-count-guard  In src/comm/, a count obtained from Reader::read_u*()
                      must pass through a CALIBRE_CHECK* that mentions it
                      before it sizes an allocation (vector/string ctor,
@@ -174,6 +179,17 @@ POOL_PATTERNS = [
      "aligned_alloc bypasses the pool; use Tensor storage"),
 ]
 
+SLEEP_PATTERNS = [
+    (re.compile(r"sleep_for\s*\("),
+     "sleep_for on a pool worker serializes every queued dispatch behind "
+     "the nap; schedule a deferred callback through common/timer_queue.* "
+     "instead"),
+    (re.compile(r"sleep_until\s*\("),
+     "sleep_until blocks a pool worker; use common/timer_queue.*"),
+    (re.compile(r"(?<![\w:.>])(?:usleep|nanosleep)\s*\("),
+     "libc sleeps block a pool worker; use common/timer_queue.*"),
+]
+
 THREAD_PATTERNS = [
     (re.compile(r"std::thread\b"),
      "raw std::thread escapes the ThreadPool; TSan-lane coverage and "
@@ -217,6 +233,9 @@ PATTERN_RULES = [
     ("thread-funnel",
      _src_except("src/common/thread_pool.h", "src/common/thread_pool.cc"),
      THREAD_PATTERNS),
+    ("blocking-sleep",
+     _src_except("src/common/timer_queue.h", "src/common/timer_queue.cc"),
+     SLEEP_PATTERNS),
     ("check-not-assert", _in_src, ASSERT_PATTERNS),
 ]
 

@@ -49,6 +49,11 @@ else
   # (bench_scale exits nonzero on a superlinear blow-up).
   run_step "bench.scale" ctest --test-dir "$BUILD_DIR" \
     --output-on-failure -R '^bench\.scale_smoke$'
+  # Async-aggregation gate: the buffered async loop and the sync barrier
+  # loop both run under one availability trace, and the async fold budget
+  # must land exactly (bench_async exits nonzero on a mismatch).
+  run_step "bench.async" ctest --test-dir "$BUILD_DIR" \
+    --output-on-failure -R '^bench\.async_smoke$'
   for lane in tsan asan ubsan; do
     run_step "lane.$lane" ctest --test-dir "$BUILD_DIR" \
       --output-on-failure -R "^$lane\."
