@@ -38,6 +38,11 @@
 //   --buffer-size       folds per async commit                  (8)
 //   --staleness-alpha   staleness discount w(s)=1/(1+s)^alpha   (0.5)
 //   --wire-codec        f32 | f16 | delta16 model payloads     (f32)
+//   --agg-shards        parallel fold shards for aggregation: replies
+//                       decode+fold on this many shard workers, merged in
+//                       shard order at commit — bit-identical to the flat
+//                       fold; must be <= --clients-per-round and divide
+//                       --buffer-size in async mode               (1)
 //   --virtual-clients   force virtual-client mode: shards materialise on
 //                       demand, memory stays O(dataset) at any --clients
 //   --eager-clients     force eager per-client shard materialisation
@@ -188,6 +193,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   config.wire_codec = comm::codec_from_name(wire_codec);
+  config.agg_shards = args.get_int("agg-shards", 1);
   config.personalize_cap = args.get_int("personalize-cap", 0);
   config.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
   config.threads = args.get_int("threads", 0);

@@ -47,11 +47,19 @@ struct ScaleOptions {
   std::string out = "BENCH_scale.json";
 };
 
-// What a child process reports back through its pipe.
+// What a child process reports back through its pipe (POD: it crosses the
+// fork boundary as raw bytes).
 struct ScaleResult {
   int clients = 0;
   double train_seconds = 0.0;  // rounds only (personalization excluded)
   double total_seconds = 0.0;  // build + rounds + capped personalization
+  // Server-side phase split from RunResult::phases: where the training
+  // stage's server thread time actually goes (broadcast serialize + send /
+  // reply decode / aggregator fold / merge + finish).
+  double dispatch_seconds = 0.0;
+  double decode_seconds = 0.0;
+  double fold_seconds = 0.0;
+  double commit_seconds = 0.0;
   long peak_rss_kb = 0;
 };
 
@@ -95,6 +103,10 @@ ScaleResult run_population(const ScaleOptions& options, int clients) {
   // total_seconds so the report stays honest about end-to-end cost.
   out.total_seconds =
       std::chrono::duration<double>(train_end - wall_start).count();
+  out.dispatch_seconds = result.phases.dispatch_seconds;
+  out.decode_seconds = result.phases.decode_seconds;
+  out.fold_seconds = result.phases.fold_seconds;
+  out.commit_seconds = result.phases.commit_seconds;
   // Keep the run's outputs alive until after the clock stops.
   if (result.history.size() != static_cast<std::size_t>(options.rounds)) {
     std::fprintf(stderr, "expected %d rounds, ran %zu\n", options.rounds,
@@ -166,6 +178,11 @@ int run(const ScaleOptions& options) {
         result.clients, rounds_per_s, result.train_seconds,
         result.total_seconds,
         static_cast<double>(result.peak_rss_kb) / 1024.0);
+    std::printf(
+        "[scale]            phases: dispatch %.3fs  decode %.3fs  "
+        "fold %.3fs  commit %.3fs\n",
+        result.dispatch_seconds, result.decode_seconds, result.fold_seconds,
+        result.commit_seconds);
     results.push_back(result);
   }
 
@@ -198,15 +215,18 @@ int run(const ScaleOptions& options) {
       << "  \"populations\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const ScaleResult& r = results[i];
-    char buffer[256];
+    char buffer[512];
     std::snprintf(buffer, sizeof(buffer),
                   "    {\"clients\": %d, \"rounds_per_s\": %.3f, "
                   "\"train_seconds\": %.3f, \"total_seconds\": %.3f, "
+                  "\"dispatch_seconds\": %.3f, \"decode_seconds\": %.3f, "
+                  "\"fold_seconds\": %.3f, \"commit_seconds\": %.3f, "
                   "\"peak_rss_mb\": %.1f}%s\n",
                   r.clients,
                   r.train_seconds > 0.0 ? options.rounds / r.train_seconds
                                         : 0.0,
-                  r.train_seconds, r.total_seconds,
+                  r.train_seconds, r.total_seconds, r.dispatch_seconds,
+                  r.decode_seconds, r.fold_seconds, r.commit_seconds,
                   static_cast<double>(r.peak_rss_kb) / 1024.0,
                   i + 1 < results.size() ? "," : "");
     out << buffer;

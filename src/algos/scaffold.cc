@@ -32,7 +32,10 @@ std::vector<float> split_back(const std::vector<float>& values,
 
 // Streams [model | delta_c] updates: the model half is a weighted mean (fold
 // w_i * x_i, normalise at finish), the control half an unweighted mean.
-// finish() advances the server control variate in place — called once.
+// finish() advances the server control variate in place — called once, on
+// the merged root only. Both halves accumulate in exact fixed-point
+// (fl/fixed_accum.h), so merge() of shard-local partials is bit-identical
+// to the flat fold for any shard split.
 class ScaffoldAggregator : public fl::StreamingAggregator {
  public:
   ScaffoldAggregator(std::size_t model_dim, std::vector<float>& server_control,
@@ -45,16 +48,20 @@ class ScaffoldAggregator : public fl::StreamingAggregator {
     CALIBRE_CHECK(update.state.size() == 2 * model_dim_);
     const double w = static_cast<double>(update.weight);
     CALIBRE_CHECK_MSG(w > 0.0, "non-positive aggregation weight");
+    CALIBRE_CHECK_LT(folded_, fl::fixedpoint::kMaxFolds,
+                     "too many folds for one accumulator");
     if (acc_x_.empty()) {
-      acc_x_.assign(model_dim_, 0.0);
-      acc_delta_c_.assign(model_dim_, 0.0);
+      acc_x_.assign(model_dim_, 0);
+      acc_delta_c_.assign(model_dim_, 0);
     }
     const std::vector<float>& values = update.state.values();
     for (std::size_t i = 0; i < model_dim_; ++i) {
-      acc_x_[i] += w * static_cast<double>(values[i]);
-      acc_delta_c_[i] += static_cast<double>(values[model_dim_ + i]);
+      acc_x_[i] +=
+          fl::fixedpoint::quantize(w * static_cast<double>(values[i]));
+      acc_delta_c_[i] += fl::fixedpoint::quantize(
+          static_cast<double>(values[model_dim_ + i]));
     }
-    total_weight_ += w;
+    total_weight_ += fl::fixedpoint::quantize(w);
     ++folded_;
   }
 
@@ -64,24 +71,56 @@ class ScaffoldAggregator : public fl::StreamingAggregator {
     const float participation =
         static_cast<float>(folded_) /
         static_cast<float>(std::max(1, num_train_clients_));
+    const double total = fl::fixedpoint::to_double(total_weight_);
     std::vector<float> packed(2 * model_dim_);
     for (std::size_t i = 0; i < model_dim_; ++i) {
-      packed[i] = static_cast<float>(acc_x_[i] / total_weight_);
-      server_control_[i] += participation *
-                            static_cast<float>(acc_delta_c_[i] /
-                                               static_cast<double>(folded_));
+      packed[i] =
+          static_cast<float>(fl::fixedpoint::to_double(acc_x_[i]) / total);
+      server_control_[i] +=
+          participation *
+          static_cast<float>(fl::fixedpoint::to_double(acc_delta_c_[i]) /
+                             static_cast<double>(folded_));
       packed[model_dim_ + i] = server_control_[i];
     }
     return nn::ModelState(std::move(packed));
   }
 
+  void merge(fl::StreamingAggregator&& other) override {
+    auto* rhs = dynamic_cast<ScaffoldAggregator*>(&other);
+    CALIBRE_CHECK_MSG(rhs != nullptr && rhs != this,
+                      "merge() needs a distinct ScaffoldAggregator");
+    CALIBRE_CHECK_MSG(rhs->model_dim_ == model_dim_ &&
+                          &rhs->server_control_ == &server_control_,
+                      "shard aggregators belong to different SCAFFOLD servers");
+    if (rhs->folded_ == 0) return;
+    CALIBRE_CHECK_LE(folded_ + rhs->folded_, fl::fixedpoint::kMaxFolds,
+                     "merged fold count exceeds the accumulator bound");
+    if (folded_ == 0) {
+      acc_x_ = std::move(rhs->acc_x_);
+      acc_delta_c_ = std::move(rhs->acc_delta_c_);
+    } else {
+      for (std::size_t i = 0; i < model_dim_; ++i) {
+        acc_x_[i] += rhs->acc_x_[i];
+        acc_delta_c_[i] += rhs->acc_delta_c_[i];
+      }
+    }
+    total_weight_ += rhs->total_weight_;
+    folded_ += rhs->folded_;
+    rhs->acc_x_.clear();
+    rhs->acc_delta_c_.clear();
+    rhs->total_weight_ = 0;
+    rhs->folded_ = 0;
+  }
+
+  bool mergeable() const override { return true; }
+
  private:
   std::size_t model_dim_;
   std::vector<float>& server_control_;
   int num_train_clients_;
-  std::vector<double> acc_x_;
-  std::vector<double> acc_delta_c_;
-  double total_weight_ = 0.0;
+  std::vector<fl::fixedpoint::Acc> acc_x_;
+  std::vector<fl::fixedpoint::Acc> acc_delta_c_;
+  fl::fixedpoint::Acc total_weight_ = 0;
 };
 
 }  // namespace

@@ -91,7 +91,10 @@ std::unique_ptr<fl::StreamingAggregator> Calibre::make_aggregator(
     return PflSsl::make_aggregator(global, round);
   }
   // Unnormalised per-update weight mirroring divergence_weights(); the
-  // shared fold normalises by the running total at finish().
+  // shared fold normalises by the running total at finish(). The shared
+  // fold is also what makes Calibre shard-mergeable: its fixed-point
+  // accumulators let --agg-shards split this fold across workers without
+  // changing a single output bit.
   const DivergenceMode mode = calibre_config_.divergence_mode;
   return std::make_unique<fl::WeightedStreamingAggregator>(
       [mode](const fl::ClientUpdate& update) {

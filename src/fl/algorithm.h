@@ -18,6 +18,7 @@
 #include "data/dataset.h"
 #include "data/synthetic.h"
 #include "fl/config.h"
+#include "fl/fixed_accum.h"
 #include "nn/state.h"
 
 namespace calibre::fl {
@@ -82,6 +83,16 @@ struct PersonalizationContext {
 // returned by make_aggregator() must produce bit-identical states for the
 // same update sequence. The weighted-average family guarantees this by
 // implementing aggregate() *on top of* its streaming fold.
+//
+// Hierarchical folds: a mergeable aggregator additionally supports
+// merge(), which combines a shard-local partial fold (over a DISJOINT
+// subset of the round's updates) into this one as if its updates had been
+// folded here. The native folds implement merge exactly — their
+// accumulators are fixed-point integers (fl/fixed_accum.h), so integer
+// associativity makes every fold schedule (flat, N shards, multi-level
+// edge-aggregator trees) bit-identical by construction. That is what lets
+// the runner decode + fold replies on parallel shard workers and still
+// hash-match the flat single-threaded fold.
 class StreamingAggregator {
  public:
   virtual ~StreamingAggregator() = default;
@@ -96,6 +107,21 @@ class StreamingAggregator {
   // Produces the next global state from everything folded so far. Called at
   // most once, after at least one fold().
   virtual nn::ModelState finish() = 0;
+
+  // Combines `other` — a shard-local partial fold over a disjoint update
+  // subset, created by make_aggregator() with the same (global, round) —
+  // into this aggregator. Only legal before finish(); `other` is consumed
+  // (left empty, never finished). An empty `other` is the merge identity,
+  // and merging into an empty aggregator adopts `other`'s state. The
+  // default CHECK-fails: the batch adapter cannot interleave two buffered
+  // rank subsequences back into global rank order, so only native folds
+  // (mergeable() == true) implement this.
+  virtual void merge(StreamingAggregator&& other);
+
+  // True when merge() is implemented — the runner only engages the sharded
+  // parallel fold path for mergeable aggregators and falls back to the flat
+  // single-threaded fold otherwise.
+  virtual bool mergeable() const { return false; }
 
   // Decoded updates held inside the aggregator: 0 for native streaming
   // folds, one per fold() for the batch adapter. The runner CHECKs this
@@ -113,12 +139,15 @@ class StreamingAggregator {
 };
 
 // Native streaming fold for the weighted-average family:
-//   acc[j] += w_i * x_i[j]   (double accumulator, O(model))
-//   finish: out[j] = float(acc[j] / sum_i w_i)
+//   acc[j] += quantize(w_i * x_i[j])   (exact fixed-point, O(model))
+//   finish: out[j] = float(acc[j] / sum_i quantize(w_i))
 // `weight_of` maps an update to its unnormalised aggregation weight (> 0);
 // the default reads ClientUpdate::weight. Normalisation happens once at
 // finish(), which is what makes a weighted mean foldable without knowing
-// the participant set (or total weight) up front.
+// the participant set (or total weight) up front. The accumulator is a
+// fixed-point integer sum (fl/fixed_accum.h), so merge() — shard partials
+// added element-wise — is exactly associative and commutative: sharded and
+// flat folds are bit-identical for any shard count.
 class WeightedStreamingAggregator : public StreamingAggregator {
  public:
   using WeightFn = std::function<double(const ClientUpdate&)>;
@@ -126,11 +155,13 @@ class WeightedStreamingAggregator : public StreamingAggregator {
 
   void fold(ClientUpdate update) override;
   nn::ModelState finish() override;
+  void merge(StreamingAggregator&& other) override;
+  bool mergeable() const override { return true; }
 
  private:
   WeightFn weight_of_;
-  std::vector<double> acc_;
-  double total_weight_ = 0.0;
+  std::vector<fixedpoint::Acc> acc_;
+  fixedpoint::Acc total_weight_ = 0;
 };
 
 class Algorithm;

@@ -49,10 +49,28 @@ void validate(const FlConfig& config) {
                                        << "': duty_cycle < 1 needs "
                                           "period_rounds > 0");
   }
+  CALIBRE_CHECK_MSG(config.agg_shards >= 1, "agg_shards must be >= 1, got "
+                                                << config.agg_shards);
+  // More shards than sampled clients would leave shards permanently empty:
+  // the shard map is rank % agg_shards over at most clients_per_round ranks.
+  CALIBRE_CHECK_MSG(
+      config.agg_shards <= config.clients_per_round,
+      "agg_shards (" << config.agg_shards << ") exceeds clients_per_round ("
+                     << config.clients_per_round
+                     << "): shards beyond the sample size can never fold");
   if (config.async_mode) {
     CALIBRE_CHECK_MSG(config.async_buffer_size >= 1,
                       "async_buffer_size must be >= 1, got "
                           << config.async_buffer_size);
+    // A commit window folds exactly async_buffer_size updates with ranks
+    // 0..buffer-1; requiring divisibility keeps every shard's load equal in
+    // every window instead of systematically starving the high shards.
+    CALIBRE_CHECK_MSG(
+        config.async_buffer_size % config.agg_shards == 0,
+        "async_buffer_size (" << config.async_buffer_size
+                              << ") must be divisible by agg_shards ("
+                              << config.agg_shards
+                              << ") so commit windows load shards evenly");
     CALIBRE_CHECK_MSG(config.staleness_alpha >= 0.0f,
                       "staleness_alpha must be >= 0, got "
                           << config.staleness_alpha);

@@ -107,6 +107,17 @@ struct FlConfig {
   // against the round's broadcast snapshot. See comm/codec.h.
   comm::Codec wire_codec = comm::Codec::kF32;
 
+  // Aggregation fold shards. 1 (the default) decodes + folds replies inline
+  // on the server thread, exactly as before. N > 1 routes released ranks to
+  // N shard aggregators (rank % N) decoded + folded by parallel workers and
+  // merged in shard order at commit — bit-identical to the flat fold (the
+  // native folds accumulate in exact fixed-point; see fl/fixed_accum.h) for
+  // algorithms with a mergeable aggregator, with automatic fallback to the
+  // flat fold otherwise. Must not exceed clients_per_round, and in async
+  // mode must divide async_buffer_size so every commit window loads the
+  // shards evenly.
+  int agg_shards = 1;
+
   // Cap on clients evaluated in the personalization stage (0 = all). With
   // 100k virtual clients the training stage is cheap per round but a full
   // personalization sweep is O(population); the cap evaluates a seeded

@@ -1,0 +1,58 @@
+// Exact, order-independent accumulation for mergeable streaming folds.
+//
+// A StreamingAggregator that wants to support hierarchical merge() must
+// produce the SAME bits whether its updates were folded flat on one thread
+// or split across N shard aggregators and combined — for any N and any
+// split. Floating-point addition is not associative, so a double
+// accumulator cannot deliver that: (a + b) + c and a + (b + c) differ in
+// the last ulp often enough to break final-state hash checks.
+//
+// The fix is to make the accumulator an integer. Each term is quantized
+// ONCE to a fixed-point grid (resolution 2^-64) and summed in 128-bit
+// integers; integer addition is exactly associative and commutative, so
+// every fold schedule — flat, sharded, two-level edge trees — lands on
+// identical bits by construction. Accuracy is not sacrificed: the
+// quantization step keeps the full double mantissa of each term (the
+// scaled value is rounded to nearest once, exactly like the final rounding
+// of a double multiply), and the summation afterwards is EXACT, which is
+// strictly tighter than the rounding a running double accumulator performs
+// on every fold.
+//
+// Domain: |term| <= kMaxAbsTerm (2^42 ~ 4.4e12) and at most kMaxFolds
+// (2^20) folded terms per accumulator, CHECK-enforced. Under those bounds
+// the scaled sum stays below 2^126 and the int128 cannot overflow.
+// Resolution 2^-64 ~ 5.4e-20 is invisible after the float cast at
+// finish() for any aggregate whose magnitude exceeds ~1e-12 — far below
+// every weight/parameter scale the algorithms produce.
+#pragma once
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace calibre::fl::fixedpoint {
+
+// 128-bit signed accumulator (GCC/Clang builtin; the repo targets both).
+using Acc = __int128;
+
+inline constexpr double kScale = 0x1p64;      // grid: 1 ulp = 2^-64
+inline constexpr double kInvScale = 0x1p-64;
+inline constexpr double kMaxAbsTerm = 0x1p42; // |term| bound, CHECKed
+inline constexpr int kMaxFolds = 1 << 20;     // folds-per-accumulator bound
+
+// Quantizes one term to the grid: round-to-nearest-even of v * 2^64,
+// computed in double (keeps v's full mantissa; the conversion to int128 is
+// exact because the rounded value is integral). CHECK-fails on terms
+// outside the overflow-safe domain instead of silently wrapping.
+inline Acc quantize(double v) {
+  const double scaled = v * kScale;
+  CALIBRE_CHECK_MSG(scaled <= kMaxAbsTerm * kScale &&
+                        scaled >= -kMaxAbsTerm * kScale,
+                    "fixed-point fold term magnitude exceeds 2^42");
+  return static_cast<Acc>(std::rint(scaled));
+}
+
+// Exact-to-double readback (one rounding, at the end).
+inline double to_double(Acc a) { return static_cast<double>(a) * kInvScale; }
+
+}  // namespace calibre::fl::fixedpoint

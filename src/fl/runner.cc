@@ -10,9 +10,17 @@
 #include "common/check.h"
 #include "common/log.h"
 #include "common/thread_pool.h"
+#include "fl/shard_fold.h"
 
 namespace calibre::fl {
 namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double seconds_between(SteadyClock::time_point from,
+                       SteadyClock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
 
 std::size_t resolve_threads(const FlConfig& config) {
   return config.threads > 0 ? static_cast<std::size_t>(config.threads)
@@ -74,28 +82,34 @@ void configure_faults(const FlConfig& config, comm::Router& router) {
 void run_async_training(Algorithm& algorithm, const FedDataset& fed,
                         const FlConfig& config, comm::Router& router,
                         rng::Generator& sampler, nn::ModelState& state,
+                        int fold_shards, common::ThreadPool* fold_pool,
                         RunResult& result) {
   const int concurrency = config.clients_per_round;
   const int buffer_size = config.async_buffer_size;
 
   // Snapshot registry: one serialized broadcast per committed version, kept
   // alive while any in-flight dispatch trained against it (delta16 replies
-  // decode against the base of *their* version, not the newest one).
+  // decode against the base of *their* version, not the newest one). The
+  // decoded base is shared_ptr-held because shard workers may still be
+  // decoding against it after the version's last slot resolved and the
+  // registry entry died.
   struct VersionSnapshot {
     comm::Payload payload;
-    nn::ModelState base;  // decoded reference for lossy codecs
-    bool has_base = false;
+    std::shared_ptr<const nn::ModelState> base;  // lossy-codec reference
     int refs = 0;
   };
   std::unordered_map<int, VersionSnapshot> snapshots;
   int version = 0;
   auto make_snapshot = [&](int v) {
+    const SteadyClock::time_point start = SteadyClock::now();
     VersionSnapshot& snap = snapshots[v];
     snap.payload = comm::Payload(state.to_bytes(config.wire_codec));
     if (config.wire_codec != comm::Codec::kF32) {
-      snap.base = nn::ModelState::from_bytes(snap.payload.bytes());
-      snap.has_base = true;
+      snap.base = std::make_shared<const nn::ModelState>(
+          nn::ModelState::from_bytes(snap.payload.bytes()));
     }
+    result.phases.dispatch_seconds +=
+        seconds_between(start, SteadyClock::now());
   };
   auto release_version = [&](int v) {
     const auto it = snapshots.find(v);
@@ -125,6 +139,7 @@ void run_async_training(Algorithm& algorithm, const FedDataset& fed,
   int awaiting_reply = 0;  // dispatches (incl. retries) without a reply yet
 
   auto send_request = [&](int client, int base_version) {
+    const SteadyClock::time_point start = SteadyClock::now();
     ++awaiting_reply;
     comm::Message request;
     request.type = comm::MessageType::kTrainRequest;
@@ -136,6 +151,8 @@ void run_async_training(Algorithm& algorithm, const FedDataset& fed,
     request.round = base_version;
     request.payload = snapshots.at(base_version).payload;
     router.send(std::move(request));
+    result.phases.dispatch_seconds +=
+        seconds_between(start, SteadyClock::now());
   };
   auto dispatch_new = [&] {
     // Rejection-sample a client with no dispatch in flight. Terminates:
@@ -156,7 +173,11 @@ void run_async_training(Algorithm& algorithm, const FedDataset& fed,
     ++next_seq;
   };
 
-  auto aggregator = algorithm.make_aggregator(state, /*round=*/0);
+  // One folder per commit window; the fold index within the window is the
+  // submit rank, so shard routing and the stats arrays are dense 0..B-1.
+  auto folder = std::make_unique<ShardedFolder>(
+      algorithm, state, /*round=*/0, fold_shards, fold_pool,
+      static_cast<std::size_t>(buffer_size));
   int commits = 0;
   int folds_in_window = 0;
   int consecutive_failures = 0;
@@ -174,32 +195,44 @@ void run_async_training(Algorithm& algorithm, const FedDataset& fed,
 
   auto fold_slot = [&](Slot& slot) {
     const VersionSnapshot& snap = snapshots.at(slot.base_version);
-    ClientUpdate update = deserialize_update(
-        slot.reply.bytes(), snap.has_base ? &snap.base : nullptr);
     const int staleness = version - slot.base_version;
     CALIBRE_CHECK(staleness >= 0);
-    update.weight *= staleness_weight(staleness, config.staleness_alpha);
-    const auto it = update.scalars.find("divergence");
-    if (it != update.scalars.end()) {
-      window_divergence_total += it->second;
-      ++window_divergence_count;
-    }
-    window_norm_total += update.state.norm();
+    // Decode + fold run on the folder (shard workers under --agg-shards,
+    // inline otherwise); the staleness discount multiplies the decoded
+    // weight there, exactly as the flat fold applied it. Update-content
+    // stats (norm, divergence) are read back from the folder's rank arrays
+    // at commit; staleness stats are pure server-side state, tallied here.
+    folder->submit(folds_in_window, std::move(slot.reply), snap.base,
+                   staleness_weight(staleness, config.staleness_alpha));
     window_staleness_total += staleness;
     window_staleness_max = std::max(window_staleness_max, staleness);
-    aggregator->fold(std::move(update));
-    if (aggregator->bounded_memory()) {
-      CALIBRE_CHECK_EQ(aggregator->buffered_updates(), std::size_t{0},
-                       "bounded-memory aggregator buffered decoded updates");
-    }
     ++folds_in_window;
     consecutive_failures = 0;
   };
   auto commit = [&] {
-    state = aggregator->finish();
+    const SteadyClock::time_point commit_start = SteadyClock::now();
+    std::unique_ptr<StreamingAggregator> merged = folder->collect();
+    CALIBRE_CHECK_EQ(merged->folded(), folds_in_window,
+                     "shard merge lost folds");
+    state = merged->finish();
+    result.phases.commit_seconds +=
+        seconds_between(commit_start, SteadyClock::now());
+    result.phases.decode_seconds += folder->decode_seconds();
+    result.phases.fold_seconds += folder->fold_seconds();
+    // Rank-ordered readback reproduces the flat fold's accumulation order.
+    for (int r = 0; r < folds_in_window; ++r) {
+      const std::size_t rank = static_cast<std::size_t>(r);
+      if (folder->has_divergence()[rank] != 0) {
+        window_divergence_total += folder->divergences()[rank];
+        ++window_divergence_count;
+      }
+      window_norm_total += folder->norms()[rank];
+    }
     ++version;
     ++commits;
-    aggregator = algorithm.make_aggregator(state, /*round=*/version);
+    folder = std::make_unique<ShardedFolder>(
+        algorithm, state, /*round=*/version, fold_shards, fold_pool,
+        static_cast<std::size_t>(buffer_size));
     if (commits < config.rounds) make_snapshot(version);
 
     window_stats.round = commits - 1;
@@ -426,11 +459,32 @@ RunResult run_federated(Algorithm& algorithm, const FedDataset& fed,
   rng::Generator sampler(derive_seed(config.seed, 0xC1, 0xE57));
   RunResult result;
   result.algorithm = algorithm.name();
+  // Sharded fold setup: --agg-shards > 1 engages parallel shard workers
+  // only for mergeable aggregators (probed once — mergeability is a static
+  // property of the algorithm); batch-adapter folds fall back to the flat
+  // path, since two buffered rank subsequences cannot be interleaved back
+  // into global rank order. Both paths run through ShardedFolder (shards=1
+  // + null pool is the inline flat fold), and the fixed-point accumulators
+  // make every shard count produce bit-identical states.
+  int fold_shards = 1;
+  std::unique_ptr<common::ThreadPool> fold_pool;
+  if (config.agg_shards > 1) {
+    if (algorithm.make_aggregator(state, /*round=*/0)->mergeable()) {
+      fold_shards = config.agg_shards;
+      fold_pool = std::make_unique<common::ThreadPool>(
+          static_cast<std::size_t>(config.agg_shards));
+    } else {
+      log::warn() << algorithm.name() << ": aggregator is not mergeable; "
+                  << "--agg-shards " << config.agg_shards
+                  << " falls back to the flat single-threaded fold";
+    }
+  }
   // Async mode replaces the barriered round loop below with the buffered
   // asynchronous loop; the sync path is untouched (bit-identical to the
   // pre-async build).
   if (config.async_mode) {
-    run_async_training(algorithm, fed, config, router, sampler, state, result);
+    run_async_training(algorithm, fed, config, router, sampler, state,
+                       fold_shards, fold_pool.get(), result);
   }
   const int sync_rounds = config.async_mode ? 0 : config.rounds;
   for (int round = 0; round < sync_rounds; ++round) {
@@ -465,15 +519,17 @@ RunResult run_federated(Algorithm& algorithm, const FedDataset& fed,
     // Zero-copy broadcast: serialize the global state ONCE per round and
     // share the immutable snapshot across every train request, including
     // retry re-sends — 1 serialization + K refcounts instead of K copies.
+    const SteadyClock::time_point dispatch_start = SteadyClock::now();
     const comm::Payload snapshot(state.to_bytes(config.wire_codec));
     // delta16 replies are deltas against the broadcast *as the clients
     // decode it*; with a lossy broadcast codec that differs from `state`,
     // so the server derives the reference by decoding its own snapshot.
-    nn::ModelState snapshot_base;
-    const nn::ModelState* update_base = nullptr;
+    // shared_ptr because shard workers may still hold it mid-decode when
+    // the round's server-side bookkeeping has already moved on.
+    std::shared_ptr<const nn::ModelState> update_base;
     if (config.wire_codec != comm::Codec::kF32) {
-      snapshot_base = nn::ModelState::from_bytes(snapshot.bytes());
-      update_base = &snapshot_base;
+      update_base = std::make_shared<const nn::ModelState>(
+          nn::ModelState::from_bytes(snapshot.bytes()));
     }
     auto send_request = [&](int client) {
       comm::Message request;
@@ -485,6 +541,8 @@ RunResult run_federated(Algorithm& algorithm, const FedDataset& fed,
       router.send(std::move(request));
     };
     for (const int client : selected) send_request(client);
+    result.phases.dispatch_seconds +=
+        seconds_between(dispatch_start, SteadyClock::now());
 
     // Streaming aggregation: updates fold into the aggregator one at a time,
     // in selection-rank order — reply arrival order depends on thread
@@ -497,30 +555,19 @@ RunResult run_federated(Algorithm& algorithm, const FedDataset& fed,
     // most ONE decoded update outside the aggregator, so server memory is
     // O(model + wire bytes in flight), not O(participants × model).
     const int num_selected = static_cast<int>(selected.size());
-    auto aggregator = algorithm.make_aggregator(state, round);
+    // All decode + fold work funnels through the folder: shard workers when
+    // --agg-shards engaged, inline on this thread otherwise. The bounded-
+    // memory streaming invariant (no decoded updates buffered outside the
+    // aggregators) is CHECKed inside the folder at every fold.
+    ShardedFolder folder(algorithm, state, round, fold_shards, fold_pool.get(),
+                         selected.size());
     std::unordered_map<int, comm::Payload> held;  // rank -> serialized reply
     enum : std::uint8_t { kOutstanding = 0, kHeld = 1, kResolved = 2 };
     std::vector<std::uint8_t> rank_state(selected.size(), kOutstanding);
     int fold_front = 0;
-    double divergence_total = 0.0;
-    int divergence_count = 0;
-    double norm_total = 0.0;
-    auto fold_payload = [&](const comm::Payload& payload) {
-      ClientUpdate update = deserialize_update(payload.bytes(), update_base);
-      const auto it = update.scalars.find("divergence");
-      if (it != update.scalars.end()) {
-        divergence_total += it->second;
-        ++divergence_count;
-      }
-      norm_total += update.state.norm();
-      aggregator->fold(std::move(update));
-      // Streaming invariant: a bounded-memory aggregator never buffers
-      // decoded updates — combined with the serialized reorder buffer this
-      // is the O(model) server-memory guarantee.
-      if (aggregator->bounded_memory()) {
-        CALIBRE_CHECK_EQ(aggregator->buffered_updates(), std::size_t{0},
-                         "bounded-memory aggregator buffered decoded updates");
-      }
+    auto fold_payload = [&](int rank, comm::Payload payload) {
+      folder.submit(rank, std::move(payload), update_base,
+                    /*weight_scale=*/1.0f);
     };
     // Folds every resolvable rank at the front: resolved ranks are skipped,
     // held ranks are decoded+folded, and the walk stops at the first rank
@@ -534,8 +581,8 @@ RunResult run_federated(Algorithm& algorithm, const FedDataset& fed,
           continue;
         }
         if (rank_state[static_cast<std::size_t>(fold_front)] == kHeld) {
-          const auto node = held.extract(fold_front);
-          fold_payload(node.mapped());
+          auto node = held.extract(fold_front);
+          fold_payload(fold_front, std::move(node.mapped()));
           rank_state[static_cast<std::size_t>(fold_front)] = kResolved;
           ++fold_front;
           continue;
@@ -614,7 +661,7 @@ RunResult run_federated(Algorithm& algorithm, const FedDataset& fed,
       const int rank = selection_rank[response->sender];
       ++received;
       if (rank == fold_front) {
-        fold_payload(response->payload);
+        fold_payload(rank, std::move(response->payload));
         rank_state[static_cast<std::size_t>(rank)] = kResolved;
         ++fold_front;
         advance_front();
@@ -638,13 +685,35 @@ RunResult run_federated(Algorithm& algorithm, const FedDataset& fed,
 
     // Partial aggregation: whatever arrived forms the next global state. A
     // fully failed round (every client errored out) keeps the state as-is
-    // rather than aggregating nothing.
-    const int participants = aggregator->folded();
+    // rather than aggregating nothing. collect() waits out the shard
+    // workers and merges the partials in ascending shard order; only the
+    // merged root is ever finished.
+    const SteadyClock::time_point commit_start = SteadyClock::now();
+    std::unique_ptr<StreamingAggregator> merged = folder.collect();
+    const int participants = merged->folded();
     if (participants > 0) {
-      state = aggregator->finish();
+      state = merged->finish();
     } else {
       log::warn() << algorithm.name() << " round " << round
                   << ": no updates arrived; keeping previous global state";
+    }
+    result.phases.commit_seconds +=
+        seconds_between(commit_start, SteadyClock::now());
+    result.phases.decode_seconds += folder.decode_seconds();
+    result.phases.fold_seconds += folder.fold_seconds();
+    // Update-content stats read back from the folder's rank arrays, summed
+    // in ascending rank order — the exact order the flat fold accumulated
+    // them in, so the history is bit-identical across shard counts.
+    double divergence_total = 0.0;
+    int divergence_count = 0;
+    double norm_total = 0.0;
+    for (std::size_t r = 0; r < selected.size(); ++r) {
+      if (folder.submitted()[r] == 0) continue;
+      if (folder.has_divergence()[r] != 0) {
+        divergence_total += folder.divergences()[r];
+        ++divergence_count;
+      }
+      norm_total += folder.norms()[r];
     }
 
     round_stats.participants = participants;

@@ -47,6 +47,18 @@ struct RoundStats {
   int staleness_max = 0;
 };
 
+// Server-side wall-clock split of the training stage, summed over rounds
+// (sync) or commit windows (async). With agg_shards > 1 decode/fold run on
+// parallel shard workers, so their totals are CPU seconds that can exceed
+// the stage's elapsed time; commit covers the collect barrier + shard merge
+// + finish(). Dispatch is the serialize-and-send side of the loop.
+struct PhaseTimes {
+  double dispatch_seconds = 0.0;
+  double decode_seconds = 0.0;
+  double fold_seconds = 0.0;
+  double commit_seconds = 0.0;
+};
+
 struct RunResult {
   std::string algorithm;
   std::vector<double> train_accuracies;  // per participating client
@@ -54,6 +66,7 @@ struct RunResult {
   std::vector<RoundStats> history;       // one entry per round
   comm::TrafficStats traffic;
   double wall_seconds = 0.0;
+  PhaseTimes phases;                     // training-stage server-side split
   nn::ModelState final_state;            // trained global state
 };
 

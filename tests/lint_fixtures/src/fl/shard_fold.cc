@@ -1,0 +1,20 @@
+// Seeded violation: a shard-local aggregator is a *partial* fold. The real
+// src/fl/shard_fold.cc must merge() every shard partial into the round root
+// (in ascending shard order) and let the runner call finish() exactly once
+// on the merged root. Finishing a shard partial divides by the shard's
+// weight alone, committing a partial average whose bits can never equal the
+// flat fold's — the exact failure the sharded-fold bit-identity tests guard.
+// expect-lint: streaming-fold
+struct FakeState {};
+
+struct FakeAggregator {
+  FakeState finish();
+};
+
+struct FakeShard {
+  FakeAggregator* agg;
+};
+
+FakeState broken_collect(FakeShard& shard) {
+  return shard.agg->finish();  // shard partial finished without a merge
+}

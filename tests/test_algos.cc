@@ -162,6 +162,94 @@ TEST(ScaffoldBehaviour, LocalUpdateReturnsModelAndControlDelta) {
   EXPECT_EQ(next.size(), global.size());
 }
 
+// Merge algebra for the native aggregators behind real algorithms: a
+// disjoint shard split merged in shard order must reproduce the flat fold
+// bit for bit, for the weight-fn family (q-FedAvg's loss^q, Calibre's
+// divergence weights) and for SCAFFOLD's two-accumulator state. Separate
+// algorithm instances serve the flat and sharded folds because finish()
+// may advance server-side state in place (SCAFFOLD's control variate).
+TEST(MergeableAggregators, ShardMergeMatchesFlatFoldBitwise) {
+  const TinyWorld& world = tiny_world();
+  for (const char* name : {"q-FedAvg", "Calibre (SimCLR)", "SCAFFOLD"}) {
+    const auto flat_algo = make_algorithm(name, world.config);
+    const auto shard_algo = make_algorithm(name, world.config);
+    const nn::ModelState global = flat_algo->initialize();
+
+    rng::Generator gen(91);
+    std::vector<fl::ClientUpdate> updates;
+    for (int k = 0; k < 6; ++k) {
+      fl::ClientUpdate update;
+      std::vector<float> values = global.values();
+      for (float& v : values) {
+        v += 0.05f * static_cast<float>(gen.normal());
+      }
+      update.state = nn::ModelState(std::move(values));
+      update.weight = static_cast<float>(10 + 3 * k);
+      update.scalars["loss"] = 0.3f + 0.2f * static_cast<float>(k % 3);
+      update.scalars["divergence"] = 0.1f + 0.05f * static_cast<float>(k);
+      updates.push_back(std::move(update));
+    }
+
+    auto flat = flat_algo->make_aggregator(global, /*round=*/0);
+    ASSERT_TRUE(flat->mergeable()) << name;
+    for (const fl::ClientUpdate& update : updates) flat->fold(update);
+    const nn::ModelState reference = flat->finish();
+
+    const int shards = 3;
+    std::vector<std::unique_ptr<fl::StreamingAggregator>> partials;
+    for (int s = 0; s < shards; ++s) {
+      partials.push_back(shard_algo->make_aggregator(global, /*round=*/0));
+    }
+    for (std::size_t k = 0; k < updates.size(); ++k) {
+      partials[k % shards]->fold(updates[k]);
+    }
+    auto root = std::move(partials.front());
+    for (int s = 1; s < shards; ++s) {
+      root->merge(std::move(*partials[static_cast<std::size_t>(s)]));
+    }
+    EXPECT_EQ(root->folded(), static_cast<int>(updates.size())) << name;
+    EXPECT_EQ(root->finish().values(), reference.values()) << name;
+  }
+}
+
+// Regrouping the same partials must not change a single bit (integer
+// accumulators make the merge exactly associative) — checked on SCAFFOLD,
+// whose two-accumulator state is the most intricate merge.
+TEST(MergeableAggregators, ScaffoldMergeIsAssociative) {
+  const TinyWorld& world = tiny_world();
+  auto build = [&](const nn::ModelState& global, Scaffold& scaffold,
+                   const std::vector<fl::ClientUpdate>& updates) {
+    std::vector<std::unique_ptr<fl::StreamingAggregator>> partials;
+    for (int s = 0; s < 3; ++s) {
+      partials.push_back(scaffold.make_aggregator(global, 0));
+    }
+    for (std::size_t k = 0; k < updates.size(); ++k) {
+      partials[k % 3]->fold(updates[k]);
+    }
+    return partials;
+  };
+  Scaffold left_algo(world.config, false);
+  Scaffold right_algo(world.config, false);
+  const nn::ModelState global = left_algo.initialize();
+  rng::Generator gen(92);
+  std::vector<fl::ClientUpdate> updates;
+  for (int k = 0; k < 7; ++k) {
+    fl::ClientUpdate update;
+    std::vector<float> values = global.values();
+    for (float& v : values) v += 0.02f * static_cast<float>(gen.normal());
+    update.state = nn::ModelState(std::move(values));
+    update.weight = static_cast<float>(5 + k);
+    updates.push_back(std::move(update));
+  }
+  auto left = build(global, left_algo, updates);    // (a + b) + c
+  left[0]->merge(std::move(*left[1]));
+  left[0]->merge(std::move(*left[2]));
+  auto right = build(global, right_algo, updates);  // a + (b + c)
+  right[1]->merge(std::move(*right[2]));
+  right[0]->merge(std::move(*right[1]));
+  EXPECT_EQ(left[0]->finish().values(), right[0]->finish().values());
+}
+
 TEST(LgFedAvgBehaviour, GlobalStateIsHeadOnly) {
   const TinyWorld& world = tiny_world();
   LgFedAvg lg(world.config);

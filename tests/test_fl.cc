@@ -747,6 +747,267 @@ TEST(StreamingAggregation, DeadlineQuorumStillDrainsReorderBuffer) {
   }
 }
 
+// --- mergeable fold algebra --------------------------------------------------
+
+ClientUpdate algebra_update(int k) {
+  ClientUpdate update;
+  // Deliberately non-power-of-two values: any schedule sensitivity in the
+  // accumulator would show up as last-ulp differences here.
+  update.state = nn::ModelState(std::vector<float>{
+      0.1f + 0.7f * static_cast<float>(k), -3.3f * static_cast<float>(k + 1),
+      1.0f / static_cast<float>(k + 3)});
+  update.weight = 1.0f + 0.9f * static_cast<float>(k % 5);
+  update.scalars["loss"] = 0.2f + 0.15f * static_cast<float>(k % 4);
+  return update;
+}
+
+// merge() must behave exactly as if the shard's updates had been folded
+// here: a disjoint split folded into partials and merged lands on the same
+// bits as the flat fold, for any grouping (the fixed-point accumulators
+// make integer addition carry the associativity proof).
+TEST(MergeAlgebra, ShardPartialsMergeToTheFlatFoldBitwise) {
+  const int count = 9;
+  WeightedStreamingAggregator flat;
+  for (int k = 0; k < count; ++k) flat.fold(algebra_update(k));
+  const nn::ModelState reference = flat.finish();
+
+  for (const int shards : {2, 3}) {
+    std::vector<std::unique_ptr<WeightedStreamingAggregator>> partials;
+    for (int s = 0; s < shards; ++s) {
+      partials.push_back(std::make_unique<WeightedStreamingAggregator>());
+    }
+    for (int k = 0; k < count; ++k) {
+      partials[static_cast<std::size_t>(k % shards)]->fold(algebra_update(k));
+    }
+    auto root = std::move(partials.front());
+    for (int s = 1; s < shards; ++s) {
+      root->merge(std::move(*partials[static_cast<std::size_t>(s)]));
+    }
+    EXPECT_EQ(root->folded(), count);
+    EXPECT_EQ(root->finish().values(), reference.values())
+        << shards << " shards";
+  }
+}
+
+TEST(MergeAlgebra, MergeIsAssociativeAcrossGroupings) {
+  auto make_partials = [] {
+    std::vector<std::unique_ptr<WeightedStreamingAggregator>> partials;
+    for (int s = 0; s < 3; ++s) {
+      partials.push_back(std::make_unique<WeightedStreamingAggregator>());
+    }
+    for (int k = 0; k < 9; ++k) {
+      partials[static_cast<std::size_t>(k % 3)]->fold(algebra_update(k));
+    }
+    return partials;
+  };
+  // (a + b) + c
+  auto left = make_partials();
+  left[0]->merge(std::move(*left[1]));
+  left[0]->merge(std::move(*left[2]));
+  // a + (b + c)
+  auto right = make_partials();
+  right[1]->merge(std::move(*right[2]));
+  right[0]->merge(std::move(*right[1]));
+  EXPECT_EQ(left[0]->finish().values(), right[0]->finish().values());
+}
+
+TEST(MergeAlgebra, EmptyPartialIsTheMergeIdentity) {
+  WeightedStreamingAggregator a;
+  a.fold(algebra_update(0));
+  a.fold(algebra_update(1));
+  // Merging an empty shard changes nothing.
+  WeightedStreamingAggregator empty;
+  a.merge(std::move(empty));
+  EXPECT_EQ(a.folded(), 2);
+  // Merging into an empty aggregator adopts the partial wholesale.
+  WeightedStreamingAggregator flat;
+  flat.fold(algebra_update(0));
+  flat.fold(algebra_update(1));
+  WeightedStreamingAggregator adopted;
+  WeightedStreamingAggregator donor;
+  donor.fold(algebra_update(0));
+  donor.fold(algebra_update(1));
+  adopted.merge(std::move(donor));
+  EXPECT_EQ(adopted.folded(), 2);
+  EXPECT_EQ(adopted.finish().values(), flat.finish().values());
+}
+
+// The q-FedAvg-style custom weight function (loss^q scaling) rides the same
+// accumulator, so its partials must merge exactly too.
+TEST(MergeAlgebra, CustomWeightFnPartialsMergeExactly) {
+  auto weight_of = [](const ClientUpdate& update) {
+    const double loss = static_cast<double>(update.scalars.at("loss"));
+    return static_cast<double>(update.weight) * std::pow(loss + 1e-3, 2.0);
+  };
+  WeightedStreamingAggregator flat{WeightedStreamingAggregator::WeightFn(
+      weight_of)};
+  WeightedStreamingAggregator even{WeightedStreamingAggregator::WeightFn(
+      weight_of)};
+  WeightedStreamingAggregator odd{WeightedStreamingAggregator::WeightFn(
+      weight_of)};
+  for (int k = 0; k < 8; ++k) {
+    flat.fold(algebra_update(k));
+    (k % 2 == 0 ? even : odd).fold(algebra_update(k));
+  }
+  even.merge(std::move(odd));
+  EXPECT_EQ(even.finish().values(), flat.finish().values());
+}
+
+TEST(MergeAlgebra, BatchAdapterRefusesToMerge) {
+  FlConfig config;
+  config.clients_per_round = 2;
+  ToyAlgorithm algorithm(config);
+  const nn::ModelState global(std::vector<float>{1.0f, -1.0f});
+  auto a = algorithm.Algorithm::make_aggregator(global, 0);
+  auto b = algorithm.Algorithm::make_aggregator(global, 0);
+  EXPECT_FALSE(a->mergeable());
+  a->fold(algebra_update(0));
+  b->fold(algebra_update(1));
+  EXPECT_THROW(a->merge(std::move(*b)), CheckError);
+}
+
+// --- sharded parallel fold ---------------------------------------------------
+
+// The tentpole invariant end to end: with --agg-shards the reorder buffer
+// routes ranks to parallel shard aggregators whose merge must land on the
+// flat fold's bits — for every shard count, every thread count, and
+// arrival orders scrambled by injected latency.
+TEST(ShardedAggregation, BitIdenticalAcrossShardAndThreadCounts) {
+  const int clients = 8;
+  const FedDataset fed = toy_fed(clients);
+  auto run = [&](int shards, int threads) {
+    FlConfig config = toy_config(clients);
+    config.rounds = 3;
+    config.threads = threads;
+    config.agg_shards = shards;
+    config.fault_latency_ms = 15;
+    StreamingToyAlgorithm algorithm(config);
+    const RunResult result = run_federated(algorithm, fed, false);
+    EXPECT_EQ(result.history.size(), 3u);
+    for (const RoundStats& r : result.history) {
+      EXPECT_EQ(r.participants, clients);
+      // Stats must be shard-invariant too (rank-ordered readback).
+      EXPECT_GT(r.mean_update_norm, 0.0f);
+    }
+    return result;
+  };
+  const RunResult reference = run(1, 1);
+  for (const int shards : {1, 2, 8}) {
+    for (const int threads : {1, 3, 8}) {
+      const RunResult result = run(shards, threads);
+      EXPECT_EQ(result.final_state.values(), reference.final_state.values())
+          << "shards=" << shards << " threads=" << threads;
+      ASSERT_EQ(result.history.size(), reference.history.size());
+      for (std::size_t r = 0; r < reference.history.size(); ++r) {
+        EXPECT_EQ(result.history[r].mean_update_norm,
+                  reference.history[r].mean_update_norm)
+            << "shards=" << shards << " threads=" << threads;
+      }
+    }
+  }
+}
+
+// Same invariant for the async loop: commit windows fold on shard workers,
+// staleness discounts and all, and must match the flat async run bitwise.
+TEST(ShardedAggregation, AsyncBitIdenticalAcrossShardAndThreadCounts) {
+  const int clients = 12;
+  const FedDataset fed = toy_fed(clients);
+  auto run = [&](int shards, int threads) {
+    FlConfig config = toy_config(clients);
+    config.async_mode = true;
+    config.rounds = 4;
+    config.async_buffer_size = 8;
+    config.clients_per_round = 8;
+    config.agg_shards = shards;
+    config.threads = threads;
+    config.fault_latency_ms = 10;
+    StreamingToyAlgorithm algorithm(config);
+    return run_federated(algorithm, fed, false);
+  };
+  const RunResult reference = run(1, 1);
+  ASSERT_EQ(reference.history.size(), 4u);
+  for (const int shards : {1, 2, 8}) {
+    for (const int threads : {1, 3, 8}) {
+      const RunResult result = run(shards, threads);
+      EXPECT_EQ(result.final_state.values(), reference.final_state.values())
+          << "shards=" << shards << " threads=" << threads;
+      ASSERT_EQ(result.history.size(), reference.history.size());
+      for (std::size_t i = 0; i < reference.history.size(); ++i) {
+        EXPECT_EQ(result.history[i].mean_update_norm,
+                  reference.history[i].mean_update_norm)
+            << "shards=" << shards << " threads=" << threads;
+        EXPECT_EQ(result.history[i].staleness_mean,
+                  reference.history[i].staleness_mean);
+      }
+    }
+  }
+}
+
+// Merge interaction with the reorder buffer's failure paths: a permanently
+// failed rank leaves a hole in the shard routing, and late ranks released
+// at the deadline drain through the shards. Both must stay deterministic
+// and identical to the flat fold.
+TEST(ShardedAggregation, FailedRanksLeaveShardHolesWithoutDivergence) {
+  const int clients = 8;
+  const FedDataset fed = toy_fed(clients);
+  auto run = [&](int shards) {
+    FlConfig config = toy_config(clients);
+    config.rounds = 3;
+    config.agg_shards = shards;
+    config.fault_latency_ms = 20;
+    StreamingToyAlgorithm algorithm(config, [](const ClientContext& ctx) {
+      if (ctx.client_id == 2) throw std::runtime_error("permanent failure");
+    });
+    const RunResult result = run_federated(algorithm, fed, false);
+    for (const RoundStats& r : result.history) {
+      EXPECT_EQ(r.participants, clients - 1) << "round " << r.round;
+      EXPECT_EQ(r.failures, 1) << "round " << r.round;
+    }
+    return result.final_state.values();
+  };
+  const std::vector<float> reference = run(1);
+  EXPECT_EQ(run(2), reference);
+  EXPECT_EQ(run(8), reference);
+}
+
+TEST(ShardedAggregation, DeadlineQuorumDrainsThroughShards) {
+  const int clients = 8;
+  const FedDataset fed = toy_fed(clients);
+  FlConfig config = toy_config(clients);
+  config.rounds = 2;
+  config.round_deadline_ms = 150;
+  config.min_participants = 3;
+  config.agg_shards = 4;
+  std::atomic<int> dispatched{0};
+  StreamingToyAlgorithm algorithm(config, [&](const ClientContext&) {
+    if (dispatched.fetch_add(1) % 3 == 2) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    }
+  });
+  const RunResult result = run_federated(algorithm, fed, false);
+  ASSERT_EQ(result.history.size(), 2u);
+  for (const RoundStats& r : result.history) {
+    EXPECT_GE(r.participants, config.min_participants) << "round " << r.round;
+    EXPECT_EQ(r.participants + r.timeouts, clients) << "round " << r.round;
+  }
+}
+
+// A batch-adapter algorithm cannot shard (its buffered subsequences do not
+// interleave); --agg-shards must fall back to the flat fold, not crash, and
+// produce the exact flat result.
+TEST(ShardedAggregation, NonMergeableAggregatorFallsBackToFlatFold) {
+  const int clients = 6;
+  const FedDataset fed = toy_fed(clients);
+  auto run = [&](int shards) {
+    FlConfig config = toy_config(clients);
+    config.rounds = 2;
+    config.agg_shards = shards;
+    ToyAlgorithm algorithm(config);  // batch adapter: not mergeable
+    return run_federated(algorithm, fed, false).final_state.values();
+  };
+  EXPECT_EQ(run(6), run(1));
+}
+
 // --- failure accounting (regression) ----------------------------------------
 
 // Regression for the failure-overcounting bug: the round loop incremented
@@ -805,6 +1066,30 @@ TEST(ConfigValidation, AsyncRejectsSyncOnlyKnobs) {
   config.async_buffer_size = 8;
   config.staleness_alpha = -0.5f;
   EXPECT_THROW(validate(config), CheckError);
+}
+
+TEST(ConfigValidation, AggShardsBoundsChecked) {
+  FlConfig config = toy_config(4);
+  EXPECT_NO_THROW(validate(config));  // default agg_shards = 1
+  config.agg_shards = 0;
+  EXPECT_THROW(validate(config), CheckError);
+  config.agg_shards = 4;
+  EXPECT_NO_THROW(validate(config));
+  // More shards than sampled clients: some shards could never fold.
+  config.agg_shards = 5;
+  EXPECT_THROW(validate(config), CheckError);
+}
+
+TEST(ConfigValidation, AsyncBufferMustDivideByAggShards) {
+  FlConfig config = toy_config(8);
+  config.async_mode = true;
+  config.async_buffer_size = 8;
+  config.agg_shards = 4;
+  EXPECT_NO_THROW(validate(config));
+  config.agg_shards = 3;  // 8 % 3 != 0: uneven shard load every window
+  EXPECT_THROW(validate(config), CheckError);
+  config.async_mode = false;  // sync mode has no window-divisibility rule
+  EXPECT_NO_THROW(validate(config));
 }
 
 TEST(ConfigValidation, DeviceClassRangesChecked) {

@@ -28,6 +28,12 @@ DESIGN.md §9 maps rule -> contract -> PR):
                      serializes every dispatch queued behind it (the injected
                      fault-latency bug); deferred work must go through the
                      TimerQueue so workers stay free.
+  streaming-fold     src/fl/runner.cc and src/fl/shard_fold.cc must stream
+                     updates through make_aggregator()->fold(): no decoded
+                     ClientUpdate buffering, no batch aggregate(), and no
+                     finish() on a shard-local partial — shard partials may
+                     only merge() into the round root, or the sharded fold
+                     stops being bit-identical to the flat fold.
   serde-count-guard  In src/comm/, a count obtained from Reader::read_u*()
                      must pass through a CALIBRE_CHECK* that mentions it
                      before it sizes an allocation (vector/string ctor,
@@ -219,10 +225,17 @@ STREAMING_PATTERNS = [
      "the runner may not call batch aggregate(); use "
      "make_aggregator()->fold()/finish() so memory stays O(model) — batch "
      "semantics are preserved by the BatchAggregatorAdapter default"),
+    (re.compile(r"\b[Ss]hard\w*(?:\[[^\]]*\])?\s*"
+                r"(?:(?:\.|->)\s*\w+\s*(?:\[[^\]]*\])?\s*)*"
+                r"(?:\.|->)\s*finish\s*\("),
+     "a shard-local aggregator must merge() into the round root before any "
+     "finish(); finishing a shard partial commits a partial average and "
+     "silently breaks the sharded-fold bit-identity contract"),
 ]
 
 PATTERN_RULES = [
-    ("streaming-fold", _only("src/fl/runner.cc"), STREAMING_PATTERNS),
+    ("streaming-fold", _only("src/fl/runner.cc", "src/fl/shard_fold.cc"),
+     STREAMING_PATTERNS),
     ("determinism-rng",
      _src_except("src/tensor/rng.cc", "src/tensor/rng.h"),
      DETERMINISM_PATTERNS),

@@ -54,6 +54,11 @@ else
   # must land exactly (bench_async exits nonzero on a mismatch).
   run_step "bench.async" ctest --test-dir "$BUILD_DIR" \
     --output-on-failure -R '^bench\.async_smoke$'
+  # Sharded-fold gate: every shard count and the two-level topology must
+  # hash bit-identical to the flat fold (bench_hierarchy exits nonzero on
+  # any mismatch — the fixed-point merge algebra is what it proves).
+  run_step "bench.hierarchy" ctest --test-dir "$BUILD_DIR" \
+    --output-on-failure -R '^bench\.hierarchy_smoke$'
   for lane in tsan asan ubsan; do
     run_step "lane.$lane" ctest --test-dir "$BUILD_DIR" \
       --output-on-failure -R "^$lane\."
