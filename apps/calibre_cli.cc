@@ -37,7 +37,14 @@
 //                       every --buffer-size folds; --rounds counts commits
 //   --buffer-size       folds per async commit                  (8)
 //   --staleness-alpha   staleness discount w(s)=1/(1+s)^alpha   (0.5)
-//   --wire-codec        f32 | f16 | delta16 model payloads     (f32)
+//   --wire-codec        model payload codec: auto | f32 | f16 | delta16 |
+//                       topk16 | int8a; `auto` picks the cheapest codec per
+//                       update that keeps reconstruction error within
+//                       --codec-error-budget                    (f32)
+//   --topk-rate         fraction of coordinates kept by topk16
+//                       sparsification, in (0, 1]               (0.0625)
+//   --codec-error-budget  relative L2 reconstruction error budget for the
+//                       `auto` chooser, in (0, 1]               (0.01)
 //   --agg-shards        parallel fold shards for aggregation: replies
 //                       decode+fold on this many shard workers, merged in
 //                       shard order at commit — bit-identical to the flat
@@ -55,6 +62,7 @@
 //   --save              write the trained global state to a file
 //   --load              skip training; load a state and only personalize
 //   --history           print per-round progress
+#include <array>
 #include <iostream>
 #include <sstream>
 
@@ -107,6 +115,35 @@ static bool parse_device_classes(const std::string& spec,
     return false;
   }
   return true;
+}
+
+// Label for the codec(s) a round's folded updates actually used: a single
+// name when uniform ("topk16"), "name*count" terms joined with '+' when the
+// adaptive chooser mixed codecs within one round ("topk16*4+f32*1"). Slot 0
+// (the config-only `auto` tag) never appears on the wire.
+static std::string codec_summary(const std::array<std::uint32_t, 6>& counts) {
+  std::vector<std::pair<std::string, std::uint32_t>> used;
+  for (std::size_t tag = 1; tag < counts.size(); ++tag) {
+    if (counts[tag] == 0) continue;
+    used.emplace_back(comm::codec_name(static_cast<comm::Codec>(tag)),
+                      counts[tag]);
+  }
+  if (used.empty()) return "-";
+  if (used.size() == 1) return used.front().first;
+  std::string out;
+  for (const auto& [name, count] : used) {
+    if (!out.empty()) out += "+";
+    out += name + "*" + std::to_string(count);
+  }
+  return out;
+}
+
+// Compression ratio of a round's folded updates (encoded wire bytes over
+// their f32-layout size); 1.0 when the round folded nothing.
+static double compression_ratio(const fl::RoundStats& r) {
+  if (r.update_bytes_f32 == 0) return 1.0;
+  return static_cast<double>(r.update_bytes_wire) /
+         static_cast<double>(r.update_bytes_f32);
 }
 
 int main(int argc, char** argv) {
@@ -187,12 +224,15 @@ int main(int argc, char** argv) {
   config.staleness_alpha =
       static_cast<float>(args.get_double("staleness-alpha", 0.5));
   const std::string wire_codec = args.get("wire-codec", "f32");
-  if (wire_codec != "f32" && wire_codec != "f16" && wire_codec != "delta16") {
-    std::cerr << "unknown --wire-codec: " << wire_codec
-              << " (expected f32 | f16 | delta16)\n";
+  try {
+    config.wire_codec = comm::codec_from_name(wire_codec);
+  } catch (const std::exception& error) {
+    std::cerr << error.what() << "\n";
     return 2;
   }
-  config.wire_codec = comm::codec_from_name(wire_codec);
+  config.topk_rate = static_cast<float>(args.get_double("topk-rate", 0.0625));
+  config.codec_error_budget =
+      static_cast<float>(args.get_double("codec-error-budget", 0.01));
   config.agg_shards = args.get_int("agg-shards", 1);
   config.personalize_cap = args.get_int("personalize-cap", 0);
   config.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
@@ -254,31 +294,33 @@ int main(int argc, char** argv) {
       // how far behind the committed version the folded updates trained.
       std::cout << "commit  version  folds  failed  retried  late"
                    "  stale_mean  stale_max  bcast_kB  coll_kB"
-                   "  mean_divergence  update_norm\n";
+                   "  mean_divergence  update_norm  ratio  codec\n";
       for (const fl::RoundStats& r : result.history) {
         std::printf(
             "%6d  %7d  %5d  %6d  %7d  %4d  %10.2f  %9d  %8.1f  %7.1f"
-            "  %15.4f  %11.3f\n",
+            "  %15.4f  %11.3f  %5.3f  %s\n",
             r.round, r.committed_version, r.participants, r.failures,
             r.retries, r.late_dropped, r.staleness_mean, r.staleness_max,
             static_cast<double>(r.bytes_broadcast) / 1e3,
             static_cast<double>(r.bytes_collected) / 1e3, r.mean_divergence,
-            r.mean_update_norm);
+            r.mean_update_norm, compression_ratio(r),
+            codec_summary(r.codec_counts).c_str());
       }
     } else {
       std::cout << "round  participants  dropped  failed  retried  timed_out"
                    "  late  bcast_kB  coll_kB  ser  mean_divergence"
-                   "  update_norm\n";
+                   "  update_norm  ratio  codec\n";
       for (const fl::RoundStats& r : result.history) {
         std::printf(
             "%5d  %12d  %7d  %6d  %7d  %9d  %4d  %8.1f  %7.1f  %3llu"
-            "  %15.4f  %11.3f\n",
+            "  %15.4f  %11.3f  %5.3f  %s\n",
             r.round, r.participants, r.dropped, r.failures, r.retries,
             r.timeouts, r.late_dropped,
             static_cast<double>(r.bytes_broadcast) / 1e3,
             static_cast<double>(r.bytes_collected) / 1e3,
             static_cast<unsigned long long>(r.serializations),
-            r.mean_divergence, r.mean_update_norm);
+            r.mean_divergence, r.mean_update_norm, compression_ratio(r),
+            codec_summary(r.codec_counts).c_str());
       }
     }
   }
@@ -304,7 +346,9 @@ int main(int argc, char** argv) {
       round_traffic.reserve(result.history.size());
       for (const fl::RoundStats& r : result.history) {
         round_traffic.push_back({r.round, r.bytes_broadcast, r.bytes_collected,
-                                 r.serializations});
+                                 r.serializations, r.update_bytes_wire,
+                                 r.update_bytes_f32,
+                                 codec_summary(r.codec_counts)});
       }
     }
     metrics::print_traffic_report(std::cout, result.traffic, round_traffic);

@@ -631,8 +631,9 @@ void dump_train_step_json(const char* path) {
 //    across K requests (this tree's runner) vs serializing per client (the
 //    pre-snapshot runner), at K = 8 / 64 / 256, plus the serialization count
 //    and logical/physical bytes measured through a real Router;
-//  * codecs: encode/decode throughput of f32 / f16 / delta16 on an
-//    encoder-sized client update, with the round-trip relative error norm;
+//  * codecs: encode/decode throughput of f32 / f16 / delta16 / topk16 /
+//    int8a on an encoder-sized client update, with the round-trip relative
+//    error norm (topk16 at the default 1/16 keep rate);
 //  * per-round bytes by codec at a fixed K, against the f32 baseline.
 
 nn::ModelState bench_model_state() {
@@ -738,24 +739,29 @@ void dump_comm_json(const char* path) {
   constexpr int kRoundClients = 10;
   std::vector<CodecEntry> codecs;
   for (const comm::Codec codec :
-       {comm::Codec::kF32, comm::Codec::kF16, comm::Codec::kDelta16}) {
+       {comm::Codec::kF32, comm::Codec::kF16, comm::Codec::kDelta16,
+        comm::Codec::kTopK16, comm::Codec::kInt8A}) {
     CodecEntry entry;
     entry.name = comm::codec_name(codec);
-    // Broadcast under delta16 has no prior reference, so it degrades to f16
-    // — exactly what the runner ships. The update's delta base is that
-    // broadcast as both sides decode it.
+    // Broadcast under the delta-referenced codecs has no prior reference,
+    // so it degrades to f16 — exactly what the runner ships. The update's
+    // delta base is that broadcast as both sides decode it.
     const std::vector<std::uint8_t> broadcast_bytes = state.to_bytes(codec);
     const nn::ModelState base = nn::ModelState::from_bytes(broadcast_bytes);
     const nn::ModelState* update_base =
         codec == comm::Codec::kF32 ? nullptr : &base;
     entry.broadcast_bytes = broadcast_bytes.size();
+    const std::size_t topk =
+        codec == comm::Codec::kTopK16
+            ? std::max<std::size_t>(1, state.size() / 16)
+            : 0;
     std::vector<std::uint8_t> update_bytes =
-        fl::serialize_update(update, codec, update_base);
+        fl::serialize_update(update, codec, update_base, topk);
     entry.update_bytes = update_bytes.size();
     entry.encode_seconds = time_best(
         [&] {
           benchmark::DoNotOptimize(
-              fl::serialize_update(update, codec, update_base));
+              fl::serialize_update(update, codec, update_base, topk));
         },
         5);
     entry.decode_seconds = time_best(

@@ -1,6 +1,8 @@
 #include "comm/codec.h"
 
+#include <algorithm>
 #include <cstring>
+#include <numeric>
 
 #include "common/check.h"
 
@@ -20,6 +22,8 @@ typedef std::uint32_t vu32 __attribute__((vector_size(64), aligned(4),
                                           may_alias));
 typedef std::uint16_t vu16 __attribute__((vector_size(32), aligned(2),
                                           may_alias));
+typedef std::uint8_t vu8 __attribute__((vector_size(16), aligned(1),
+                                        may_alias));
 
 constexpr std::size_t kLanes = 16;  // elements per vector group
 
@@ -117,22 +121,112 @@ void f16_to_f32_block(const std::uint16_t* src, const float* base, float* dst,
   }
 }
 
+std::uint8_t int8a_quantize(float value, float zero, float inv_scale) {
+  // (value - zero) * inv_scale is sub-then-mul — not contractible into an
+  // FMA — so scalar and vector lowering agree bit-for-bit. The clamp's
+  // ordered comparisons send NaN to 0; +0.5 then truncation rounds
+  // half-away-from-zero on the non-negative clamped range.
+  float t = (value - zero) * inv_scale;
+  t = t > 0.0f ? t : 0.0f;
+  t = t < 255.0f ? t : 255.0f;
+  return static_cast<std::uint8_t>(static_cast<std::uint32_t>(t + 0.5f));
+}
+
+float int8a_dequantize(std::uint8_t q, float zero, float scale) {
+  return zero + scale * static_cast<float>(q);
+}
+
+CALIBRE_CODEC_CLONES
+void int8a_quantize_block(const float* src, float zero, float inv_scale,
+                          std::uint8_t* dst, std::size_t count) {
+  const vf32 zero_v = vf32{} + zero;
+  const vf32 inv_v = vf32{} + inv_scale;
+  const vf32 lo_v = vf32{};
+  const vf32 hi_v = vf32{} + 255.0f;
+  const vf32 half_v = vf32{} + 0.5f;
+  std::size_t i = 0;
+  for (; i + kLanes <= count; i += kLanes) {
+    vf32 t = (*(const vf32*)(src + i) - zero_v) * inv_v;
+    t = t > lo_v ? t : lo_v;
+    t = t < hi_v ? t : hi_v;
+    const vu32 q = __builtin_convertvector(t + half_v, vu32);
+    *(vu8*)(dst + i) = __builtin_convertvector(q, vu8);
+  }
+  for (; i < count; ++i) dst[i] = int8a_quantize(src[i], zero, inv_scale);
+}
+
+CALIBRE_CODEC_CLONES
+void int8a_dequantize_block(const std::uint8_t* src, float zero, float scale,
+                            float* dst, std::size_t count) {
+  const vf32 zero_v = vf32{} + zero;
+  const vf32 scale_v = vf32{} + scale;
+  std::size_t i = 0;
+  for (; i + kLanes <= count; i += kLanes) {
+    const vu32 q = __builtin_convertvector(*(const vu8*)(src + i), vu32);
+    *(vf32*)(dst + i) = zero_v + scale_v * __builtin_convertvector(q, vf32);
+  }
+  for (; i < count; ++i) dst[i] = int8a_dequantize(src[i], zero, scale);
+}
+
+namespace {
+
+// Affine parameters for one int8a block: zero = min, scale = range / 255,
+// computed in double so the division rounds once. NaNs are skipped by the
+// ordered comparisons; a block with no finite values (or any infinity)
+// degrades to (0, 0) — every byte quantizes to 0 and dequantizes to 0.
+void int8a_block_params(const float* src, std::size_t count, float* zero,
+                        float* scale, float* inv_scale) {
+  float lo = 0.0f;
+  float hi = 0.0f;
+  bool seen = false;
+  for (std::size_t i = 0; i < count; ++i) {
+    const float v = src[i];
+    if (v != v) continue;  // NaN
+    lo = seen && lo < v ? lo : v;
+    hi = seen && hi > v ? hi : v;
+    seen = true;
+  }
+  const double range = static_cast<double>(hi) - static_cast<double>(lo);
+  if (!seen || !(range >= 0.0) || range > 6.8e38) {  // empty, NaN or inf range
+    *zero = 0.0f;
+    *scale = 0.0f;
+    *inv_scale = 0.0f;
+    return;
+  }
+  *zero = lo;
+  *scale = static_cast<float>(range / 255.0);
+  *inv_scale = *scale > 0.0f
+                   ? static_cast<float>(1.0 / static_cast<double>(*scale))
+                   : 0.0f;
+}
+
+}  // namespace
+
 std::string codec_name(Codec codec) {
   switch (codec) {
+    case Codec::kAuto: return "auto";
     case Codec::kF32: return "f32";
     case Codec::kF16: return "f16";
     case Codec::kDelta16: return "delta16";
+    case Codec::kTopK16: return "topk16";
+    case Codec::kInt8A: return "int8a";
   }
   CALIBRE_CHECK_MSG(false, "unknown codec " << static_cast<int>(codec));
   return {};
 }
 
 Codec codec_from_name(const std::string& name) {
+  if (name == "auto") return Codec::kAuto;
   if (name == "f32") return Codec::kF32;
   if (name == "f16") return Codec::kF16;
   if (name == "delta16") return Codec::kDelta16;
-  CALIBRE_CHECK_MSG(false, "unknown wire codec '" << name
-                           << "' (expected f32 | f16 | delta16)");
+  if (name == "topk16") return Codec::kTopK16;
+  if (name == "int8a") return Codec::kInt8A;
+  CALIBRE_CHECK_MSG(false,
+                    "unknown wire codec '"
+                        << name
+                        << "' (expected auto | f32 | f16 | delta16 | topk16 |"
+                           " int8a)");
   return Codec::kF32;
 }
 
@@ -198,16 +292,38 @@ float f16_to_f32(std::uint16_t half) {
   return value;
 }
 
-std::size_t encoded_size(Codec codec, std::size_t count) {
+std::size_t encoded_size(Codec codec, std::size_t count, std::size_t topk) {
   const std::size_t header = sizeof(std::uint8_t) + sizeof(std::uint64_t);
-  const std::size_t elem =
-      codec == Codec::kF32 ? sizeof(float) : sizeof(std::uint16_t);
-  return header + count * elem;
+  switch (codec) {
+    case Codec::kF32:
+      return header + count * sizeof(float);
+    case Codec::kF16:
+    case Codec::kDelta16:
+      return header + count * sizeof(std::uint16_t);
+    case Codec::kTopK16:
+      if (topk == 0) {  // the degraded (reference-less) f16 form
+        return header + count * sizeof(std::uint16_t);
+      }
+      return header + sizeof(std::uint64_t) +
+             topk * (sizeof(std::uint32_t) + sizeof(std::uint16_t));
+    case Codec::kInt8A: {
+      const std::size_t blocks =
+          (count + kInt8BlockSize - 1) / kInt8BlockSize;
+      return header + blocks * 2 * sizeof(float) + count;
+    }
+    case Codec::kAuto: break;
+  }
+  CALIBRE_CHECK_MSG(false, "encoded_size on config-only codec auto");
+  return 0;
 }
 
 void encode_values(Writer& writer, const std::vector<float>& values,
-                   Codec codec, const float* base, std::size_t base_size) {
-  if (codec == Codec::kDelta16 &&
+                   Codec codec, const float* base, std::size_t base_size,
+                   std::size_t topk) {
+  CALIBRE_CHECK_MSG(codec != Codec::kAuto,
+                    "codec auto is config-only; resolve it to a concrete "
+                    "codec before encoding");
+  if ((codec == Codec::kDelta16 || codec == Codec::kTopK16) &&
       (base == nullptr || base_size != values.size())) {
     // No usable reference (e.g. a payload sized unlike the broadcast):
     // degrade to plain f16. The tag written below keeps decoding unambiguous.
@@ -230,6 +346,64 @@ void encode_values(Writer& writer, const std::vector<float>& values,
       writer.write_u16_vector(halves);
       return;
     }
+    case Codec::kTopK16: {
+      const std::size_t count = values.size();
+      CALIBRE_CHECK_MSG(topk <= count && (topk >= 1 || count == 0),
+                        "topk16 k " << topk << " out of [1, " << count << "]");
+      std::vector<float> deltas(count);
+      for (std::size_t i = 0; i < count; ++i) deltas[i] = values[i] - base[i];
+      // Select the k largest-magnitude deltas under a strict total order
+      // (|delta| descending, index ascending on ties) so the selection is
+      // deterministic. Magnitudes compare as their integer bit patterns —
+      // monotone with |float| and well-ordered even for NaN deltas.
+      std::vector<std::uint32_t> indices(count);
+      std::iota(indices.begin(), indices.end(), 0u);
+      const auto magnitude = [&deltas](std::uint32_t i) {
+        std::uint32_t bits = 0;
+        std::memcpy(&bits, &deltas[i], sizeof(bits));
+        return bits & 0x7FFFFFFFu;
+      };
+      std::nth_element(indices.begin(), indices.begin() + topk, indices.end(),
+                       [&](std::uint32_t a, std::uint32_t b) {
+                         const std::uint32_t ma = magnitude(a);
+                         const std::uint32_t mb = magnitude(b);
+                         return ma != mb ? ma > mb : a < b;
+                       });
+      indices.resize(topk);
+      std::sort(indices.begin(), indices.end());  // wire order: ascending
+      std::vector<float> selected(topk);
+      for (std::size_t j = 0; j < topk; ++j) selected[j] = deltas[indices[j]];
+      std::vector<std::uint16_t> halves(topk);
+      f32_to_f16_block(selected.data(), nullptr, halves.data(), topk);
+      writer.write_u64(count);
+      writer.write_u64(topk);
+      writer.write_u32_array(indices.data(), topk);
+      writer.write_u16_array(halves.data(), topk);
+      return;
+    }
+    case Codec::kInt8A: {
+      const std::size_t count = values.size();
+      const std::size_t blocks =
+          (count + kInt8BlockSize - 1) / kInt8BlockSize;
+      writer.write_u64(count);
+      std::vector<float> zeros(blocks);
+      std::vector<float> scales(blocks);
+      std::vector<std::uint8_t> quants(count);
+      for (std::size_t b = 0; b < blocks; ++b) {
+        const std::size_t begin = b * kInt8BlockSize;
+        const std::size_t len = std::min(kInt8BlockSize, count - begin);
+        float inv_scale = 0.0f;
+        int8a_block_params(values.data() + begin, len, &zeros[b], &scales[b],
+                           &inv_scale);
+        int8a_quantize_block(values.data() + begin, zeros[b], inv_scale,
+                             quants.data() + begin, len);
+        writer.write_f32(zeros[b]);
+        writer.write_f32(scales[b]);
+      }
+      writer.write_u8_array(quants.data(), count);
+      return;
+    }
+    case Codec::kAuto: break;  // rejected above
   }
   CALIBRE_CHECK_MSG(false, "unknown codec " << static_cast<int>(codec));
 }
@@ -257,6 +431,61 @@ std::vector<float> decode_values(Reader& reader, const float* base,
       f16_to_f32_block(halves.data(), base, values.data(), halves.size());
       return values;
     }
+    case Codec::kTopK16: {
+      const std::uint64_t total = reader.read_u64();
+      const std::uint64_t k = reader.read_u64();
+      // The declared k is validated against the declared total, and both
+      // index and value lists are bounded by the remaining bytes, before any
+      // allocation happens. The output itself is sized by the *trusted*
+      // reference length, never by wire-controlled counts.
+      CALIBRE_CHECK_LE(k, total, "topk16 corrupt k");
+      CALIBRE_CHECK_MSG(base != nullptr,
+                        "topk16 block of " << total
+                                           << " values with no reference");
+      CALIBRE_CHECK_EQ(base_size, total,
+                       "topk16 reference/block size mismatch");
+      const std::vector<std::uint32_t> indices = reader.read_u32_array(k);
+      const std::vector<std::uint16_t> halves = reader.read_u16_array(k);
+      std::vector<float> values(base, base + base_size);
+      std::uint64_t prev = 0;
+      for (std::uint64_t j = 0; j < k; ++j) {
+        const std::uint32_t idx = indices[j];
+        CALIBRE_CHECK_MSG(idx < total && (j == 0 || idx > prev),
+                          "topk16 corrupt index " << idx << " at " << j);
+        values[idx] += f16_to_f32(halves[j]);
+        prev = idx;
+      }
+      return values;
+    }
+    case Codec::kInt8A: {
+      const std::uint64_t count = reader.read_u64();
+      // One payload byte per element, so a count past the remaining bytes is
+      // corrupt — checked before deriving the block count from it (and long
+      // before allocating), keeping the arithmetic below overflow-free.
+      CALIBRE_CHECK_LE(count, reader.remaining(), "int8a corrupt count");
+      const std::size_t blocks =
+          (count + kInt8BlockSize - 1) / kInt8BlockSize;
+      CALIBRE_CHECK_LE(blocks * 2 * sizeof(float) + count, reader.remaining(),
+                       "int8a truncated block headers");
+      std::vector<float> zeros(blocks);
+      std::vector<float> scales(blocks);
+      for (std::size_t b = 0; b < blocks; ++b) {
+        zeros[b] = reader.read_f32();
+        scales[b] = reader.read_f32();
+      }
+      const std::vector<std::uint8_t> quants = reader.read_u8_array(count);
+      std::vector<float> values(count);
+      for (std::size_t b = 0; b < blocks; ++b) {
+        const std::size_t begin = b * kInt8BlockSize;
+        const std::size_t len =
+            std::min<std::size_t>(kInt8BlockSize, count - begin);
+        int8a_dequantize_block(quants.data() + begin, zeros[b], scales[b],
+                               values.data() + begin, len);
+      }
+      return values;
+    }
+    case Codec::kAuto:
+      break;  // tag 0 never appears on a valid wire
   }
   CALIBRE_CHECK_MSG(false, "corrupt codec tag " << static_cast<int>(tag));
   return {};

@@ -43,6 +43,18 @@ class Writer {
     write_raw(values.data(), values.size() * sizeof(std::uint16_t));
   }
 
+  // Fixed-count array writes (no length prefix — the caller's wire format
+  // already carries the count, e.g. a codec block header).
+  void write_u8_array(const std::uint8_t* data, std::size_t count) {
+    write_raw(data, count);
+  }
+  void write_u16_array(const std::uint16_t* data, std::size_t count) {
+    write_raw(data, count * sizeof(std::uint16_t));
+  }
+  void write_u32_array(const std::uint32_t* data, std::size_t count) {
+    write_raw(data, count * sizeof(std::uint32_t));
+  }
+
   void write_scalar_map(const std::map<std::string, float>& scalars) {
     write_u32(static_cast<std::uint32_t>(scalars.size()));
     for (const auto& [key, value] : scalars) {
@@ -137,10 +149,38 @@ class Reader {
     return scalars;
   }
 
+  // Fixed-count array reads, guarded like the length-prefixed vectors: the
+  // count comes from the caller's (untrusted) wire header, so it is bounded
+  // by the remaining bytes *before* any allocation, in the wraparound-proof
+  // count <= remaining/elem form.
+  std::vector<std::uint8_t> read_u8_array(std::size_t count) {
+    CALIBRE_CHECK_LE(count, remaining(), "serde corrupt u8 array count");
+    std::vector<std::uint8_t> values(count);
+    read_raw(values.data(), count);
+    return values;
+  }
+  std::vector<std::uint16_t> read_u16_array(std::size_t count) {
+    CALIBRE_CHECK_LE(count, remaining() / sizeof(std::uint16_t),
+                     "serde corrupt u16 array count");
+    std::vector<std::uint16_t> values(count);
+    read_raw(values.data(), count * sizeof(std::uint16_t));
+    return values;
+  }
+  std::vector<std::uint32_t> read_u32_array(std::size_t count) {
+    CALIBRE_CHECK_LE(count, remaining() / sizeof(std::uint32_t),
+                     "serde corrupt u32 array count");
+    std::vector<std::uint32_t> values(count);
+    read_raw(values.data(), count * sizeof(std::uint32_t));
+    return values;
+  }
+
   bool exhausted() const { return cursor_ == bytes_.size(); }
 
- private:
+  // Bytes not yet consumed. Public so multi-field codec blocks (topk16,
+  // int8a) can bound their own derived counts before allocating.
   std::size_t remaining() const { return bytes_.size() - cursor_; }
+
+ private:
 
   void read_raw(void* out, std::size_t size) {
     CALIBRE_CHECK_LE(size, remaining(),

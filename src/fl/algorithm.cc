@@ -24,7 +24,8 @@ std::size_t scalar_map_wire_size(const std::map<std::string, float>& scalars) {
 
 std::vector<std::uint8_t> serialize_update(const ClientUpdate& update,
                                            comm::Codec codec,
-                                           const nn::ModelState* base) {
+                                           const nn::ModelState* base,
+                                           std::size_t topk) {
   const std::size_t tail =
       sizeof(update.weight) + scalar_map_wire_size(update.scalars);
   if (codec == comm::Codec::kF32) {
@@ -36,15 +37,31 @@ std::vector<std::uint8_t> serialize_update(const ClientUpdate& update,
     writer.write_scalar_map(update.scalars);
     return writer.take();
   }
-  comm::Writer writer(sizeof(kUpdateCodecMagic) +
-                      comm::encoded_size(codec, update.state.size()) + tail);
+  comm::Writer writer(
+      sizeof(kUpdateCodecMagic) +
+      comm::encoded_size(codec, update.state.size(), topk) + tail);
   writer.write_u32(kUpdateCodecMagic);
   comm::encode_values(writer, update.state.values(), codec,
                       base != nullptr ? base->values().data() : nullptr,
-                      base != nullptr ? base->size() : 0);
+                      base != nullptr ? base->size() : 0, topk);
   writer.write_f32(update.weight);
   writer.write_scalar_map(update.scalars);
   return writer.take();
+}
+
+comm::Codec peek_update_codec(const std::vector<std::uint8_t>& bytes) {
+  std::uint32_t head = 0;
+  if (bytes.size() >= sizeof(head)) {
+    std::memcpy(&head, bytes.data(), sizeof(head));
+  }
+  if (head != kUpdateCodecMagic) return comm::Codec::kF32;  // legacy layout
+  CALIBRE_CHECK_LT(sizeof(head), bytes.size(), "update ends at codec magic");
+  return static_cast<comm::Codec>(bytes[sizeof(head)]);
+}
+
+std::size_t update_wire_size_f32(const ClientUpdate& update) {
+  return sizeof(std::uint64_t) + update.state.size() * sizeof(float) +
+         sizeof(update.weight) + scalar_map_wire_size(update.scalars);
 }
 
 ClientUpdate deserialize_update(const std::vector<std::uint8_t>& bytes,

@@ -36,18 +36,30 @@ struct ClientUpdate {
 // Wire helpers for ClientUpdate (used by the comm layer and tests).
 //
 // kF32 (the default) writes the legacy layout — f32 vector | weight |
-// scalar map — bitwise identical to pre-codec builds. kF16/kDelta16 prefix a
-// codec magic and encode the state through comm/codec.h; `base` is the
-// delta16 reference (the round's broadcast snapshot as decoded by the
-// client), ignored by the other codecs. deserialize_update accepts both
-// layouts by peeking the leading u32: a legacy payload starts with the low
-// half of a u64 element count, which would have to exceed 3.3e9 elements to
-// collide with the magic — far past what the count validation admits.
+// scalar map — bitwise identical to pre-codec builds. The other codecs
+// prefix a codec magic and encode the state through comm/codec.h; `base` is
+// the delta16/topk16 reference (the round's broadcast snapshot as decoded by
+// the client), ignored by the other codecs, and `topk` is the kTopK16
+// coordinate budget (see comm::encode_values). deserialize_update accepts
+// both layouts by peeking the leading u32: a legacy payload starts with the
+// low half of a u64 element count, which would have to exceed 3.3e9 elements
+// to collide with the magic — far past what the count validation admits.
 std::vector<std::uint8_t> serialize_update(
     const ClientUpdate& update, comm::Codec codec = comm::Codec::kF32,
-    const nn::ModelState* base = nullptr);
+    const nn::ModelState* base = nullptr, std::size_t topk = 0);
 ClientUpdate deserialize_update(const std::vector<std::uint8_t>& bytes,
                                 const nn::ModelState* base = nullptr);
+
+// The concrete codec a serialized update was encoded with (kF32 for the
+// legacy layout). Cheap — reads at most the magic + tag, no decoding — so
+// the fold path can attribute wire bytes per codec without touching the
+// payload.
+comm::Codec peek_update_codec(const std::vector<std::uint8_t>& bytes);
+
+// Bytes the same update would occupy in the legacy f32 layout. The
+// denominator of the compression ratios in RoundStats and the traffic
+// report.
+std::size_t update_wire_size_f32(const ClientUpdate& update);
 
 // Everything a client device knows during one local update.
 struct ClientContext {

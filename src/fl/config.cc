@@ -49,6 +49,31 @@ void validate(const FlConfig& config) {
                                        << "': duty_cycle < 1 needs "
                                           "period_rounds > 0");
   }
+  // codec_from_name already rejects unknown --wire-codec names at the CLI,
+  // but programmatic configs can hold any byte; reject values outside the
+  // enum (and print the valid set) before a corrupt-tag CHECK deep in a
+  // round does it cryptically.
+  switch (config.wire_codec) {
+    case comm::Codec::kAuto:
+    case comm::Codec::kF32:
+    case comm::Codec::kF16:
+    case comm::Codec::kDelta16:
+    case comm::Codec::kTopK16:
+    case comm::Codec::kInt8A:
+      break;
+    default:
+      CALIBRE_CHECK_MSG(false,
+                        "wire_codec value "
+                            << static_cast<int>(config.wire_codec)
+                            << " is not a codec (expected auto | f32 | f16 | "
+                               "delta16 | topk16 | int8a)");
+  }
+  CALIBRE_CHECK_MSG(config.topk_rate > 0.0f && config.topk_rate <= 1.0f,
+                    "topk_rate must be in (0, 1], got " << config.topk_rate);
+  CALIBRE_CHECK_MSG(
+      config.codec_error_budget > 0.0f && config.codec_error_budget <= 1.0f,
+      "codec_error_budget must be in (0, 1], got "
+          << config.codec_error_budget);
   CALIBRE_CHECK_MSG(config.agg_shards >= 1, "agg_shards must be >= 1, got "
                                                 << config.agg_shards);
   // More shards than sampled clients would leave shards permanently empty:

@@ -104,8 +104,23 @@ struct FlConfig {
   // Wire codec for model payloads (broadcasts and updates). kF32 keeps runs
   // bitwise identical to pre-codec builds; kF16 halves model bytes on the
   // wire; kDelta16 additionally encodes client updates as fp16 deltas
-  // against the round's broadcast snapshot. See comm/codec.h.
+  // against the round's broadcast snapshot; kTopK16 ships only the
+  // `topk_rate` fraction of largest-magnitude delta coordinates with
+  // client-side error feedback (the dropped remainder carries into the next
+  // update, see fl/update_codec.h); kInt8A quantizes 256-element blocks to
+  // affine int8. kAuto picks, per update, the cheapest of those meeting
+  // `codec_error_budget`. See comm/codec.h.
   comm::Codec wire_codec = comm::Codec::kF32;
+
+  // Fraction of update coordinates kTopK16 ships (k = max(1,
+  // round(rate * model_size))). In (0, 1].
+  float topk_rate = 0.0625f;
+
+  // Relative L2 reconstruction-error budget for wire_codec = kAuto: each
+  // update is encoded with the cheapest codec whose exact
+  // ||decode(encode(u)) - u|| / ||u|| is within the budget (f32 — error
+  // zero — is the last resort, so the budget always holds). In (0, 1].
+  float codec_error_budget = 0.01f;
 
   // Aggregation fold shards. 1 (the default) decodes + folds replies inline
   // on the server thread, exactly as before. N > 1 routes released ranks to

@@ -11,6 +11,7 @@
 #include "common/log.h"
 #include "common/thread_pool.h"
 #include "fl/shard_fold.h"
+#include "fl/update_codec.h"
 
 namespace calibre::fl {
 namespace {
@@ -103,7 +104,8 @@ void run_async_training(Algorithm& algorithm, const FedDataset& fed,
   auto make_snapshot = [&](int v) {
     const SteadyClock::time_point start = SteadyClock::now();
     VersionSnapshot& snap = snapshots[v];
-    snap.payload = comm::Payload(state.to_bytes(config.wire_codec));
+    snap.payload =
+        comm::Payload(state.to_bytes(resolve_broadcast_codec(config.wire_codec)));
     if (config.wire_codec != comm::Codec::kF32) {
       snap.base = std::make_shared<const nn::ModelState>(
           nn::ModelState::from_bytes(snap.payload.bytes()));
@@ -227,6 +229,12 @@ void run_async_training(Algorithm& algorithm, const FedDataset& fed,
         ++window_divergence_count;
       }
       window_norm_total += folder->norms()[rank];
+      window_stats.update_bytes_wire += folder->wire_bytes()[rank];
+      window_stats.update_bytes_f32 += folder->f32_bytes()[rank];
+      const std::uint8_t tag = folder->codec_tags()[rank];
+      if (tag < window_stats.codec_counts.size()) {
+        ++window_stats.codec_counts[tag];
+      }
     }
     ++version;
     ++commits;
@@ -413,6 +421,11 @@ RunResult run_federated(Algorithm& algorithm, const FedDataset& fed,
                                      << fed.num_train_clients() << " clients");
   const auto start_time = std::chrono::steady_clock::now();
 
+  // Client-side update encoder: error-feedback residuals (ClientStore-backed,
+  // so they survive re-selection gaps) plus the per-update codec chooser.
+  // Declared before the router so in-flight handlers can never outlive it.
+  UpdateEncoder update_encoder(config);
+
   comm::Router router(resolve_threads(config));
   configure_faults(config, router);
 
@@ -447,10 +460,10 @@ RunResult run_federated(Algorithm& algorithm, const FedDataset& fed,
     response.sender = c;
     response.receiver = comm::kServerEndpoint;
     response.round = request.round;
-    // delta16 replies encode against the global exactly as this client
-    // decoded it — the same reference the server derives from its own
+    // delta16/topk16 replies encode against the global exactly as this
+    // client decoded it — the same reference the server derives from its own
     // broadcast snapshot, so both sides agree bit-for-bit.
-    response.payload = serialize_update(update, config.wire_codec, &global);
+    response.payload = comm::Payload(update_encoder.encode(update, &global, c));
     router.send(std::move(response));
   });
 
@@ -520,7 +533,8 @@ RunResult run_federated(Algorithm& algorithm, const FedDataset& fed,
     // share the immutable snapshot across every train request, including
     // retry re-sends — 1 serialization + K refcounts instead of K copies.
     const SteadyClock::time_point dispatch_start = SteadyClock::now();
-    const comm::Payload snapshot(state.to_bytes(config.wire_codec));
+    const comm::Payload snapshot(
+        state.to_bytes(resolve_broadcast_codec(config.wire_codec)));
     // delta16 replies are deltas against the broadcast *as the clients
     // decode it*; with a lossy broadcast codec that differs from `state`,
     // so the server derives the reference by decoding its own snapshot.
@@ -714,6 +728,12 @@ RunResult run_federated(Algorithm& algorithm, const FedDataset& fed,
         ++divergence_count;
       }
       norm_total += folder.norms()[r];
+      round_stats.update_bytes_wire += folder.wire_bytes()[r];
+      round_stats.update_bytes_f32 += folder.f32_bytes()[r];
+      const std::uint8_t tag = folder.codec_tags()[r];
+      if (tag < round_stats.codec_counts.size()) {
+        ++round_stats.codec_counts[tag];
+      }
     }
 
     round_stats.participants = participants;

@@ -8,6 +8,7 @@
 // accuracies.
 #pragma once
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,18 @@ struct RoundStats {
   float mean_divergence = 0.0f;  // mean of the updates' "divergence" scalar
                                  // (0 when the algorithm does not report it)
   float mean_update_norm = 0.0f;
+  // --- Update compression ----------------------------------------------------
+  // Encoded wire bytes of the updates folded this round, against the bytes
+  // the same updates would occupy in the legacy f32 layout. Their ratio is
+  // the round's physical/logical compression ratio for the collected
+  // direction (1.0 under f32). Covers folded updates only — failed and
+  // discarded replies carry no decodable update to attribute.
+  std::uint64_t update_bytes_wire = 0;
+  std::uint64_t update_bytes_f32 = 0;
+  // Folded updates by concrete wire codec, indexed by comm::Codec tag value
+  // (kF32 = 1 ... kInt8A = 5; slot 0 — the config-only kAuto — stays 0).
+  // Under --wire-codec auto this is the chooser's per-round decision record.
+  std::array<std::uint32_t, 6> codec_counts{};
   // --- Async mode only (zero in sync runs) ---------------------------------
   // Global version committed at the end of this entry (async "rounds" are
   // buffer commits; version k is the state after commit k).

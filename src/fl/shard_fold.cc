@@ -23,7 +23,10 @@ ShardedFolder::ShardedFolder(Algorithm& algorithm, const nn::ModelState& global,
       submitted_(capacity, 0),
       norms_(capacity, 0.0),
       divergences_(capacity, 0.0f),
-      has_div_(capacity, 0) {
+      has_div_(capacity, 0),
+      wire_bytes_(capacity, 0),
+      codec_tags_(capacity, 0),
+      f32_bytes_(capacity, 0) {
   CALIBRE_CHECK_GE(shards, 1, "shard count");
   shards_.reserve(static_cast<std::size_t>(shards));
   for (int s = 0; s < shards; ++s) {
@@ -56,6 +59,7 @@ void ShardedFolder::fold_item(Shard& shard, Item item) {
     has_div_[rank] = 1;
   }
   norms_[rank] = static_cast<double>(update.state.norm());
+  f32_bytes_[rank] = update_wire_size_f32(update);
   shard.agg->fold(std::move(update));
   // Streaming invariant (same CHECK the flat path makes): a bounded-memory
   // aggregator never buffers decoded updates.
@@ -103,6 +107,9 @@ void ShardedFolder::submit(int rank, comm::Payload payload,
   CALIBRE_CHECK_EQ(submitted_[static_cast<std::size_t>(rank)], 0,
                    "rank submitted twice");
   submitted_[static_cast<std::size_t>(rank)] = 1;
+  wire_bytes_[static_cast<std::size_t>(rank)] = payload.bytes().size();
+  codec_tags_[static_cast<std::size_t>(rank)] =
+      static_cast<std::uint8_t>(peek_update_codec(payload.bytes()));
 
   Item item;
   item.rank = rank;

@@ -84,6 +84,13 @@ class ShardedFolder {
   const std::vector<double>& norms() const { return norms_; }
   const std::vector<float>& divergences() const { return divergences_; }
   const std::vector<std::uint8_t>& has_divergence() const { return has_div_; }
+  // Compression accounting per rank: encoded payload bytes and the codec
+  // tag (recorded at submit(), before decode), plus the bytes the decoded
+  // update would occupy in the legacy f32 layout (recorded by the fold
+  // worker). Same validity rule as the stats above.
+  const std::vector<std::uint64_t>& wire_bytes() const { return wire_bytes_; }
+  const std::vector<std::uint8_t>& codec_tags() const { return codec_tags_; }
+  const std::vector<std::uint64_t>& f32_bytes() const { return f32_bytes_; }
 
   // Wall-clock spent in deserialize_update / StreamingAggregator::fold
   // across all shards, valid after collect(). Under a parallel pool the
@@ -120,6 +127,9 @@ class ShardedFolder {
   std::vector<double> norms_;
   std::vector<float> divergences_;
   std::vector<std::uint8_t> has_div_;
+  std::vector<std::uint64_t> wire_bytes_;
+  std::vector<std::uint8_t> codec_tags_;
+  std::vector<std::uint64_t> f32_bytes_;
   bool collected_ = false;
 
   std::mutex idle_mu_;

@@ -1,0 +1,254 @@
+#include "fl/update_codec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "comm/serde.h"
+#include "common/check.h"
+
+namespace calibre::fl {
+namespace {
+
+// Deterministic stride subsample bound for the chooser's error estimates.
+constexpr std::size_t kSampleCap = 512;
+// Candidates whose estimated error exceeds budget * slack are skipped
+// without an exact encode. The final choice is always verified exactly, so
+// an estimator miss can only cost bytes (a cheaper viable codec skipped),
+// never the budget.
+constexpr double kEstimateSlack = 1.5;
+
+std::size_t sample_stride(std::size_t count) {
+  return std::max<std::size_t>(1, count / kSampleCap);
+}
+
+// Estimated relative L2 reconstruction error of `codec` over a stride
+// subsample. Pure function of (values, base, topk) — deterministic.
+double estimated_error(comm::Codec codec, const std::vector<float>& values,
+                       const float* base, std::size_t topk) {
+  const std::size_t n = values.size();
+  if (n == 0) return 0.0;
+  const std::size_t stride = sample_stride(n);
+  double err = 0.0;
+  double nrm = 0.0;
+  switch (codec) {
+    case comm::Codec::kF32:
+      return 0.0;
+    case comm::Codec::kF16:
+      for (std::size_t i = 0; i < n; i += stride) {
+        const float v = values[i];
+        const double d =
+            static_cast<double>(comm::f16_to_f32(comm::f32_to_f16(v))) - v;
+        err += d * d;
+        nrm += static_cast<double>(v) * v;
+      }
+      break;
+    case comm::Codec::kDelta16:
+      for (std::size_t i = 0; i < n; i += stride) {
+        const float v = values[i];
+        const float delta = v - base[i];
+        const double d =
+            static_cast<double>(base[i]) +
+            static_cast<double>(comm::f16_to_f32(comm::f32_to_f16(delta))) - v;
+        err += d * d;
+        nrm += static_cast<double>(v) * v;
+      }
+      break;
+    case comm::Codec::kInt8A: {
+      // Approximate the per-block affine params with one (zero, scale) pair
+      // fit over the whole sample; per-block fits are at least this good.
+      float lo = 0.0f;
+      float hi = 0.0f;
+      bool seen = false;
+      for (std::size_t i = 0; i < n; i += stride) {
+        const float v = values[i];
+        if (v != v) continue;
+        lo = seen && lo < v ? lo : v;
+        hi = seen && hi > v ? hi : v;
+        seen = true;
+      }
+      const float scale =
+          seen ? static_cast<float>((static_cast<double>(hi) - lo) / 255.0)
+               : 0.0f;
+      const float inv =
+          scale > 0.0f ? static_cast<float>(1.0 / static_cast<double>(scale))
+                       : 0.0f;
+      for (std::size_t i = 0; i < n; i += stride) {
+        const float v = values[i];
+        const double d =
+            static_cast<double>(comm::int8a_dequantize(
+                comm::int8a_quantize(v, lo, inv), lo, scale)) - v;
+        err += d * d;
+        nrm += static_cast<double>(v) * v;
+      }
+      break;
+    }
+    case comm::Codec::kTopK16: {
+      // Dropped coordinates decode back to the base, so their error is the
+      // full delta; kept coordinates contribute only f16 rounding (ignored
+      // here — the exact verify pass covers it). The sample keeps the same
+      // fraction topk/n its full-size selection would.
+      std::vector<double> mags;
+      mags.reserve(n / stride + 1);
+      for (std::size_t i = 0; i < n; i += stride) {
+        const float v = values[i];
+        mags.push_back(std::fabs(static_cast<double>(v) - base[i]));
+        nrm += static_cast<double>(v) * v;
+      }
+      const std::size_t kept = static_cast<std::size_t>(
+          static_cast<double>(topk) / static_cast<double>(n) *
+          static_cast<double>(mags.size()));
+      std::vector<double> sorted = mags;
+      std::nth_element(sorted.begin(),
+                       sorted.begin() + static_cast<std::ptrdiff_t>(
+                                            std::min(kept, sorted.size())),
+                       sorted.end(), std::greater<double>());
+      const double threshold =
+          kept < sorted.size() ? sorted[kept] : -1.0;  // -1: keep everything
+      // Dropped mass: every sampled magnitude at or below the threshold.
+      for (const double m : mags) {
+        if (m <= threshold) err += m * m;
+      }
+      break;
+    }
+    case comm::Codec::kAuto:
+      CALIBRE_CHECK_MSG(false, "estimated_error on config-only codec auto");
+  }
+  if (nrm == 0.0) return err == 0.0 ? 0.0 : 1.0;
+  return std::sqrt(err / nrm);
+}
+
+// Exact relative error of one full encode/decode round trip.
+double exact_error(comm::Codec codec, const std::vector<float>& values,
+                   const float* base, std::size_t topk) {
+  const std::size_t n = values.size();
+  comm::Writer writer(comm::encoded_size(codec, n, topk));
+  comm::encode_values(writer, values, codec, base, base != nullptr ? n : 0,
+                      topk);
+  comm::Reader reader(writer.bytes());
+  const std::vector<float> decoded =
+      comm::decode_values(reader, base, base != nullptr ? n : 0);
+  return UpdateEncoder::relative_error(values, decoded);
+}
+
+}  // namespace
+
+comm::Codec resolve_broadcast_codec(comm::Codec codec) {
+  return codec == comm::Codec::kAuto ? comm::Codec::kF16 : codec;
+}
+
+std::size_t UpdateEncoder::topk_for(std::size_t count) const {
+  if (count == 0) return 0;
+  const auto k = static_cast<std::size_t>(
+      static_cast<double>(config_.topk_rate) * static_cast<double>(count) +
+      0.5);
+  return std::clamp<std::size_t>(k, 1, count);
+}
+
+double UpdateEncoder::relative_error(const std::vector<float>& values,
+                                     const std::vector<float>& decoded) {
+  CALIBRE_CHECK_EQ(values.size(), decoded.size(),
+                   "relative_error dimension mismatch");
+  double err = 0.0;
+  double nrm = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double d =
+        static_cast<double>(decoded[i]) - static_cast<double>(values[i]);
+    err += d * d;
+    nrm += static_cast<double>(values[i]) * values[i];
+  }
+  if (nrm == 0.0) return err == 0.0 ? 0.0 : 1.0;
+  return std::sqrt(err / nrm);
+}
+
+double UpdateEncoder::residual_norm(int client_id) const {
+  double total = 0.0;
+  carry_.visit(client_id, [&](const std::vector<float>& residual) {
+    for (const float r : residual) total += static_cast<double>(r) * r;
+  });
+  return std::sqrt(total);
+}
+
+comm::Codec UpdateEncoder::choose(const std::vector<float>& values,
+                                  const float* base, std::size_t topk) const {
+  const std::size_t n = values.size();
+  const double budget = static_cast<double>(config_.codec_error_budget);
+  // Candidates in ascending encoded size; delta-referenced codecs only when
+  // a usable base exists (they would silently degrade to f16 otherwise).
+  std::vector<std::pair<std::size_t, comm::Codec>> candidates;
+  if (base != nullptr) {
+    candidates.emplace_back(comm::encoded_size(comm::Codec::kTopK16, n, topk),
+                            comm::Codec::kTopK16);
+    candidates.emplace_back(comm::encoded_size(comm::Codec::kDelta16, n),
+                            comm::Codec::kDelta16);
+  }
+  candidates.emplace_back(comm::encoded_size(comm::Codec::kInt8A, n),
+                          comm::Codec::kInt8A);
+  candidates.emplace_back(comm::encoded_size(comm::Codec::kF16, n),
+                          comm::Codec::kF16);
+  // stable_sort keeps delta16 ahead of the equally-sized f16 (it is never
+  // less accurate against a valid base).
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [size, codec] : candidates) {
+    if (size >= comm::encoded_size(comm::Codec::kF32, n)) break;  // no win
+    if (estimated_error(codec, values, base, topk) > budget * kEstimateSlack) {
+      continue;
+    }
+    if (exact_error(codec, values, base, topk) <= budget) return codec;
+  }
+  return comm::Codec::kF32;  // error zero — the budget always holds
+}
+
+std::vector<std::uint8_t> UpdateEncoder::encode(const ClientUpdate& update,
+                                                const nn::ModelState* base,
+                                                int client_id,
+                                                comm::Codec* chosen) {
+  const comm::Codec configured = config_.wire_codec;
+  if (configured != comm::Codec::kTopK16 &&
+      configured != comm::Codec::kAuto) {
+    // Pass-through codecs: no error feedback, bitwise identical to the
+    // pre-EF encoder.
+    std::vector<std::uint8_t> bytes =
+        serialize_update(update, configured, base);
+    if (chosen != nullptr) *chosen = peek_update_codec(bytes);
+    return bytes;
+  }
+
+  const std::size_t n = update.state.size();
+  ClientUpdate carried = update;
+  carry_.visit(client_id, [&](const std::vector<float>& residual) {
+    if (residual.size() != n) return;  // absent-or-stale: nothing to carry
+    std::vector<float>& values = carried.state.values();
+    for (std::size_t i = 0; i < n; ++i) values[i] += residual[i];
+  });
+
+  const float* base_values =
+      base != nullptr && base->size() == n ? base->values().data() : nullptr;
+  const std::size_t topk = topk_for(n);
+  const comm::Codec codec =
+      configured == comm::Codec::kAuto
+          ? choose(carried.state.values(), base_values, topk)
+          : comm::Codec::kTopK16;
+  std::vector<std::uint8_t> bytes = serialize_update(carried, codec, base,
+                                                     topk);
+  const comm::Codec actual = peek_update_codec(bytes);
+  if (chosen != nullptr) *chosen = actual;
+  if (actual == comm::Codec::kF32) {
+    // Lossless round trip: the residual is exactly zero. Store the empty
+    // sentinel rather than an O(model) zero vector.
+    carry_.put(client_id, {});
+  } else {
+    // New residual: what the encoder was given minus what the server will
+    // decode from these exact bytes.
+    const ClientUpdate echoed = deserialize_update(bytes, base);
+    std::vector<float> residual(n);
+    const std::vector<float>& c = carried.state.values();
+    const std::vector<float>& d = echoed.state.values();
+    for (std::size_t i = 0; i < n; ++i) residual[i] = c[i] - d[i];
+    carry_.put(client_id, std::move(residual));
+  }
+  return bytes;
+}
+
+}  // namespace calibre::fl

@@ -82,14 +82,26 @@ void print_traffic_report(std::ostream& os, const comm::TrafficStats& totals,
   }
   os << std::left << std::setw(7) << "round" << std::right << std::setw(14)
      << "bcast KB" << std::setw(14) << "collect KB" << std::setw(14)
-     << "serializes" << "\n";
-  os << std::string(49, '-') << "\n";
+     << "serializes" << std::setw(9) << "ratio" << "  " << std::left
+     << "codec\n";
+  os << std::string(75, '-') << "\n";
   for (const RoundTraffic& row : rounds) {
     os << std::left << std::setw(7) << row.round << std::right << std::fixed
        << std::setprecision(1) << std::setw(14)
        << static_cast<double>(row.bytes_broadcast) / 1e3 << std::setw(14)
        << static_cast<double>(row.bytes_collected) / 1e3 << std::setw(14)
-       << row.serializations << "\n";
+       << row.serializations;
+    // Compression ratio of the round's folded updates: encoded wire bytes
+    // over their f32-layout bytes (< 1 means the codec saved traffic).
+    if (row.update_bytes_f32 > 0) {
+      os << std::setw(9) << std::setprecision(3)
+         << static_cast<double>(row.update_bytes_wire) /
+                static_cast<double>(row.update_bytes_f32)
+         << std::setprecision(1);
+    } else {
+      os << std::setw(9) << "";
+    }
+    os << "  " << std::left << row.codec << "\n";
   }
   os.flush();
 }

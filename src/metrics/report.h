@@ -52,6 +52,13 @@ struct RoundTraffic {
   std::uint64_t bytes_broadcast = 0;   // server -> clients, logical
   std::uint64_t bytes_collected = 0;   // clients -> server, logical
   std::uint64_t serializations = 0;    // unique broadcast buffers this round
+  // Update compression: encoded bytes of the round's folded updates vs the
+  // same updates in the f32 layout (0/0 when unknown — the ratio column
+  // prints blank), and a label for the codec(s) those updates used (e.g.
+  // "topk16", or "topk16*4+f32" under the adaptive chooser).
+  std::uint64_t update_bytes_wire = 0;
+  std::uint64_t update_bytes_f32 = 0;
+  std::string codec;
 };
 
 // Prints run totals — messages, logical vs physical bytes with the dedup

@@ -1,0 +1,17 @@
+// Seeded violation: error-feedback residuals are per-client state that must
+// survive re-selection gaps (a client may sit out many rounds between
+// participations). Keeping them in a runner-local map ties their lifetime to
+// the round loop and bypasses the ClientStore's sharded locking — exactly
+// the placement the residual-in-store rule forbids.
+// expect-lint: residual-in-store
+#include <map>
+#include <vector>
+
+struct FakeRound {
+  // Hand-rolled per-client float state, keyed by client id.
+  std::map<int, std::vector<float>> residuals;
+};
+
+void carry_forward(FakeRound& round, int client, float mass) {
+  round.residuals[client].push_back(mass);
+}

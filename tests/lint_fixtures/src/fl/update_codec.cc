@@ -1,0 +1,15 @@
+// Clean counterpart: fl/update_codec.* is the ONE place residual state is
+// legal — the rule's scope excludes it, so the identifiers below must not
+// fire even though they would anywhere else under src/fl/. No expect-lint
+// annotations: the self-test asserts zero findings here.
+
+struct FakeClientStore {
+  void put(int, float) {}
+};
+
+struct FakeEncoder {
+  FakeClientStore residuals_;  // legal: ClientStore-backed, in update_codec
+  void store_residual(int client, float residual) {
+    residuals_.put(client, residual);
+  }
+};

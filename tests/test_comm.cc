@@ -732,10 +732,299 @@ TEST(Codec, CorruptTagAndCountFailCleanly) {
 }
 
 TEST(Codec, NameRoundTrip) {
-  for (const Codec codec : {Codec::kF32, Codec::kF16, Codec::kDelta16}) {
+  for (const Codec codec : {Codec::kAuto, Codec::kF32, Codec::kF16,
+                            Codec::kDelta16, Codec::kTopK16, Codec::kInt8A}) {
     EXPECT_EQ(codec_from_name(codec_name(codec)), codec);
   }
   EXPECT_THROW(codec_from_name("zstd"), CheckError);
+}
+
+// --- topk16 / int8a wire blocks ---------------------------------------------
+
+TEST(Codec, TopK16RoundTripKeepsLargestMagnitudeDeltas) {
+  std::vector<float> base = random_values(64, 40, 1.0f);
+  std::vector<float> values = base;
+  for (float& v : values) v += 1e-4f;  // background noise below the top-3
+  values[3] += 8.0f;
+  values[31] -= 6.0f;
+  values[60] += 7.0f;
+  Writer writer;
+  encode_values(writer, values, Codec::kTopK16, base.data(), base.size(), 3);
+  const auto bytes = writer.take();
+  EXPECT_EQ(bytes.size(), encoded_size(Codec::kTopK16, values.size(), 3));
+  Reader reader(bytes);
+  const std::vector<float> decoded =
+      decode_values(reader, base.data(), base.size());
+  EXPECT_EQ(reader.remaining(), 0u);
+  ASSERT_EQ(decoded.size(), values.size());
+  for (std::size_t i = 0; i < decoded.size(); ++i) {
+    if (i == 3 || i == 31 || i == 60) {
+      EXPECT_NEAR(decoded[i], values[i], 0.02f) << "selected coord " << i;
+    } else {
+      // Coordinates outside the top-k reconstruct the base exactly.
+      EXPECT_EQ(decoded[i], base[i]) << "dropped coord " << i;
+    }
+  }
+}
+
+TEST(Codec, TopK16EncodingIsDeterministicUnderTies) {
+  // Equal-magnitude deltas: the bit-level magnitude + index tiebreak must
+  // make repeated encodes byte-identical (the chooser relies on this).
+  const std::vector<float> base(32, 0.0f);
+  std::vector<float> values(32, 0.5f);  // every delta ties
+  Writer a;
+  encode_values(a, values, Codec::kTopK16, base.data(), base.size(), 5);
+  Writer b;
+  encode_values(b, values, Codec::kTopK16, base.data(), base.size(), 5);
+  const auto bytes_a = a.take();
+  EXPECT_EQ(bytes_a, b.take());
+  // Lowest indices win ties: indices 0..4, ascending.
+  Reader reader(bytes_a);
+  const auto decoded = decode_values(reader, base.data(), base.size());
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NE(decoded[i], 0.0f);
+  for (std::size_t i = 5; i < 32; ++i) EXPECT_EQ(decoded[i], 0.0f);
+}
+
+TEST(Codec, TopK16WithoutBaseDegradesToSelfDescribingF16) {
+  const std::vector<float> values = random_values(17, 46, 1.0f);
+  Writer writer;
+  encode_values(writer, values, Codec::kTopK16, nullptr, 0, 4);
+  const auto bytes = writer.take();
+  EXPECT_EQ(bytes[0], 0x02);  // f16 tag: decodable with no reference
+  Reader reader(bytes);
+  EXPECT_EQ(decode_values(reader).size(), values.size());
+}
+
+TEST(Codec, TopK16DecodeRequiresMatchingBase) {
+  const std::vector<float> base = random_values(12, 51, 1.0f);
+  std::vector<float> values = base;
+  values[5] += 1.0f;
+  Writer writer;
+  encode_values(writer, values, Codec::kTopK16, base.data(), base.size(), 2);
+  const auto bytes = writer.take();
+  {
+    Reader reader(bytes);
+    EXPECT_THROW(decode_values(reader), CheckError);  // no base
+  }
+  {
+    Reader reader(bytes);
+    EXPECT_THROW(decode_values(reader, base.data(), base.size() - 1),
+                 CheckError);  // wrong dimension
+  }
+}
+
+TEST(Codec, TopK16IndexListValidatedAgainstCountBeforeAllocation) {
+  const std::vector<float> base = random_values(8, 45, 1.0f);
+  {
+    // Declared k astronomically past the payload must fail before any
+    // allocation (a wraparound-prone k * 6 size computation would pass).
+    Writer huge;
+    huge.write_u8(0x04);
+    huge.write_u64(base.size());
+    huge.write_u64((1ULL << 62) + 3);
+    const auto bytes = huge.take();
+    Reader reader(bytes);
+    EXPECT_THROW(decode_values(reader, base.data(), base.size()), CheckError);
+  }
+  {
+    // k <= total but more index entries declared than bytes present.
+    Writer trunc;
+    trunc.write_u8(0x04);
+    trunc.write_u64(base.size());
+    trunc.write_u64(6);
+    trunc.write_u32(0);
+    trunc.write_u16(0);
+    const auto bytes = trunc.take();
+    Reader reader(bytes);
+    EXPECT_THROW(decode_values(reader, base.data(), base.size()), CheckError);
+  }
+  {
+    // Out-of-range index (9 >= total 8) rejected after the size checks.
+    Writer oob;
+    oob.write_u8(0x04);
+    oob.write_u64(base.size());
+    oob.write_u64(2);
+    oob.write_u32(1);
+    oob.write_u32(9);
+    oob.write_u16(0);
+    oob.write_u16(0);
+    const auto bytes = oob.take();
+    Reader reader(bytes);
+    EXPECT_THROW(decode_values(reader, base.data(), base.size()), CheckError);
+  }
+  {
+    // Non-ascending (duplicate) indices rejected: a repeated index would
+    // silently double-apply a delta.
+    Writer dup;
+    dup.write_u8(0x04);
+    dup.write_u64(base.size());
+    dup.write_u64(2);
+    dup.write_u32(3);
+    dup.write_u32(3);
+    dup.write_u16(0);
+    dup.write_u16(0);
+    const auto bytes = dup.take();
+    Reader reader(bytes);
+    EXPECT_THROW(decode_values(reader, base.data(), base.size()), CheckError);
+  }
+}
+
+TEST(Codec, Int8ARoundTripWithinBlockScale) {
+  // More than two blocks so per-block params are exercised.
+  const std::vector<float> values = random_values(600, 47, 2.0f);
+  Writer writer;
+  encode_values(writer, values, Codec::kInt8A);
+  const auto bytes = writer.take();
+  EXPECT_EQ(bytes.size(), encoded_size(Codec::kInt8A, values.size()));
+  Reader reader(bytes);
+  const std::vector<float> decoded = decode_values(reader);
+  EXPECT_EQ(reader.remaining(), 0u);
+  ASSERT_EQ(decoded.size(), values.size());
+  // Affine reconstruction error is at most half a quantization step, where
+  // the step is each 256-element block's own min-to-max range over 255.
+  for (std::size_t start = 0; start < values.size(); start += kInt8BlockSize) {
+    const std::size_t end = std::min(values.size(), start + kInt8BlockSize);
+    float lo = values[start];
+    float hi = values[start];
+    for (std::size_t i = start; i < end; ++i) {
+      lo = std::min(lo, values[i]);
+      hi = std::max(hi, values[i]);
+    }
+    const float step = (hi - lo) / 255.0f;
+    for (std::size_t i = start; i < end; ++i) {
+      EXPECT_NEAR(decoded[i], values[i], step * 0.5f + 1e-4f) << i;
+    }
+  }
+}
+
+TEST(Codec, Int8ANonFiniteInputsDegradeDeterministically) {
+  // An infinite value makes its block's range unrepresentable: the whole
+  // block degrades to the (0, 0) affine params and decodes to exact zeros.
+  std::vector<float> with_inf = random_values(40, 48, 1.0f);
+  with_inf[7] = std::numeric_limits<float>::infinity();
+  Writer a;
+  encode_values(a, with_inf, Codec::kInt8A);
+  Writer b;
+  encode_values(b, with_inf, Codec::kInt8A);
+  const auto bytes = a.take();
+  EXPECT_EQ(bytes, b.take());  // byte-identical across encodes
+  Reader reader(bytes);
+  for (const float v : decode_values(reader)) EXPECT_EQ(v, 0.0f);
+
+  // NaNs are skipped by the param scan and quantize to the block minimum:
+  // the decode stays finite everywhere.
+  std::vector<float> with_nan = random_values(40, 49, 1.0f);
+  with_nan[3] = std::numeric_limits<float>::quiet_NaN();
+  Writer writer;
+  encode_values(writer, with_nan, Codec::kInt8A);
+  const auto nan_bytes = writer.take();
+  Reader nan_reader(nan_bytes);
+  for (const float v : decode_values(nan_reader)) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(Codec, Int8ACountValidatedBeforeAllocation) {
+  {
+    Writer huge;
+    huge.write_u8(0x05);
+    huge.write_u64((1ULL << 63) + 9);  // count far past the payload
+    huge.write_u32(0);
+    const auto bytes = huge.take();
+    Reader reader(bytes);
+    EXPECT_THROW(decode_values(reader), CheckError);
+  }
+  {
+    // count fits the remaining bytes but the per-block param table does
+    // not: the combined bound must reject before the param allocation.
+    Writer trunc;
+    trunc.write_u8(0x05);
+    trunc.write_u64(10);
+    for (int i = 0; i < 14; ++i) trunc.write_u8(0);  // 14 < 8 + 10
+    const auto bytes = trunc.take();
+    Reader reader(bytes);
+    EXPECT_THROW(decode_values(reader), CheckError);
+  }
+}
+
+TEST(Codec, TopK16Int8AAllPrefixesRejected) {
+  const std::vector<float> base = random_values(23, 41, 1.0f);
+  std::vector<float> values = base;
+  for (float& v : values) v += 0.01f;
+  Writer topk;
+  encode_values(topk, values, Codec::kTopK16, base.data(), base.size(), 5);
+  Writer int8;
+  encode_values(int8, values, Codec::kInt8A);
+  for (const auto& bytes : {topk.take(), int8.take()}) {
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+      const std::vector<std::uint8_t> prefix(bytes.begin(),
+                                             bytes.begin() + len);
+      Reader reader(prefix);
+      EXPECT_THROW(decode_values(reader, base.data(), base.size()),
+                   CheckError)
+          << "prefix of length " << len << " slipped through";
+    }
+  }
+}
+
+TEST(Codec, TopK16Int8ABitFlipsFailOrPreserveDimension) {
+  const std::vector<float> base = random_values(33, 42, 1.0f);
+  std::vector<float> values = base;
+  for (float& v : values) v += 0.05f;
+  const struct {
+    Codec codec;
+    std::size_t topk;
+  } cases[] = {{Codec::kTopK16, 7}, {Codec::kInt8A, 0}};
+  for (const auto& c : cases) {
+    Writer writer;
+    encode_values(writer, values, c.codec, base.data(), base.size(), c.topk);
+    const auto bytes = writer.take();
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+      for (const int bit : {0, 3, 7}) {
+        auto mutated = bytes;
+        mutated[i] = static_cast<std::uint8_t>(mutated[i] ^ (1u << bit));
+        Reader reader(mutated);
+        try {
+          const auto decoded =
+              decode_values(reader, base.data(), base.size());
+          // A decode that leaves trailing bytes (e.g. a count bit flipped
+          // low) is rejected by every caller's exhaustion check; only a
+          // fully-consumed decode must preserve the dimension.
+          if (reader.remaining() == 0) {
+            EXPECT_EQ(decoded.size(), values.size())
+                << "codec " << codec_name(c.codec) << " byte " << i
+                << " bit " << bit;
+          }
+        } catch (const CheckError&) {
+          // clean rejection is equally fine
+        }
+      }
+    }
+  }
+}
+
+TEST(Codec, RandomGarbageBlocksNeverOverAllocate) {
+  rng::Generator gen(43);
+  const std::vector<float> base = random_values(16, 44, 1.0f);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<std::uint8_t> garbage(gen.uniform_index(96));
+    for (auto& b : garbage) {
+      b = static_cast<std::uint8_t>(gen.uniform_index(256));
+    }
+    // Half the trials force the new tags so the topk16/int8a paths see the
+    // garbage body, not just the tag dispatch.
+    if (!garbage.empty()) {
+      garbage[0] = (trial % 2 == 0) ? 0x04 : 0x05;
+    }
+    Reader reader(garbage);
+    try {
+      const auto decoded = decode_values(reader, base.data(), base.size());
+      // topk16 output is sized by the trusted base, int8a by a count
+      // bounded against the remaining bytes — never by raw wire values.
+      EXPECT_LE(decoded.size(), std::max(garbage.size(), base.size()));
+    } catch (const CheckError&) {
+    }
+  }
 }
 
 // --- ModelState wire formats ------------------------------------------------
@@ -903,6 +1192,55 @@ TEST(UpdateWire, RandomGarbageFailsCleanly) {
       const fl::ClientUpdate decoded = fl::deserialize_update(garbage);
       EXPECT_LE(decoded.state.size() * sizeof(std::uint16_t), garbage.size());
     } catch (const CheckError&) {
+    }
+  }
+}
+
+TEST(UpdateWire, TopK16AndInt8ALayoutsRoundTrip) {
+  const nn::ModelState broadcast(random_values(300, 49, 1.0f));
+  fl::ClientUpdate update = sample_update(50);
+  update.state = broadcast;
+  for (float& v : update.state.values()) v += 0.002f;
+  const std::size_t f32_size = fl::update_wire_size_f32(update);
+
+  const auto topk_bytes =
+      fl::serialize_update(update, Codec::kTopK16, &broadcast, 30);
+  EXPECT_EQ(fl::peek_update_codec(topk_bytes), Codec::kTopK16);
+  const fl::ClientUpdate from_topk =
+      fl::deserialize_update(topk_bytes, &broadcast);
+  ASSERT_EQ(from_topk.state.size(), update.state.size());
+  EXPECT_EQ(from_topk.weight, update.weight);
+  EXPECT_EQ(from_topk.scalars, update.scalars);
+  // 30 of 300 coordinates at 6 bytes each: comfortably under a quarter of
+  // the f32 layout (the PR's headline compression claim).
+  EXPECT_LT(topk_bytes.size(), f32_size / 4);
+
+  const auto int8_bytes = fl::serialize_update(update, Codec::kInt8A);
+  EXPECT_EQ(fl::peek_update_codec(int8_bytes), Codec::kInt8A);
+  const fl::ClientUpdate from_int8 = fl::deserialize_update(int8_bytes);
+  ASSERT_EQ(from_int8.state.size(), update.state.size());
+  EXPECT_EQ(from_int8.weight, update.weight);
+  // Quantization noise scales with the block ranges; bound it relative to
+  // the state's own norm (~1% of a unit-Gaussian state is ample).
+  EXPECT_LT(from_int8.state.l2_distance(update.state),
+            0.02f * update.state.norm());
+  EXPECT_LT(static_cast<double>(int8_bytes.size()),
+            static_cast<double>(f32_size) * 0.3);
+
+  EXPECT_EQ(fl::peek_update_codec(fl::serialize_update(update)), Codec::kF32);
+}
+
+TEST(UpdateWire, TruncationFuzzNewCodecs) {
+  const nn::ModelState broadcast(random_values(19, 52, 1.0f));
+  const fl::ClientUpdate update = sample_update(53);
+  for (const auto& bytes :
+       {fl::serialize_update(update, Codec::kTopK16, &broadcast, 4),
+        fl::serialize_update(update, Codec::kInt8A)}) {
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+      const std::vector<std::uint8_t> prefix(bytes.begin(),
+                                             bytes.begin() + len);
+      EXPECT_THROW(fl::deserialize_update(prefix, &broadcast), CheckError)
+          << "prefix of length " << len;
     }
   }
 }

@@ -12,9 +12,11 @@
 
 #include <gtest/gtest.h>
 
+#include "comm/codec.h"
 #include "comm/message.h"
 #include "common/check.h"
 #include "fl/algorithm.h"
+#include "fl/update_codec.h"
 #include "fl/fed_data.h"
 #include "fl/model.h"
 #include "fl/probe.h"
@@ -651,6 +653,201 @@ TEST(RunnerTraffic, CompactCodecsTrackTheLosslessRun) {
   }
 }
 
+// --- client-side update encoder: error feedback + adaptive chooser ----------
+
+TEST(UpdateCodecEF, TopK16ErrorFeedbackCarriesDroppedMass) {
+  FlConfig config = toy_config(4);
+  config.wire_codec = comm::Codec::kTopK16;
+  config.topk_rate = 0.5f;  // keep 1 of the 2 coordinates
+  UpdateEncoder encoder(config);
+  const nn::ModelState base(std::vector<float>{0.0f, 0.0f});
+  ClientUpdate update;
+  update.state = nn::ModelState(std::vector<float>{1.0f, 0.9f});
+  update.weight = 4.0f;
+
+  comm::Codec chosen = comm::Codec::kAuto;
+  const auto bytes1 = encoder.encode(update, &base, 7, &chosen);
+  EXPECT_EQ(chosen, comm::Codec::kTopK16);
+  const ClientUpdate decoded1 = deserialize_update(bytes1, &base);
+  // Round 1 transmits only the larger coordinate; the dropped 0.9 becomes
+  // the client's residual.
+  EXPECT_NEAR(decoded1.state.values()[0], 1.0f, 1e-3f);
+  EXPECT_EQ(decoded1.state.values()[1], 0.0f);
+  EXPECT_EQ(decoded1.weight, update.weight);
+  ASSERT_TRUE(encoder.has_residual(7));
+  EXPECT_NEAR(encoder.residual_norm(7), 0.9, 1e-3);
+
+  // Round 2, same raw update: the carried residual makes the previously
+  // dropped coordinate dominant (0.9 + 0.9 > 1.0), so it wins the slot.
+  const auto bytes2 = encoder.encode(update, &base, 7, &chosen);
+  const ClientUpdate decoded2 = deserialize_update(bytes2, &base);
+  EXPECT_EQ(decoded2.state.values()[0], 0.0f);
+  EXPECT_NEAR(decoded2.state.values()[1], 1.8f, 1e-2f);
+  // Conservation: input mass minus transmitted mass sits in the residual.
+  EXPECT_NEAR(encoder.residual_norm(7), 1.0, 1e-2);
+}
+
+TEST(UpdateCodecEF, ResidualSurvivesReselectionGaps) {
+  FlConfig config = toy_config(4);
+  config.wire_codec = comm::Codec::kTopK16;
+  config.topk_rate = 0.5f;
+  UpdateEncoder encoder(config);
+  const nn::ModelState base(std::vector<float>{0.0f, 0.0f});
+  ClientUpdate update;
+  update.state = nn::ModelState(std::vector<float>{1.0f, 0.9f});
+
+  encoder.encode(update, &base, 7);
+  EXPECT_NEAR(encoder.residual_norm(7), 0.9, 1e-3);
+
+  // Client 7 sits out while others participate: its residual must neither
+  // decay nor leak into other clients' encodings.
+  ClientUpdate other;
+  other.state = nn::ModelState(std::vector<float>{0.2f, 0.1f});
+  encoder.encode(other, &base, 3);
+  encoder.encode(other, &base, 5);
+  EXPECT_NEAR(encoder.residual_norm(7), 0.9, 1e-3);
+  EXPECT_NEAR(encoder.residual_norm(3), 0.1, 1e-3);
+
+  // When client 7 returns, the gap behaves exactly like a consecutive
+  // round: the carried coordinate dominates.
+  const auto bytes = encoder.encode(update, &base, 7);
+  const ClientUpdate decoded = deserialize_update(bytes, &base);
+  EXPECT_EQ(decoded.state.values()[0], 0.0f);
+  EXPECT_NEAR(decoded.state.values()[1], 1.8f, 1e-2f);
+}
+
+TEST(UpdateCodecEF, AutoChooserRespectsBudgetAndShrinksWithIt) {
+  // Spiky vector: 1 in 16 coordinates carries a dominant value, so topk16
+  // captures most of the mass; the uniform background needs int8a or
+  // better. Deterministic fill — no RNG.
+  const std::size_t n = 600;
+  std::vector<float> values(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t h = static_cast<std::uint32_t>(i) * 2654435761u;
+    values[i] = 0.001f * (static_cast<float>(h % 1000u) - 500.0f);
+    if (i % 16 == 0) values[i] += 5.0f;
+  }
+  const nn::ModelState base(std::vector<float>(n, 0.0f));
+  ClientUpdate update;
+  update.state = nn::ModelState(values);
+
+  std::size_t previous_size = 0;
+  std::vector<comm::Codec> chosen_by_budget;
+  for (const float budget : {0.3f, 0.02f, 1e-7f}) {
+    FlConfig config = toy_config(4);
+    config.wire_codec = comm::Codec::kAuto;
+    config.codec_error_budget = budget;
+    UpdateEncoder encoder(config);
+    comm::Codec chosen = comm::Codec::kAuto;
+    const auto bytes = encoder.encode(update, &base, 1, &chosen);
+    chosen_by_budget.push_back(chosen);
+    const ClientUpdate decoded = deserialize_update(bytes, &base);
+    const double error =
+        UpdateEncoder::relative_error(values, decoded.state.values());
+    EXPECT_LE(error, static_cast<double>(budget) + 1e-9)
+        << "budget " << budget << " violated by "
+        << comm::codec_name(chosen);
+    // A tighter budget can only cost more bytes.
+    EXPECT_GE(bytes.size(), previous_size) << "budget " << budget;
+    previous_size = bytes.size();
+  }
+  // Loose -> sparsify, medium -> quantize, impossible -> lossless.
+  EXPECT_EQ(chosen_by_budget[0], comm::Codec::kTopK16);
+  EXPECT_EQ(chosen_by_budget[1], comm::Codec::kInt8A);
+  EXPECT_EQ(chosen_by_budget[2], comm::Codec::kF32);
+}
+
+TEST(UpdateCodecEF, EncoderIsDeterministicAcrossInstances) {
+  FlConfig config = toy_config(4);
+  config.wire_codec = comm::Codec::kAuto;
+  config.codec_error_budget = 0.02f;
+  const nn::ModelState base(std::vector<float>{0.5f, -0.5f});
+  ClientUpdate update;
+  update.state = nn::ModelState(std::vector<float>{0.75f, -0.25f});
+  UpdateEncoder a(config);
+  UpdateEncoder b(config);
+  comm::Codec chosen_a = comm::Codec::kAuto;
+  comm::Codec chosen_b = comm::Codec::kAuto;
+  EXPECT_EQ(a.encode(update, &base, 2, &chosen_a),
+            b.encode(update, &base, 2, &chosen_b));
+  EXPECT_EQ(chosen_a, chosen_b);
+}
+
+TEST(UpdateCodecEF, AutoRunIsBitIdenticalAcrossThreadCounts) {
+  // The chooser is a pure function of (update, base, config), EF residuals
+  // key on client ids, and the fold is exact fixed-point — so the whole
+  // lossy run must stay bit-identical for any thread count, including the
+  // per-round codec decision record.
+  auto run_with_threads = [&](int threads) {
+    const int clients = 4;
+    FlConfig config = toy_config(clients);
+    config.rounds = 4;
+    config.threads = threads;
+    config.wire_codec = comm::Codec::kAuto;
+    config.codec_error_budget = 0.05f;
+    ToyAlgorithm algorithm(config);
+    const FedDataset fed = toy_fed(clients);
+    return run_federated(algorithm, fed, false);
+  };
+  const RunResult a = run_with_threads(1);
+  const RunResult b = run_with_threads(3);
+  EXPECT_EQ(a.final_state.values(), b.final_state.values());
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].codec_counts, b.history[i].codec_counts)
+        << "round " << i;
+    EXPECT_EQ(a.history[i].update_bytes_wire, b.history[i].update_bytes_wire)
+        << "round " << i;
+    EXPECT_EQ(a.history[i].update_bytes_f32, b.history[i].update_bytes_f32)
+        << "round " << i;
+  }
+}
+
+TEST(UpdateCodecEF, LossyRunsTrackTheLosslessRunWithCompressionStats) {
+  const int clients = 4;
+  auto run_with = [&](comm::Codec codec, bool async) {
+    FlConfig config = toy_config(clients);
+    config.rounds = 3;
+    config.wire_codec = codec;
+    config.codec_error_budget = 0.05f;
+    if (async) {
+      config.async_mode = true;
+      config.async_buffer_size = 4;
+    }
+    ToyAlgorithm algorithm(config);
+    const FedDataset fed = toy_fed(clients);
+    return run_federated(algorithm, fed, false);
+  };
+  const RunResult f32 = run_with(comm::Codec::kF32, false);
+  const RunResult topk = run_with(comm::Codec::kTopK16, false);
+  const RunResult auto_run = run_with(comm::Codec::kAuto, false);
+  // Error feedback keeps the sparsified run near the lossless trajectory:
+  // dropped coordinates are re-sent later, so the worst-case drift is one
+  // round's withheld mass, not an accumulating bias.
+  EXPECT_LT(topk.final_state.l2_distance(f32.final_state), 2.0f);
+  // The auto run meets a 5% per-update budget and lands much closer.
+  EXPECT_LT(auto_run.final_state.l2_distance(f32.final_state), 0.1f);
+  for (const RoundStats& r : topk.history) {
+    EXPECT_GT(r.update_bytes_f32, 0u);
+    EXPECT_EQ(r.codec_counts[static_cast<std::size_t>(comm::Codec::kTopK16)],
+              static_cast<std::uint32_t>(r.participants));
+  }
+  for (const RoundStats& r : f32.history) {
+    // Lossless baseline: wire bytes equal the f32 layout exactly.
+    EXPECT_EQ(r.update_bytes_wire, r.update_bytes_f32);
+    EXPECT_EQ(r.codec_counts[static_cast<std::size_t>(comm::Codec::kF32)],
+              static_cast<std::uint32_t>(r.participants));
+  }
+  // Async composes with the encoder too (buffered folds, delta bases).
+  const RunResult async_auto = run_with(comm::Codec::kAuto, true);
+  for (const RoundStats& r : async_auto.history) {
+    EXPECT_GT(r.update_bytes_f32, 0u);
+    std::uint32_t folded = 0;
+    for (const std::uint32_t c : r.codec_counts) folded += c;
+    EXPECT_EQ(folded, static_cast<std::uint32_t>(r.participants));
+  }
+}
+
 // --- streaming aggregation ---------------------------------------------------
 
 // ToyAlgorithm inherits the BatchAggregatorAdapter default (its aggregate()
@@ -1065,6 +1262,28 @@ TEST(ConfigValidation, AsyncRejectsSyncOnlyKnobs) {
   EXPECT_THROW(validate(config), CheckError);
   config.async_buffer_size = 8;
   config.staleness_alpha = -0.5f;
+  EXPECT_THROW(validate(config), CheckError);
+}
+
+TEST(ConfigValidation, CodecKnobsBoundsChecked) {
+  FlConfig config = toy_config(4);
+  config.wire_codec = comm::Codec::kTopK16;
+  EXPECT_NO_THROW(validate(config));
+  config.topk_rate = 0.0f;
+  EXPECT_THROW(validate(config), CheckError);
+  config.topk_rate = 1.5f;
+  EXPECT_THROW(validate(config), CheckError);
+  config.topk_rate = 1.0f;
+  EXPECT_NO_THROW(validate(config));
+  config.wire_codec = comm::Codec::kAuto;
+  config.codec_error_budget = 0.0f;
+  EXPECT_THROW(validate(config), CheckError);
+  config.codec_error_budget = 2.0f;
+  EXPECT_THROW(validate(config), CheckError);
+  config.codec_error_budget = 0.01f;
+  EXPECT_NO_THROW(validate(config));
+  // An enum value that is not a codec (e.g. a corrupted config) fails fast.
+  config.wire_codec = static_cast<comm::Codec>(9);
   EXPECT_THROW(validate(config), CheckError);
 }
 

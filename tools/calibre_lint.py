@@ -34,6 +34,13 @@ DESIGN.md §9 maps rule -> contract -> PR):
                      finish() on a shard-local partial — shard partials may
                      only merge() into the round root, or the sharded fold
                      stops being bit-identical to the flat fold.
+  residual-in-store  Error-feedback residuals (and any per-client float
+                     state) in src/fl/ live in an algos::ClientStore inside
+                     fl/update_codec.* — never in the runner or other fl
+                     files, whose per-round containers die with the round
+                     while a residual must survive arbitrary client
+                     re-selection gaps. Hand-rolled map<int, vector<float>>
+                     client state is flagged for the same reason.
   serde-count-guard  In src/comm/, a count obtained from Reader::read_u*()
                      must pass through a CALIBRE_CHECK* that mentions it
                      before it sizes an allocation (vector/string ctor,
@@ -233,9 +240,28 @@ STREAMING_PATTERNS = [
      "silently breaks the sharded-fold bit-identity contract"),
 ]
 
+RESIDUAL_PATTERNS = [
+    (re.compile(r"\b\w*residual\w*", re.IGNORECASE),
+     "error-feedback residual state is per-client and must survive client "
+     "re-selection gaps; it lives in the algos::ClientStore inside "
+     "fl/update_codec.*, never in the runner's per-round containers"),
+    (re.compile(
+        r"std::(?:unordered_)?map<\s*int\s*,\s*std::vector<\s*float\b"),
+     "hand-rolled per-client float state; per-client state goes through "
+     "algos::ClientStore so sharded locking and re-selection survival stay "
+     "uniform"),
+]
+
+
+def _fl_except_update_codec(rel: str) -> bool:
+    return rel.startswith("src/fl/") and rel not in (
+        "src/fl/update_codec.h", "src/fl/update_codec.cc")
+
+
 PATTERN_RULES = [
     ("streaming-fold", _only("src/fl/runner.cc", "src/fl/shard_fold.cc"),
      STREAMING_PATTERNS),
+    ("residual-in-store", _fl_except_update_codec, RESIDUAL_PATTERNS),
     ("determinism-rng",
      _src_except("src/tensor/rng.cc", "src/tensor/rng.h"),
      DETERMINISM_PATTERNS),

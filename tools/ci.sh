@@ -59,6 +59,12 @@ else
   # any mismatch — the fixed-point merge algebra is what it proves).
   run_step "bench.hierarchy" ctest --test-dir "$BUILD_DIR" \
     --output-on-failure -R '^bench\.hierarchy_smoke$'
+  # Compression gate: every update codec runs the fixed-seed workbench;
+  # bench_codec exits nonzero if the f32 hash moves, topk16/int8a miss
+  # their ratio floors, a lossy codec drifts past half a probe point, or
+  # the auto chooser stops being thread-count deterministic.
+  run_step "bench.codec" ctest --test-dir "$BUILD_DIR" \
+    --output-on-failure -R '^bench\.codec_smoke$'
   for lane in tsan asan ubsan; do
     run_step "lane.$lane" ctest --test-dir "$BUILD_DIR" \
       --output-on-failure -R "^$lane\."
