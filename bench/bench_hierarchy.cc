@@ -11,7 +11,7 @@
 //
 // The HARD gate is determinism, not speed: every configuration must hash
 // bit-identical to the flat fold (the fixed-point accumulators in
-// fl/fixed_accum.h guarantee it), and the bench exits nonzero on any
+// flapi/fixed_accum.h guarantee it), and the bench exits nonzero on any
 // mismatch. Throughput is reported per shard count; the parallel speedup
 // only materialises with real cores (hardware_threads is recorded in the
 // JSON so single-core CI numbers are not mistaken for the scaling claim).

@@ -28,7 +28,7 @@
 #include "common/thread_pool.h"
 #include "core/pfl_ssl.h"
 #include "core/prototype_loss.h"
-#include "fl/algorithm.h"
+#include "flapi/algorithm.h"
 #include "metrics/tsne.h"
 #include "nn/losses.h"
 #include "nn/networks.h"

@@ -6,7 +6,7 @@
 #include "cluster/quality.h"
 #include "common/check.h"
 #include "common/env.h"
-#include "fl/model.h"
+#include "flapi/model.h"
 #include "metrics/tsne.h"
 
 namespace calibre::bench {

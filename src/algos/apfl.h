@@ -5,8 +5,8 @@
 #pragma once
 
 #include "algos/client_store.h"
-#include "fl/algorithm.h"
-#include "fl/model.h"
+#include "flapi/algorithm.h"
+#include "flapi/model.h"
 
 namespace calibre::algos {
 

@@ -5,8 +5,8 @@
 // the local dataset before evaluating (paper §V "Benchmark approaches").
 #pragma once
 
-#include "fl/algorithm.h"
-#include "fl/model.h"
+#include "flapi/algorithm.h"
+#include "flapi/model.h"
 
 namespace calibre::algos {
 

@@ -3,8 +3,8 @@
 // trained and aggregated. Personalization then fine-tunes the head.
 #pragma once
 
-#include "fl/algorithm.h"
-#include "fl/model.h"
+#include "flapi/algorithm.h"
+#include "flapi/model.h"
 
 namespace calibre::algos {
 

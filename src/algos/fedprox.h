@@ -4,8 +4,8 @@
 // so it slots into the same personalization protocol.
 #pragma once
 
-#include "fl/algorithm.h"
-#include "fl/model.h"
+#include "flapi/algorithm.h"
+#include "flapi/model.h"
 
 namespace calibre::algos {
 

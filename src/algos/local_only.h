@@ -4,8 +4,8 @@
 // trains to (approximate) convergence. Run with config.rounds == 0.
 #pragma once
 
-#include "fl/algorithm.h"
-#include "fl/model.h"
+#include "flapi/algorithm.h"
+#include "flapi/model.h"
 
 namespace calibre::algos {
 

@@ -5,8 +5,8 @@
 // original parameters (FO-MAML). Personalization = local adaptation.
 #pragma once
 
-#include "fl/algorithm.h"
-#include "fl/model.h"
+#include "flapi/algorithm.h"
+#include "flapi/model.h"
 
 namespace calibre::algos {
 

@@ -7,8 +7,8 @@
 // fairness-first baseline family the paper positions Calibre against.
 #pragma once
 
-#include "fl/algorithm.h"
-#include "fl/model.h"
+#include "flapi/algorithm.h"
+#include "flapi/model.h"
 
 namespace calibre::algos {
 

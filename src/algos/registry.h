@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "core/calibre.h"
-#include "fl/algorithm.h"
+#include "flapi/algorithm.h"
 
 namespace calibre::algos {
 

@@ -34,7 +34,7 @@ std::vector<float> split_back(const std::vector<float>& values,
 // w_i * x_i, normalise at finish), the control half an unweighted mean.
 // finish() advances the server control variate in place — called once, on
 // the merged root only. Both halves accumulate in exact fixed-point
-// (fl/fixed_accum.h), so merge() of shard-local partials is bit-identical
+// (flapi/fixed_accum.h), so merge() of shard-local partials is bit-identical
 // to the flat fold for any shard split.
 class ScaffoldAggregator : public fl::StreamingAggregator {
  public:

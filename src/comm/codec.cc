@@ -351,22 +351,66 @@ void encode_values(Writer& writer, const std::vector<float>& values,
       CALIBRE_CHECK_MSG(topk <= count && (topk >= 1 || count == 0),
                         "topk16 k " << topk << " out of [1, " << count << "]");
       std::vector<float> deltas(count);
-      for (std::size_t i = 0; i < count; ++i) deltas[i] = values[i] - base[i];
+      std::vector<std::uint32_t> mags(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        deltas[i] = values[i] - base[i];
+        std::uint32_t bits = 0;
+        std::memcpy(&bits, &deltas[i], sizeof(bits));
+        mags[i] = bits & 0x7FFFFFFFu;
+      }
       // Select the k largest-magnitude deltas under a strict total order
       // (|delta| descending, index ascending on ties) so the selection is
       // deterministic. Magnitudes compare as their integer bit patterns —
       // monotone with |float| and well-ordered even for NaN deltas.
-      std::vector<std::uint32_t> indices(count);
-      std::iota(indices.begin(), indices.end(), 0u);
-      const auto magnitude = [&deltas](std::uint32_t i) {
-        std::uint32_t bits = 0;
-        std::memcpy(&bits, &deltas[i], sizeof(bits));
-        return bits & 0x7FFFFFFFu;
-      };
-      std::nth_element(indices.begin(), indices.begin() + topk, indices.end(),
+      //
+      // Sampled-threshold pre-pass: estimate the k-th largest magnitude
+      // from a fixed-stride sample and keep only candidates at or above
+      // it, so nth_element runs over a few-times-k candidate set instead
+      // of the whole tensor. The filter is by magnitude alone, so whenever
+      // >= k candidates survive the set provably contains the exact top-k
+      // (the k-th largest magnitude is >= the threshold) including every
+      // element tied with the k-th — the selection below stays
+      // bit-identical to the unfiltered path. If the sample overshoots
+      // (< k survivors), fall back to threshold 0, which keeps everything.
+      std::uint32_t floor_mag = 0;
+      if (count >= 4096 && topk * 4 <= count) {
+        constexpr std::size_t kSampleCap = 2048;
+        const std::size_t stride =
+            count > kSampleCap ? count / kSampleCap : 1;
+        std::vector<std::uint32_t> sample;
+        sample.reserve(count / stride + 1);
+        for (std::size_t i = 0; i < count; i += stride) {
+          sample.push_back(mags[i]);
+        }
+        // Aim at twice the proportional rank so the candidate set lands
+        // near 2k elements; rank 0 (the sample max) would filter too hard.
+        std::size_t rank = (2 * topk * sample.size()) / count;
+        if (rank >= sample.size()) rank = sample.size() - 1;
+        std::nth_element(sample.begin(),
+                         sample.begin() + static_cast<std::ptrdiff_t>(rank),
+                         sample.end(),
+                         [](std::uint32_t a, std::uint32_t b) {
+                           return a > b;
+                         });
+        floor_mag = sample[rank];
+      }
+      std::vector<std::uint32_t> indices;
+      indices.reserve(floor_mag != 0 ? std::min(count, topk * 4) : count);
+      for (std::size_t i = 0; i < count; ++i) {
+        if (mags[i] >= floor_mag) {
+          indices.push_back(static_cast<std::uint32_t>(i));
+        }
+      }
+      if (indices.size() < topk) {  // overshoot: take the unfiltered path
+        indices.resize(count);
+        std::iota(indices.begin(), indices.end(), 0u);
+      }
+      std::nth_element(indices.begin(),
+                       indices.begin() + static_cast<std::ptrdiff_t>(topk),
+                       indices.end(),
                        [&](std::uint32_t a, std::uint32_t b) {
-                         const std::uint32_t ma = magnitude(a);
-                         const std::uint32_t mb = magnitude(b);
+                         const std::uint32_t ma = mags[a];
+                         const std::uint32_t mb = mags[b];
                          return ma != mb ? ma > mb : a < b;
                        });
       indices.resize(topk);

@@ -3,7 +3,7 @@
 #include "common/check.h"
 #include "data/augment.h"
 #include "data/dataset.h"
-#include "fl/probe.h"
+#include "flapi/probe.h"
 #include "nn/optim.h"
 
 namespace calibre::core {

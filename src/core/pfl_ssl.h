@@ -9,7 +9,7 @@
 
 #include <memory>
 
-#include "fl/algorithm.h"
+#include "flapi/algorithm.h"
 #include "ssl/method.h"
 
 namespace calibre::core {

@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "comm/router.h"
-#include "fl/algorithm.h"
+#include "flapi/algorithm.h"
 #include "fl/fed_data.h"
 
 namespace calibre::fl {

@@ -11,7 +11,7 @@
 // flat fold.
 //
 // Determinism: every native fold accumulates in exact fixed-point
-// (fl/fixed_accum.h), so the merged result is bit-identical to the flat
+// (flapi/fixed_accum.h), so the merged result is bit-identical to the flat
 // single-threaded fold for ANY shard count and any schedule — the hash
 // check in bench_hierarchy gates on exactly this. Per-rank stats (update
 // norms, divergence scalars) are recorded into rank-indexed arrays and
@@ -41,7 +41,7 @@
 
 #include "comm/payload.h"
 #include "common/thread_pool.h"
-#include "fl/algorithm.h"
+#include "flapi/algorithm.h"
 
 namespace calibre::fl {
 

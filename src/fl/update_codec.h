@@ -29,8 +29,8 @@
 #include <vector>
 
 #include "algos/client_store.h"
-#include "fl/algorithm.h"
-#include "fl/config.h"
+#include "flapi/algorithm.h"
+#include "flapi/config.h"
 
 namespace calibre::fl {
 

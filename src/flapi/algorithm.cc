@@ -1,4 +1,4 @@
-#include "fl/algorithm.h"
+#include "flapi/algorithm.h"
 
 #include <cstring>
 

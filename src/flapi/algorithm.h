@@ -17,8 +17,8 @@
 
 #include "data/dataset.h"
 #include "data/synthetic.h"
-#include "fl/config.h"
-#include "fl/fixed_accum.h"
+#include "flapi/config.h"
+#include "flapi/fixed_accum.h"
 #include "nn/state.h"
 
 namespace calibre::fl {

@@ -1,4 +1,4 @@
-#include "fl/config.h"
+#include "flapi/config.h"
 
 #include "common/check.h"
 

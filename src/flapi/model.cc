@@ -1,4 +1,4 @@
-#include "fl/model.h"
+#include "flapi/model.h"
 
 #include "common/check.h"
 #include "data/synthetic.h"

@@ -8,7 +8,7 @@
 #include <memory>
 
 #include "data/dataset.h"
-#include "fl/config.h"
+#include "flapi/config.h"
 #include "nn/networks.h"
 #include "nn/state.h"
 

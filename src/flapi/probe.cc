@@ -1,4 +1,4 @@
-#include "fl/probe.h"
+#include "flapi/probe.h"
 
 #include "common/check.h"
 #include "nn/networks.h"

@@ -4,7 +4,7 @@
 #pragma once
 
 #include "data/dataset.h"
-#include "fl/config.h"
+#include "flapi/config.h"
 
 namespace calibre::fl {
 

@@ -1,0 +1,23 @@
+// Seeded violation: serializing while traversing an unordered_map puts the
+// wire bytes in hash-table order — the payload then differs run to run even
+// when the contents are identical, breaking codec round-trip golden tests.
+// expect-lint: unordered-iteration
+#include <cstdint>
+#include <unordered_map>
+
+struct FakeWriter {
+  void write_u32(std::uint32_t v);
+};
+
+class TagTable {
+ public:
+  void encode(FakeWriter& writer) const {
+    for (const auto& kv : tags_) {
+      writer.write_u32(kv.first);
+      writer.write_u32(kv.second);
+    }
+  }
+
+ private:
+  std::unordered_map<std::uint32_t, std::uint32_t> tags_;
+};

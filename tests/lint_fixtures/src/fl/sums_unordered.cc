@@ -1,0 +1,28 @@
+// Seeded violation: accumulating floats while traversing an unordered_map.
+// Hash-table iteration order depends on the hash seed, insertion history and
+// bucket count; float addition is not associative, so the sum — and the
+// frozen f32 final-state hash downstream of it — becomes run-dependent.
+// expect-lint: unordered-iteration
+#include <unordered_map>
+
+class WeightTotals {
+ public:
+  float total() const {
+    float sum = 0.0f;
+    for (const auto& kv : weights_) {
+      sum += kv.second;  // order-sensitive float accumulation
+    }
+    return sum;
+  }
+
+  // False-positive regression: an order-independent body (keyed writes, no
+  // accumulator, no serializer) is fine and must not fire.
+  void clamp() {
+    for (auto& kv : weights_) {
+      if (kv.second < 0.0f) kv.second = 0.0f;
+    }
+  }
+
+ private:
+  std::unordered_map<int, float> weights_;
+};

@@ -1,0 +1,16 @@
+// Seeded violation: a lint-allow with no reason is an unreviewable mute and
+// is rejected — the bad-suppression finding fires AND the original rule
+// still fires (the mute does nothing). A lint-allow naming an unknown rule
+// id is rejected the same way.
+// expect-lint: bad-suppression
+// expect-lint: thread-funnel
+#include <thread>
+
+void spawn_unpooled() {
+  // lint-allow: thread-funnel
+  std::thread worker([] {});
+  worker.join();
+}
+
+// lint-allow: not-a-real-rule this rule id does not exist
+int unrelated() { return 0; }

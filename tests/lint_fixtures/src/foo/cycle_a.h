@@ -1,0 +1,9 @@
+// Seeded violation: cycle_a.h and cycle_b.h include each other. #pragma once
+// hides the cycle at compile time, but it still means the layering is lying;
+// the analyzer reports it on every member file so any of them can break it.
+// expect-lint: layering-cycle
+#pragma once
+
+#include "foo/cycle_b.h"
+
+struct CycleA {};

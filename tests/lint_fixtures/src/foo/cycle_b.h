@@ -1,0 +1,7 @@
+// Other half of the seeded include cycle with cycle_a.h.
+// expect-lint: layering-cycle
+#pragma once
+
+#include "foo/cycle_a.h"
+
+struct CycleB {};

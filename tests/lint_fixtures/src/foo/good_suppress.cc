@@ -1,0 +1,10 @@
+// False-positive regression for suppressions: a real thread-funnel violation
+// muted by a well-formed `// lint-allow: <rule> <reason>` — the self-test
+// asserts this file produces zero findings, proving suppression works.
+#include <thread>
+
+void run_detached_watchdog() {
+  // lint-allow: thread-funnel fixture exercising a valid suppression
+  std::thread watchdog([] {});
+  watchdog.join();
+}

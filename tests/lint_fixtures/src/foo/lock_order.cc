@@ -1,0 +1,38 @@
+// Seeded violation: two functions acquire the same pair of mutexes in
+// opposite nesting orders — the classic ABBA deadlock. Only *nested*
+// acquisitions constrain; disjoint() shows sequential scopes staying free.
+// expect-lint: lock-order
+#include <mutex>
+
+class Transfer {
+ public:
+  void debit_then_credit() {
+    std::lock_guard<std::mutex> a(accounts_mu_);
+    std::lock_guard<std::mutex> b(journal_mu_);
+    balance_ -= 1;
+  }
+
+  void credit_then_debit() {
+    std::lock_guard<std::mutex> b(journal_mu_);
+    std::lock_guard<std::mutex> a(accounts_mu_);
+    balance_ += 1;
+  }
+
+  // False-positive regression: back-to-back closed scopes never hold both
+  // mutexes at once, so they impose no ordering constraint.
+  void disjoint() {
+    {
+      std::lock_guard<std::mutex> a(accounts_mu_);
+      balance_ += 2;
+    }
+    {
+      std::lock_guard<std::mutex> b(journal_mu_);
+      balance_ -= 2;
+    }
+  }
+
+ private:
+  std::mutex accounts_mu_;
+  std::mutex journal_mu_;
+  int balance_ = 0;
+};

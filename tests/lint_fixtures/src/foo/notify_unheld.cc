@@ -1,0 +1,36 @@
+// Seeded violation: notify_all on a condvar in a function that never holds
+// the mutex waiters pair with it via cv_.wait(lk) — the ~ShardedFolder bug
+// class TSan caught in PR 8 (a waiter observes the predicate, decides to
+// sleep, and misses the wake; or the condvar is destroyed mid-notify).
+// expect-lint: lock-notify-unheld
+#include <condition_variable>
+#include <mutex>
+
+class Notifier {
+ public:
+  void wait_ready() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return ready_; });
+  }
+
+  // False-positive regression: the documented unlock-then-notify hand-off —
+  // the guard IS constructed in this function, so the notify passes.
+  void signal() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ready_ = true;
+    }
+    cv_.notify_one();
+  }
+
+  ~Notifier() {
+    done_ = true;
+    cv_.notify_all();  // never holds mu_ anywhere in this function
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool ready_ = false;
+  bool done_ = false;
+};

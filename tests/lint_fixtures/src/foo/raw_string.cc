@@ -1,0 +1,16 @@
+// False-positive regression for raw string literals: everything between
+// R"( and )" is literal text, including quotes, // sequences and code-like
+// fragments. A stripper that treats the opening quote as a plain string
+// start exits early at the first inner quote and leaks the rest of the
+// literal into "code", firing thread-funnel / pool-bypass here. The
+// self-test asserts zero findings on this file.
+#include <string>
+
+const char* kShellSnippet = R"(quote " std::thread worker; malloc(12); " end)";
+
+const char* kMultiLine = R"delim(
+first line with a stray quote "
+second line calls rand() and assert(false) — still just text
+)delim";
+
+std::string describe_raw() { return std::string(kShellSnippet) + kMultiLine; }

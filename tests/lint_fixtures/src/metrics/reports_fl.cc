@@ -1,0 +1,7 @@
+// Seeded violation: metrics is a side-layer that must NEVER include fl —
+// the reporting layer cannot depend on the orchestration loop it serves.
+// expect-lint: layering-dag
+
+#include "fl/config.h"
+
+int metrics_peeks_at_round_config() { return 0; }

@@ -1,0 +1,6 @@
+// Seeded violation: tensor is the second-lowest layer; including the FL
+// orchestration loop from it is an upward edge the module DAG forbids.
+// expect-lint: layering-dag
+#pragma once
+
+#include "fl/runner.h"

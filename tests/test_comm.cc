@@ -9,9 +9,11 @@
 #include <tuple>
 #include <vector>
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <numeric>
 
 #include <gtest/gtest.h>
 
@@ -21,7 +23,7 @@
 #include "comm/serde.h"
 #include "common/check.h"
 #include "common/timer_queue.h"
-#include "fl/algorithm.h"
+#include "flapi/algorithm.h"
 #include "nn/state.h"
 #include "tensor/rng.h"
 
@@ -783,6 +785,47 @@ TEST(Codec, TopK16EncodingIsDeterministicUnderTies) {
   const auto decoded = decode_values(reader, base.data(), base.size());
   for (std::size_t i = 0; i < 5; ++i) EXPECT_NE(decoded[i], 0.0f);
   for (std::size_t i = 5; i < 32; ++i) EXPECT_EQ(decoded[i], 0.0f);
+}
+
+TEST(Codec, TopK16SampledThresholdSelectionStaysExact) {
+  // The encoder's sampled-threshold pre-pass (engaged at count >= 4096,
+  // k*4 <= count) must select the exact same index set as a brute-force
+  // sort under the documented total order (|delta| desc, index asc on
+  // ties). Heavy ties around the k-th magnitude are the hard case: the
+  // threshold filter keeps every tied element, the index tiebreak picks.
+  const std::size_t count = 8192;
+  std::vector<float> base(count, 0.0f);
+  std::vector<float> values = random_values(count, 91, 1e-3f);
+  for (std::size_t i = 0; i < count; i += 37) values[i] = 0.25f;  // tie band
+  for (const std::size_t k : {std::size_t{1}, std::size_t{64},
+                              std::size_t{640}, count}) {
+    Writer writer;
+    encode_values(writer, values, Codec::kTopK16, base.data(), base.size(),
+                  k);
+    const auto bytes = writer.take();
+    Reader reader(bytes);
+    ASSERT_EQ(reader.read_u8(), 0x04) << "topk16 tag";  // Codec::kTopK16
+    ASSERT_EQ(reader.read_u64(), count);
+    ASSERT_EQ(reader.read_u64(), k);
+    const std::vector<std::uint32_t> got = reader.read_u32_array(k);
+    // Reference selection: full sort, no sampling shortcut.
+    std::vector<std::uint32_t> expected(count);
+    std::iota(expected.begin(), expected.end(), 0u);
+    const auto magnitude = [&](std::uint32_t i) {
+      std::uint32_t bits = 0;
+      std::memcpy(&bits, &values[i], sizeof(bits));
+      return bits & 0x7FFFFFFFu;
+    };
+    std::sort(expected.begin(), expected.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                const std::uint32_t ma = magnitude(a);
+                const std::uint32_t mb = magnitude(b);
+                return ma != mb ? ma > mb : a < b;
+              });
+    expected.resize(k);
+    std::sort(expected.begin(), expected.end());  // wire order: ascending
+    EXPECT_EQ(got, expected) << "k=" << k;
+  }
 }
 
 TEST(Codec, TopK16WithoutBaseDegradesToSelfDescribingF16) {

@@ -13,7 +13,7 @@
 #include "data/partition.h"
 #include "data/synthetic.h"
 #include "fl/fed_data.h"
-#include "fl/probe.h"
+#include "flapi/probe.h"
 #include "fl/runner.h"
 #include "metrics/fairness.h"
 #include "nn/adam.h"

@@ -15,11 +15,11 @@
 #include "comm/codec.h"
 #include "comm/message.h"
 #include "common/check.h"
-#include "fl/algorithm.h"
+#include "flapi/algorithm.h"
 #include "fl/update_codec.h"
 #include "fl/fed_data.h"
-#include "fl/model.h"
-#include "fl/probe.h"
+#include "flapi/model.h"
+#include "flapi/probe.h"
 #include "fl/runner.h"
 
 namespace calibre::fl {

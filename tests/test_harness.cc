@@ -5,7 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "bench/harness.h"
-#include "fl/model.h"
+#include "flapi/model.h"
 
 namespace calibre::bench {
 namespace {

@@ -1,0 +1,77 @@
+"""Per-file mtime/size fact cache. Keeps the CI lint lane fast: a warm run
+re-parses only files whose (mtime_ns, size) changed; the whole-program
+passes (layering, locks) then run over cached facts, which is cheap.
+
+The cache is a single JSON file, versioned by ANALYZER_VERSION — bumping
+the version (any rule/pass change that alters facts) invalidates every
+entry at once."""
+
+import json
+import os
+from typing import Dict, Optional
+
+from . import ANALYZER_VERSION
+
+
+class FactCache:
+    def __init__(self, path: Optional[str]):
+        self.path = path
+        self.entries: Dict[str, Dict] = {}
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+        if path and os.path.isfile(path):
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    data = json.load(fh)
+                if data.get("version") == ANALYZER_VERSION:
+                    self.entries = data.get("files", {})
+            except (OSError, ValueError):
+                self.entries = {}
+
+    def lookup(self, rel: str, full_path: str) -> Optional[Dict]:
+        if self.path is None:
+            return None
+        try:
+            st = os.stat(full_path)
+        except OSError:
+            return None
+        entry = self.entries.get(rel)
+        if entry and entry["mtime_ns"] == st.st_mtime_ns and \
+                entry["size"] == st.st_size:
+            self.hits += 1
+            return entry["facts"]
+        self.misses += 1
+        return None
+
+    def store(self, rel: str, full_path: str, facts: Dict) -> None:
+        if self.path is None:
+            return
+        try:
+            st = os.stat(full_path)
+        except OSError:
+            return
+        self.entries[rel] = {
+            "mtime_ns": st.st_mtime_ns,
+            "size": st.st_size,
+            "facts": facts,
+        }
+        self._dirty = True
+
+    def prune(self, live_rels) -> None:
+        dead = set(self.entries) - set(live_rels)
+        for rel in dead:
+            del self.entries[rel]
+            self._dirty = True
+
+    def save(self) -> None:
+        if self.path is None or not self._dirty:
+            return
+        tmp = self.path + ".tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump({"version": ANALYZER_VERSION,
+                           "files": self.entries}, fh)
+            os.replace(tmp, self.path)
+        except OSError:
+            pass  # a cache that cannot be written is just a cold cache

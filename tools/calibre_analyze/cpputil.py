@@ -1,0 +1,281 @@
+"""C++ text utilities shared by every pass: comment/string stripping (raw-
+string-literal aware) and a lightweight scope scanner that attributes brace
+blocks to namespaces, classes and functions without a real parser."""
+
+import re
+from typing import List, NamedTuple, Optional
+
+_RAW_PREFIX_RE = re.compile(r"(?:u8|[uUL])?R$")
+
+
+def _raw_string_starts_at(text: str, i: int) -> bool:
+    """True when text[i] == '"' opens a raw string literal: the quote is
+    directly preceded by an R / uR / u8R / UR / LR prefix that is itself a
+    standalone token (not the tail of an identifier like FOLDER)."""
+    m = _RAW_PREFIX_RE.search(text, max(0, i - 3), i)
+    if not m or m.end() != i:
+        return False
+    before = m.start() - 1
+    return before < 0 or not (text[before].isalnum() or text[before] == "_")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Returns `text` with comments removed and string/char literal contents
+    blanked, preserving every newline so line numbers survive. Keeps
+    preprocessor lines intact (minus comments). Raw string literals
+    (R"delim(...)delim", any prefix) are handled as a unit: a `//` or `"`
+    inside one cannot corrupt the scan for the rest of the file."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = "block_comment"
+                i += 2
+            elif c == '"' and _raw_string_starts_at(text, i):
+                # R"delim( ... )delim"  — find the delimiter, then the
+                # terminator; nothing inside is code, but newlines survive.
+                j = i + 1
+                while j < n and text[j] not in "(\n" and j - i <= 17:
+                    j += 1
+                if j >= n or text[j] != "(":
+                    out.append(c)  # malformed raw literal: treat as plain
+                    state = "string"
+                    i += 1
+                    continue
+                delim = text[i + 1:j]
+                terminator = ")" + delim + '"'
+                end = text.find(terminator, j + 1)
+                if end == -1:
+                    out.append("".join(ch for ch in text[i:] if ch == "\n"))
+                    i = n
+                else:
+                    out.append('""')
+                    out.append("".join(
+                        ch for ch in text[i:end] if ch == "\n"))
+                    i = end + len(terminator)
+            elif c == '"':
+                out.append(c)
+                state = "string"
+                i += 1
+            elif c == "'":
+                out.append(c)
+                state = "char"
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                out.append(c)
+                state = "code"
+            i += 1
+        elif state == "block_comment":
+            if c == "\n":
+                out.append(c)
+                i += 1
+            elif c == "*" and nxt == "/":
+                state = "code"
+                i += 2
+            else:
+                i += 1
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                i += 2  # skip the escaped character
+            elif c == quote:
+                out.append(c)
+                state = "code"
+                i += 1
+            else:
+                if c == "\n":
+                    out.append(c)  # unterminated literal: keep line count
+                    state = "code"
+                i += 1
+    return "".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Scope scanning: attribute every top-level brace block to a namespace, a
+# class/struct, or a function. Good enough for lock/member indexing; not a
+# parser — lambdas and control-flow blocks stay inside their enclosing
+# function scope on purpose (a notify inside a lambda still happens "in" the
+# function that owns the lambda for lock-discipline purposes).
+
+
+class Scope(NamedTuple):
+    kind: str            # "namespace" | "class" | "function" | "block"
+    name: str            # class/function name ("" for plain blocks)
+    cls: str             # owning class ("" when free)
+    start: int           # offset of the opening brace
+    end: int             # offset just past the closing brace
+    line: int            # 1-based line of the opening brace
+
+
+_CLASS_HEAD_RE = re.compile(
+    r"\b(?:class|struct)\s+(?:alignas\s*\([^)]*\)\s*)?(\w+)"
+    r"(?:\s*(?:final)?\s*:\s*[^;{]*)?\s*$")
+_NAMESPACE_HEAD_RE = re.compile(r"\bnamespace\s*([\w:]+)?\s*$")
+_ENUM_HEAD_RE = re.compile(r"\benum\b[^;{]*$")
+_CONTROL_KEYWORDS = frozenset(
+    ("if", "for", "while", "switch", "catch", "else", "do", "try",
+     "constexpr", "return", "sizeof", "alignof", "decltype"))
+_FUNC_NAME_RE = re.compile(r"([\w:~]+)\s*$")
+
+
+def _classify_block(text: str, brace: int):
+    """Classifies the brace at `text[brace]` from the non-blank context
+    before it. Returns (kind, name) where kind is one of namespace/class/
+    function/block."""
+    # Walk back to the previous ; { } or # line start — the block header.
+    j = brace - 1
+    while j >= 0 and text[j] not in ";{}":
+        j -= 1
+    head = text[j + 1:brace].strip()
+    # Strip trailing qualifiers that sit between ')' and '{'.
+    stripped = re.sub(
+        r"(?:\s*(?:const|noexcept(?:\s*\([^)]*\))?|override|final|mutable"
+        r"|->\s*[\w:<>,&*\s]+|\btry\b))*\s*$", "", head)
+    if _NAMESPACE_HEAD_RE.search(head):
+        m = _NAMESPACE_HEAD_RE.search(head)
+        return "namespace", (m.group(1) or "")
+    if _ENUM_HEAD_RE.search(head) and "(" not in head:
+        return "block", ""
+    m = _CLASS_HEAD_RE.search(head)
+    if m and "(" not in head.split("class")[-1].split("struct")[-1]:
+        return "class", m.group(1)
+    # Constructor with a member-init list: "Cls::Cls(args) : a_(x), b_(y) {".
+    # Cut the head back to the parameter list's ')' so the name extraction
+    # below sees the constructor, not the last initializer.
+    init = re.search(r"\)\s*:(?!:)", stripped)
+    if init:
+        stripped = stripped[:init.start() + 1]
+    if stripped.endswith(")"):
+        # Function definition or control statement: find the identifier that
+        # owns the parameter list.
+        depth = 0
+        k = len(stripped) - 1
+        while k >= 0:
+            if stripped[k] == ")":
+                depth += 1
+            elif stripped[k] == "(":
+                depth -= 1
+                if depth == 0:
+                    break
+            k -= 1
+        if k <= 0:
+            return "block", ""
+        name_part = stripped[:k].rstrip()
+        if name_part.endswith("]"):  # lambda introducer
+            return "block", ""
+        nm = _FUNC_NAME_RE.search(name_part)
+        if not nm:
+            return "block", ""
+        name = nm.group(1)
+        base = name.split("::")[-1].lstrip("~")
+        if base in _CONTROL_KEYWORDS or name in _CONTROL_KEYWORDS:
+            return "block", ""
+        return "function", name
+    if head in ("else", "do", "try") or head == "":
+        return "block", ""
+    if head.endswith("="):  # brace-init / lambda assigned to a variable
+        return "block", ""
+    return "block", ""
+
+
+def scan_scopes(stripped: str) -> List[Scope]:
+    """Returns every namespace/class/function scope in the file (plus plain
+    blocks only when they are top-level), with byte offsets and the owning
+    class resolved from lexical nesting or a Class::method qualifier."""
+    scopes: List[Scope] = []
+    stack = []  # (kind, name, cls, start, line)
+    line = 1
+    i, n = 0, len(stripped)
+    while i < n:
+        c = stripped[i]
+        if c == "\n":
+            line += 1
+        elif c == "{":
+            kind, name = _classify_block(stripped, i)
+            cls = ""
+            if kind == "function":
+                if "::" in name:
+                    cls = name.rsplit("::", 1)[0].split("::")[-1]
+                    name = name.rsplit("::", 1)[1]
+                else:
+                    for k, nme, _c, _s, _l in reversed(stack):
+                        if k == "class":
+                            cls = nme
+                            break
+            elif kind == "class":
+                pass
+            stack.append((kind, name, cls, i, line))
+        elif c == "}":
+            if stack:
+                kind, name, cls, start, sline = stack.pop()
+                scopes.append(Scope(kind, name, cls, start, i + 1, sline))
+        i += 1
+    # Unterminated scopes (truncated file): close them at EOF.
+    while stack:
+        kind, name, cls, start, sline = stack.pop()
+        scopes.append(Scope(kind, name, cls, start, n, sline))
+    scopes.sort(key=lambda s: s.start)
+    return scopes
+
+
+def enclosing_class(scopes: List[Scope], offset: int) -> Optional[Scope]:
+    best = None
+    for s in scopes:
+        if s.kind == "class" and s.start <= offset < s.end:
+            if best is None or s.start > best.start:
+                best = s
+    return best
+
+
+def enclosing_function(scopes: List[Scope], offset: int) -> Optional[Scope]:
+    best = None
+    for s in scopes:
+        if s.kind == "function" and s.start <= offset < s.end:
+            if best is None or s.start > best.start:
+                best = s
+    return best
+
+
+def line_of_offset(stripped: str, offset: int) -> int:
+    return stripped.count("\n", 0, offset) + 1
+
+
+def match_brace(text: str, open_idx: int) -> int:
+    """Given text[open_idx] == '{', returns the offset just past the matching
+    '}', or len(text) when unbalanced."""
+    depth = 0
+    i, n = open_idx, len(text)
+    while i < n:
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return n
+
+
+def match_paren(text: str, open_idx: int) -> int:
+    depth = 0
+    i, n = open_idx, len(text)
+    while i < n:
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return n

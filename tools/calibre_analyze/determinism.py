@@ -1,0 +1,138 @@
+"""Determinism-hazard pass (rule: unordered-iteration).
+
+unordered_map / unordered_set iteration order is a function of the hash
+seed, the insertion history and the bucket count — three things no test
+pins. Traversing one is fine when the body's effect is order-independent
+(marking flags, filling keyed slots); it silently breaks the frozen f32
+final-state hash the moment the body *accumulates* (float sums are not
+associative), *serializes* (wire bytes become scheduling-dependent), or
+feeds RoundStats (the history table the experiments print). This pass flags
+exactly those traversals, in the modules where the hash contract lives:
+src/fl/, src/algos/ and src/comm/."""
+
+import re
+from typing import List, Tuple
+
+from . import cpputil
+
+Finding = Tuple[int, str, str]
+
+SCOPE_PREFIXES = ("src/fl/", "src/algos/", "src/comm/")
+
+RULE = "unordered-iteration"
+
+_DECL_RE = re.compile(r"std::unordered_(?:map|set)\s*<")
+_RANGE_FOR_RE = re.compile(
+    r"\bfor\s*\(\s*[^;()]*?:\s*([\w.\->]+)\s*\)\s*")
+_ITER_FOR_RE = re.compile(
+    r"\bfor\s*\(\s*[^;]*=\s*([\w.\->]+)\s*(?:\.|->)\s*(?:c?begin)\s*\(")
+
+# Sinks: what makes hash-order traversal a correctness hazard.
+_SINK_RES = [
+    (re.compile(r"[-+*/|&^]="), "accumulates into order-sensitive state"),
+    (re.compile(r"\.\s*(?:push_back|emplace_back|emplace|insert|append)"
+                r"\s*\("),
+     "appends to a container in hash-table order"),
+    (re.compile(r"\bwrite_\w+\s*\(|\bWriter\b|\bserializ", re.IGNORECASE),
+     "serializes in hash-table order"),
+    (re.compile(r"\bRoundStats\b|\bround_stats\b|\w+_stats\b|\bstats\s*"
+                r"(?:\.|->)"),
+     "feeds RoundStats / statistics counters"),
+]
+_INCDEC_RE = re.compile(r"(?:\+\+|--)\s*(\w+)|(\w+)\s*(?:\+\+|--)")
+
+
+def _unordered_vars(stripped: str) -> set:
+    """Names declared (member, local, or parameter) with an unordered
+    container type in this file."""
+    names = set()
+    for m in _DECL_RE.finditer(stripped):
+        open_angle = m.end() - 1
+        depth = 0
+        i, n = open_angle, len(stripped)
+        while i < n:
+            if stripped[i] == "<":
+                depth += 1
+            elif stripped[i] == ">":
+                depth -= 1
+                if depth == 0:
+                    break
+            elif stripped[i] in ";{}":
+                break  # unbalanced (macro soup): give up on this decl
+            i += 1
+        if i >= n or stripped[i] != ">":
+            continue
+        tail = stripped[i + 1:i + 120]
+        dm = re.match(r"\s*[&*]*\s*(\w+)\s*(?:[;={(,)]|\[)", tail)
+        if dm and dm.group(1) not in ("const", "constexpr"):
+            names.add(dm.group(1))
+    return names
+
+
+def _loop_body(stripped: str, after: int) -> Tuple[str, int]:
+    """Returns (body_text, end_offset) for the statement following a for(..)
+    header ending at `after`: a brace block, or a single statement up to the
+    next ';'."""
+    i, n = after, len(stripped)
+    while i < n and stripped[i] in " \t\n":
+        i += 1
+    if i < n and stripped[i] == "{":
+        end = cpputil.match_brace(stripped, i)
+        return stripped[i:end], end
+    end = stripped.find(";", i)
+    if end == -1:
+        end = n
+    return stripped[i:end + 1], end + 1
+
+
+def _loop_header_names(header: str) -> set:
+    return set(re.findall(r"\b\w+\b", header))
+
+
+def _body_sink(body: str, header: str):
+    for regex, why in _SINK_RES:
+        if regex.search(body):
+            return why
+    declared = _loop_header_names(header)
+    for m in _INCDEC_RE.finditer(body):
+        name = m.group(1) or m.group(2)
+        if name and name not in declared:
+            return f"increments accumulator '{name}' per element"
+    return None
+
+
+def run_on_file(rel: str, stripped: str) -> List[Finding]:
+    if not rel.startswith(SCOPE_PREFIXES):
+        return []
+    unordered = _unordered_vars(stripped)
+    if not unordered:
+        return []
+    findings: List[Finding] = []
+    seen_offsets = set()
+    for regex in (_RANGE_FOR_RE, _ITER_FOR_RE):
+        for m in regex.finditer(stripped):
+            target = m.group(1)
+            last = re.split(r"\.|->", target)[-1]
+            if last not in unordered:
+                continue
+            # Find the true end of the for-header parens (the regex stops at
+            # the first ')', fine for range-for; redo properly for iterators).
+            open_paren = stripped.find("(", m.start())
+            header_end = cpputil.match_paren(stripped, open_paren)
+            body, _ = _loop_body(stripped, header_end)
+            header = stripped[m.start():header_end]
+            why = _body_sink(body, header)
+            if why is None:
+                continue
+            if m.start() in seen_offsets:
+                continue
+            seen_offsets.add(m.start())
+            line = cpputil.line_of_offset(stripped, m.start())
+            findings.append(
+                (line, RULE,
+                 f"traversal of unordered container '{last}' {why}: "
+                 "hash-table iteration order is nondeterministic and would "
+                 "silently break the frozen f32 final-state hash — iterate "
+                 "a sorted key list or an order-preserving container "
+                 "instead"))
+    return findings

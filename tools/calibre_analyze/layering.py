@@ -1,0 +1,152 @@
+"""Include-graph layering pass (rules: layering-dag, layering-cycle).
+
+Parses every `#include "..."` edge under src/ and checks it against the
+declared module DAG. A module is the first path component under src/
+(src/fl/runner.cc -> fl). Two failure modes:
+
+  layering-dag    an edge to a module that is not in the including module's
+                  declared dependency set (an upward or sideways include),
+                  or a module that is missing from the declaration entirely
+  layering-cycle  a file-level #include cycle (pragma once hides these at
+                  compile time; they still mean the layering is lying)
+
+The declared DAG mirrors DESIGN.md §5 / §9.1:
+
+    common -> tensor -> autograd -> nn -> ssl/cluster -> algos -> fl
+
+with `data` beside tensor, `flapi` (the algorithm-interface layer, namespace
+calibre::fl) between nn and core/algos, `core` (the Calibre method) between
+ssl and algos, and `comm` / `metrics` as side-layers that must NEVER include
+fl — the transport and the reporting layer cannot depend on the
+orchestration loop they serve."""
+
+from typing import Dict, List, Set, Tuple
+
+Finding = Tuple[str, int, str, str]  # (path, line, rule, message)
+
+# module -> modules it may include. Absence of an edge here is a contract:
+# adding one is a design decision that belongs in DESIGN.md, not a lint fix.
+MODULE_DEPS: Dict[str, Set[str]] = {
+    "common":   set(),
+    "tensor":   {"common"},
+    "data":     {"common", "tensor"},
+    "autograd": {"common", "tensor"},
+    "comm":     {"common"},
+    "nn":       {"common", "tensor", "autograd", "comm"},
+    "cluster":  {"common", "tensor"},
+    "ssl":      {"common", "tensor", "autograd", "nn", "cluster"},
+    "flapi":    {"common", "tensor", "data", "autograd", "comm", "nn"},
+    "metrics":  {"common", "tensor", "comm"},
+    "core":     {"common", "tensor", "data", "autograd", "nn", "ssl",
+                 "cluster", "flapi"},
+    "algos":    {"common", "tensor", "data", "autograd", "nn", "ssl",
+                 "cluster", "core", "flapi"},
+    "fl":       {"common", "tensor", "data", "autograd", "comm", "nn",
+                 "cluster", "ssl", "core", "algos", "flapi"},
+}
+
+RULES = ("layering-dag", "layering-cycle")
+
+
+def _module_of(rel: str):
+    parts = rel.split("/")
+    if len(parts) >= 3 and parts[0] == "src":
+        return parts[1]
+    return None
+
+
+def check(file_includes: Dict[str, List[Tuple[int, str]]],
+          module_deps: Dict[str, Set[str]] = None) -> List[Finding]:
+    """file_includes: rel path -> [(line, include target)] for every scanned
+    file; targets are repo-src-relative ("fl/runner.h"). Only src/ files and
+    edges that resolve to src/ files participate."""
+    deps = MODULE_DEPS if module_deps is None else module_deps
+    findings: List[Finding] = []
+    src_files = {rel for rel in file_includes if rel.startswith("src/")}
+
+    # --- declared-DAG check ------------------------------------------------
+    for rel in sorted(src_files):
+        mod = _module_of(rel)
+        if mod is None:
+            continue
+        if mod not in deps:
+            findings.append(
+                (rel, 1, "layering-dag",
+                 f"module '{mod}' is not declared in the module DAG "
+                 "(tools/calibre_analyze/layering.py MODULE_DEPS); a new "
+                 "top-level src/ module must declare its place in the "
+                 "layering before it can ship"))
+            continue
+        for line, target in file_includes[rel]:
+            tmod = target.split("/")[0]
+            # The module contract applies whenever the first path component
+            # names a declared module, even if the exact file is not in the
+            # scanned set; everything else (system, third-party, same-dir
+            # relative includes) is out of scope.
+            if tmod not in deps and "src/" + target not in src_files:
+                continue
+            if tmod == mod or tmod in deps[mod]:
+                continue
+            if tmod not in deps:
+                reason = f"undeclared module '{tmod}'"
+            elif mod in deps.get(tmod, set()):
+                reason = (f"upward edge: '{tmod}' sits ABOVE '{mod}' in the "
+                          "declared DAG")
+            else:
+                reason = (f"'{tmod}' is not in '{mod}''s declared "
+                          "dependency set")
+            findings.append(
+                (rel, line, "layering-dag",
+                 f"#include \"{target}\" violates the module DAG — {reason}"
+                 f" (declared deps of '{mod}': "
+                 f"{sorted(deps[mod]) or 'none'})"))
+
+    # --- file-level include-cycle check ------------------------------------
+    graph: Dict[str, List[Tuple[str, int]]] = {}
+    for rel in src_files:
+        edges = []
+        for line, target in file_includes[rel]:
+            dst = "src/" + target
+            if dst in src_files:
+                edges.append((dst, line))
+        graph[rel] = edges
+
+    color: Dict[str, int] = {}  # 0 absent, 1 in-stack, 2 done
+    reported_cycles = set()
+
+    def visit(node: str, stack: List[Tuple[str, int]]):
+        color[node] = 1
+        for dst, line in graph.get(node, ()):
+            if color.get(dst, 0) == 1:
+                in_stack = [i for i, (n, _) in enumerate(stack) if n == dst]
+                cycle_start = in_stack[0] if in_stack else len(stack)
+                cycle = stack[cycle_start:] + [(node, line)]
+                members = tuple(sorted(n for n, _ in cycle))
+                if members in reported_cycles:
+                    continue
+                reported_cycles.add(members)
+                chain = " -> ".join([n for n, _ in cycle] + [dst])
+                # Report on every file in the cycle, at its outgoing edge:
+                # any of them is a legitimate place to break it.
+                edge_lines = {}
+                for idx, (n, _) in enumerate(cycle):
+                    nxt = cycle[idx + 1][0] if idx + 1 < len(cycle) else dst
+                    for d2, l2 in graph.get(n, ()):
+                        if d2 == nxt:
+                            edge_lines[n] = l2
+                            break
+                for n, _ in cycle:
+                    findings.append(
+                        (n, edge_lines.get(n, 1), "layering-cycle",
+                         f"#include cycle: {chain} (#pragma once hides this "
+                         "at compile time; break the cycle with a forward "
+                         "declaration or an interface split)"))
+            elif color.get(dst, 0) == 0:
+                visit(dst, stack + [(node, line)])
+        color[node] = 2
+
+    for rel in sorted(src_files):
+        if color.get(rel, 0) == 0:
+            visit(rel, [])
+
+    return findings

@@ -1,0 +1,331 @@
+"""Lock-discipline pass (rules: lock-raw, lock-notify-unheld, lock-order).
+
+Indexes every std::mutex / std::condition_variable member per class across
+headers AND sources (the class that declares `idle_mu_` in its header is the
+one whose destructor notifies in the .cc), then checks three contracts:
+
+  lock-raw            .lock()/.unlock()/.try_lock() called directly on a
+                      mutex instead of through an RAII guard
+                      (lock_guard/unique_lock/scoped_lock). An early return
+                      or a throw between the pair leaves the mutex held
+                      forever. Calling .lock()/.unlock() on a *guard object*
+                      (std::unique_lock) is fine — that is still RAII-owned.
+  lock-notify-unheld  notify_one/notify_all on a condvar in a function that
+                      never constructs a guard on the condvar's mutex (the
+                      mutex waiters pair it with via cv.wait(lock)). The
+                      exact ~ShardedFolder bug class TSan caught in PR 8: a
+                      notify racing a waiter's predicate re-check +
+                      destruction. Notify-after-unlock (guard constructed,
+                      explicitly released before the notify) is the
+                      documented hand-off optimization and passes.
+  lock-order          two functions acquire the same pair of mutexes in
+                      opposite nesting orders — the classic ABBA deadlock.
+                      Only *nested* acquisitions count (guard B constructed
+                      inside guard A's scope); sequential scopes do not
+                      constrain each other.
+
+Member references are resolved to Class::member via the method's class (for
+Class::method definitions), the lexically enclosing class (for in-header
+bodies), or — when the member name is globally unique — the one class that
+declares it. Unresolvable receivers are skipped rather than guessed."""
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from . import cpputil
+
+Finding = Tuple[str, int, str, str]  # (path, line, rule, message)
+
+RULES = ("lock-raw", "lock-notify-unheld", "lock-order")
+
+_MUTEX_DECL_RE = re.compile(
+    r"(?:mutable\s+)?std::(?:shared_|recursive_|timed_)*mutex\s+"
+    r"(\w+)\s*;")
+_CV_DECL_RE = re.compile(
+    r"(?:mutable\s+)?std::condition_variable(?:_any)?\s+(\w+)\s*;")
+_GUARD_RE = re.compile(
+    r"std::(lock_guard|unique_lock|scoped_lock|shared_lock)\s*"
+    r"(?:<[^;{}()]*>)?\s+(\w+)\s*[({]")
+_LOCKCALL_RE = re.compile(
+    r"(?<![\w.>])((?:\w+(?:\.|->))*\w+)\s*(?:\.|->)\s*"
+    r"(lock|unlock|try_lock)\s*\(\s*\)")
+_NOTIFY_RE = re.compile(
+    r"(?<![\w.>])((?:\w+(?:\.|->))*\w+)\s*(?:\.|->)\s*"
+    r"notify_(?:one|all)\s*\(")
+_WAIT_RE = re.compile(
+    r"(?<![\w.>])((?:\w+(?:\.|->))*\w+)\s*(?:\.|->)\s*"
+    r"wait(?:_for|_until)?\s*\(\s*(\w+)")
+
+
+def _last_component(expr: str) -> str:
+    return re.split(r"\.|->", expr)[-1].strip()
+
+
+def _split_args(argtext: str) -> List[str]:
+    args, depth, cur = [], 0, []
+    for ch in argtext:
+        if ch in "(<[":
+            depth += 1
+        elif ch in ")>]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            args.append("".join(cur).strip())
+            cur = []
+        else:
+            cur.append(ch)
+    if cur:
+        args.append("".join(cur).strip())
+    return args
+
+
+def extract_file_facts(stripped: str) -> Dict:
+    """Per-file lock facts: class members, and per-function events (guard
+    constructions with scope extents, raw lock calls, notifies, waits,
+    function-local mutex declarations). All names unresolved; resolution is
+    whole-program."""
+    scopes = cpputil.scan_scopes(stripped)
+
+    members: Dict[str, Dict[str, List[str]]] = {}
+    for m in list(_MUTEX_DECL_RE.finditer(stripped)) + \
+            list(_CV_DECL_RE.finditer(stripped)):
+        is_cv = "condition_variable" in m.group(0)
+        cls_scope = cpputil.enclosing_class(scopes, m.start())
+        fn_scope = cpputil.enclosing_function(scopes, m.start())
+        if fn_scope is not None and (
+                cls_scope is None or fn_scope.start > cls_scope.start):
+            continue  # function-local: recorded below per function
+        cls = cls_scope.name if cls_scope is not None else ""
+        slot = members.setdefault(cls, {"mutexes": [], "condvars": []})
+        slot["condvars" if is_cv else "mutexes"].append(m.group(1))
+
+    functions: List[Dict] = []
+    for fn in scopes:
+        if fn.kind != "function":
+            continue
+        # Skip functions nested inside another function's extent (lambdas
+        # misclassified etc. — the outer function already covers the text).
+        body = stripped[fn.start:fn.end]
+        base = fn.start
+
+        local_mutexes = [m.group(1)
+                         for m in _MUTEX_DECL_RE.finditer(body)]
+
+        guards = []  # {var, mutexes:[expr], offset, line, scope_end}
+        for m in _GUARD_RE.finditer(body):
+            open_ch = m.group(0)[-1]
+            if open_ch == "(":
+                close = cpputil.match_paren(body, m.end() - 1)
+            else:
+                close = cpputil.match_brace(body, m.end() - 1)
+            argtext = body[m.end():close - 1]
+            args = _split_args(argtext)
+            mutex_args = [a for a in args
+                          if a and not a.startswith("std::")
+                          and re.fullmatch(r"[\w.\->]+", a)]
+            # Innermost block containing the construction = guard lifetime.
+            scope_end = fn.end
+            for s in scopes:
+                if s.start <= base + m.start() < s.end and \
+                        s.start > fn.start and s.end < scope_end:
+                    scope_end = s.end
+            guards.append({
+                "var": m.group(2),
+                "mutexes": mutex_args,
+                "offset": base + m.start(),
+                "line": cpputil.line_of_offset(stripped, base + m.start()),
+                "scope_end": scope_end,
+            })
+
+        raw_calls = []
+        for m in _LOCKCALL_RE.finditer(body):
+            raw_calls.append({
+                "expr": m.group(1),
+                "op": m.group(2),
+                "offset": base + m.start(),
+                "line": cpputil.line_of_offset(stripped, base + m.start()),
+            })
+
+        notifies = []
+        for m in _NOTIFY_RE.finditer(body):
+            notifies.append({
+                "expr": m.group(1),
+                "offset": base + m.start(),
+                "line": cpputil.line_of_offset(stripped, base + m.start()),
+            })
+
+        waits = []
+        for m in _WAIT_RE.finditer(body):
+            waits.append({"cv": m.group(1), "guard": m.group(2)})
+
+        if guards or raw_calls or notifies or waits or local_mutexes:
+            functions.append({
+                "name": fn.name,
+                "cls": fn.cls,
+                "line": fn.line,
+                "local_mutexes": local_mutexes,
+                "guards": guards,
+                "raw_calls": raw_calls,
+                "notifies": notifies,
+                "waits": waits,
+            })
+    return {"members": members, "functions": functions}
+
+
+class _Index:
+    def __init__(self, per_file: Dict[str, Dict]):
+        self.mutex_classes: Dict[str, List[str]] = {}
+        self.cv_classes: Dict[str, List[str]] = {}
+        for facts in per_file.values():
+            for cls, slot in facts["members"].items():
+                for name in slot["mutexes"]:
+                    self.mutex_classes.setdefault(name, []).append(cls)
+                for name in slot["condvars"]:
+                    self.cv_classes.setdefault(name, []).append(cls)
+        self.class_mutexes: Dict[str, set] = {}
+        self.class_cvs: Dict[str, set] = {}
+        for facts in per_file.values():
+            for cls, slot in facts["members"].items():
+                self.class_mutexes.setdefault(cls, set()).update(
+                    slot["mutexes"])
+                self.class_cvs.setdefault(cls, set()).update(
+                    slot["condvars"])
+
+    def _resolve(self, expr: str, cls: str, table: Dict[str, List[str]],
+                 class_table: Dict[str, set]) -> Optional[str]:
+        name = _last_component(expr)
+        if name not in table:
+            return None
+        if cls and name in class_table.get(cls, ()):  # method's own class
+            return f"{cls}::{name}"
+        owners = sorted(set(table[name]))
+        if len(owners) == 1:
+            return f"{owners[0]}::{name}"
+        return f"?::{name}"  # ambiguous: known mutex/cv, unknown class
+
+    def resolve_mutex(self, expr: str, cls: str) -> Optional[str]:
+        return self._resolve(expr, cls, self.mutex_classes,
+                             self.class_mutexes)
+
+    def resolve_cv(self, expr: str, cls: str) -> Optional[str]:
+        return self._resolve(expr, cls, self.cv_classes, self.class_cvs)
+
+
+def check(per_file: Dict[str, Dict]) -> List[Finding]:
+    """per_file: rel path -> extract_file_facts() result."""
+    index = _Index(per_file)
+    findings: List[Finding] = []
+
+    # cv -> mutexes it is waited on with (whole-program association).
+    cv_mutex: Dict[str, set] = {}
+    for rel, facts in per_file.items():
+        for fn in facts["functions"]:
+            guard_mutex = {}
+            for g in fn["guards"]:
+                if g["mutexes"]:
+                    guard_mutex[g["var"]] = g["mutexes"][0]
+            for w in fn["waits"]:
+                cv_q = index.resolve_cv(w["cv"], fn["cls"])
+                mexpr = guard_mutex.get(w["guard"])
+                if cv_q is None or mexpr is None:
+                    continue
+                m_q = index.resolve_mutex(mexpr, fn["cls"])
+                if m_q is not None:
+                    cv_mutex.setdefault(cv_q, set()).add(m_q)
+
+    # Pairwise nested acquisition order, collected across all functions:
+    # (A, B) -> [(rel, function, line)] where B was acquired inside A.
+    pair_sites: Dict[Tuple[str, str], List[Tuple[str, str, int]]] = {}
+
+    for rel in sorted(per_file):
+        facts = per_file[rel]
+        for fn in facts["functions"]:
+            guard_vars = {g["var"] for g in fn["guards"]}
+            local_mutexes = set(fn["local_mutexes"])
+
+            # --- lock-raw ------------------------------------------------
+            for call in fn["raw_calls"]:
+                expr = call["expr"]
+                last = _last_component(expr)
+                if last in guard_vars:
+                    continue  # unique_lock::lock()/unlock() — RAII-owned
+                resolved = index.resolve_mutex(expr, fn["cls"])
+                if resolved is None and last not in local_mutexes:
+                    continue  # not provably a mutex (e.g. a parameter)
+                findings.append(
+                    (rel, call["line"], "lock-raw",
+                     f"raw .{call['op']}() on mutex '{expr}' in "
+                     f"{fn['cls'] or '<free>'}::{fn['name']} — an early "
+                     "return or exception between lock and unlock leaves it "
+                     "held forever; use std::lock_guard / std::unique_lock"))
+
+            # --- lock-notify-unheld --------------------------------------
+            held_mutexes = set()
+            for g in fn["guards"]:
+                for mexpr in g["mutexes"]:
+                    m_q = index.resolve_mutex(mexpr, fn["cls"])
+                    if m_q is not None:
+                        held_mutexes.add(m_q)
+            for call in fn["notifies"]:
+                cv_q = index.resolve_cv(call["expr"], fn["cls"])
+                if cv_q is None:
+                    continue
+                wanted = cv_mutex.get(cv_q)
+                if wanted:
+                    ok = bool(wanted & held_mutexes) or \
+                        any(w.startswith("?::") or h.startswith("?::")
+                            for w in wanted for h in held_mutexes)
+                else:
+                    ok = bool(held_mutexes)
+                if not ok:
+                    pair = sorted(wanted)[0] if wanted else "its mutex"
+                    findings.append(
+                        (rel, call["line"], "lock-notify-unheld",
+                         f"notify on condvar '{call['expr']}' in "
+                         f"{fn['cls'] or '<free>'}::{fn['name']} without "
+                         f"ever holding {pair} in this function — a waiter "
+                         "can observe the predicate, decide to sleep, and "
+                         "miss this wake (or the condvar can be destroyed "
+                         "mid-notify: the ~ShardedFolder race TSan caught "
+                         "in PR 8); take the guard before notifying"))
+
+            # --- nested acquisition pairs --------------------------------
+            resolved_guards = []
+            for g in fn["guards"]:
+                quals = []
+                for mexpr in g["mutexes"]:
+                    m_q = index.resolve_mutex(mexpr, fn["cls"])
+                    if m_q is not None and not m_q.startswith("?::"):
+                        quals.append(m_q)
+                resolved_guards.append((g, quals))
+            for i, (ga, quals_a) in enumerate(resolved_guards):
+                for gb, quals_b in resolved_guards[i + 1:]:
+                    if not (ga["offset"] < gb["offset"] < ga["scope_end"]):
+                        continue  # not nested: sequential scopes are free
+                    for a in quals_a:
+                        for b in quals_b:
+                            if a != b:
+                                pair_sites.setdefault((a, b), []).append(
+                                    (rel, f"{fn['cls'] or '<free>'}::"
+                                          f"{fn['name']}", gb["line"]))
+
+    for (a, b), sites in sorted(pair_sites.items()):
+        if (b, a) not in pair_sites or (a, b) > (b, a):
+            continue  # report each conflicting pair once, from one side
+        other = pair_sites[(b, a)]
+        for rel, fname, line in sites:
+            o_rel, o_fname, o_line = other[0]
+            findings.append(
+                (rel, line, "lock-order",
+                 f"inconsistent lock order: {fname} nests {b} inside {a}, "
+                 f"but {o_fname} ({o_rel}:{o_line}) nests {a} inside {b} — "
+                 "two threads taking the pair in opposite orders deadlock; "
+                 "pick one global order"))
+        for rel, fname, line in other:
+            s_rel, s_fname, s_line = sites[0]
+            findings.append(
+                (rel, line, "lock-order",
+                 f"inconsistent lock order: {fname} nests {a} inside {b}, "
+                 f"but {s_fname} ({s_rel}:{s_line}) nests {b} inside {a} — "
+                 "two threads taking the pair in opposite orders deadlock; "
+                 "pick one global order"))
+    return findings

@@ -1,464 +1,18 @@
 #!/usr/bin/env python3
-"""Calibre contract linter: enforces the repo-specific invariants that no
-generic static analyzer knows about. Registered as the `lint.calibre` ctest
-entry; stdlib-only by design (no pip deps).
+"""Entry-point shim for the Calibre static analyzer.
 
-Rules (each protects a contract established by an earlier PR — the table in
-DESIGN.md §9 maps rule -> contract -> PR):
-
-  determinism-rng    src/ outside tensor/rng.cc must not call rand()/srand(),
-                     std::random_device, time(), clock(), gettimeofday or
-                     std::chrono::system_clock. All randomness flows through
-                     the seeded splittable RNG; wall-clock reads would break
-                     the run-to-run bitwise-determinism contract.
-  pool-bypass        Raw float-buffer management (new float[], malloc/free,
-                     ::operator new, std::vector<float, Alloc>,
-                     PoolAllocator) is only legal in tensor/pool.* and
-                     tensor/tensor.*. Everything else must hold tensors, so
-                     storage stays pooled, 64B-aligned and leak-accounted.
-  thread-funnel      std::thread / std::jthread / std::async / pthread_create
-                     are only legal in common/thread_pool.*. All parallelism
-                     funnels through ThreadPool so the TSan lane's coverage
-                     and the deterministic partitioning hold everywhere.
-  check-not-assert   Library code (src/) must use CALIBRE_CHECK*, never
-                     assert(): asserts vanish in release builds, and a
-                     silently-corrupted experiment is worse than a crash.
-  blocking-sleep     sleep_for/sleep_until/usleep/nanosleep are only legal
-                     in common/timer_queue.*. A sleep on a ThreadPool worker
-                     serializes every dispatch queued behind it (the injected
-                     fault-latency bug); deferred work must go through the
-                     TimerQueue so workers stay free.
-  streaming-fold     src/fl/runner.cc and src/fl/shard_fold.cc must stream
-                     updates through make_aggregator()->fold(): no decoded
-                     ClientUpdate buffering, no batch aggregate(), and no
-                     finish() on a shard-local partial — shard partials may
-                     only merge() into the round root, or the sharded fold
-                     stops being bit-identical to the flat fold.
-  residual-in-store  Error-feedback residuals (and any per-client float
-                     state) in src/fl/ live in an algos::ClientStore inside
-                     fl/update_codec.* — never in the runner or other fl
-                     files, whose per-round containers die with the round
-                     while a residual must survive arbitrary client
-                     re-selection gaps. Hand-rolled map<int, vector<float>>
-                     client state is flagged for the same reason.
-  serde-count-guard  In src/comm/, a count obtained from Reader::read_u*()
-                     must pass through a CALIBRE_CHECK* that mentions it
-                     before it sizes an allocation (vector/string ctor,
-                     resize/reserve, new[]). Untrusted wire counts must be
-                     validated against remaining() before memory is
-                     committed (the wraparound-proof guard shape from the
-                     serde/codec PRs).
-  pragma-once        Every header under src/, apps/, bench/ carries
-                     #pragma once.
-
-Self-test: fixtures under tests/lint_fixtures/ are a miniature repo tree of
-seeded violations, each annotated with `// expect-lint: <rule-id>` lines.
-The self-test asserts that linting the fixture tree fires exactly the
-annotated rules on each file and that every rule is exercised by at least
-one fixture — a linter that cannot catch its own fixtures is dead code.
+The original single-file linter grew into the tools/calibre_analyze/
+package (patterns, layering, locks, determinism passes). This shim keeps
+the historical invocation — `python3 tools/calibre_lint.py` — and every
+flag working; see `--help` or DESIGN.md §9 for the rule catalogue.
 """
 
-import argparse
 import os
-import re
 import sys
-from typing import Dict, List, NamedTuple, Tuple
 
-SCANNED_DIRS = ("src", "apps", "bench")
-SOURCE_EXTS = (".h", ".cc", ".cpp")
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-
-class Finding(NamedTuple):
-    path: str  # repo-relative, forward slashes
-    line: int  # 1-based
-    rule: str
-    message: str
-
-
-def strip_comments_and_strings(text: str) -> str:
-    """Returns `text` with comments removed and string/char literal contents
-    blanked, preserving every newline so line numbers survive. Keeps
-    preprocessor lines intact (minus comments)."""
-    out = []
-    i, n = 0, len(text)
-    state = "code"  # code | line_comment | block_comment | string | char
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if state == "code":
-            if c == "/" and nxt == "/":
-                state = "line_comment"
-                i += 2
-            elif c == "/" and nxt == "*":
-                state = "block_comment"
-                i += 2
-            elif c == '"':
-                out.append(c)
-                state = "string"
-                i += 1
-            elif c == "'":
-                out.append(c)
-                state = "char"
-                i += 1
-            else:
-                out.append(c)
-                i += 1
-        elif state == "line_comment":
-            if c == "\n":
-                out.append(c)
-                state = "code"
-            i += 1
-        elif state == "block_comment":
-            if c == "\n":
-                out.append(c)
-                i += 1
-            elif c == "*" and nxt == "/":
-                state = "code"
-                i += 2
-            else:
-                i += 1
-        elif state in ("string", "char"):
-            quote = '"' if state == "string" else "'"
-            if c == "\\":
-                i += 2  # skip the escaped character
-            elif c == quote:
-                out.append(c)
-                state = "code"
-                i += 1
-            else:
-                if c == "\n":
-                    out.append(c)  # unterminated literal: keep line count
-                    state = "code"
-                i += 1
-    return "".join(out)
-
-
-# ---------------------------------------------------------------------------
-# Pattern rules: (rule-id, scope predicate, [(regex, message)]).
-
-
-def _in_src(rel: str) -> bool:
-    return rel.startswith("src/")
-
-
-def _src_except(*allowed: str):
-    def pred(rel: str) -> bool:
-        return _in_src(rel) and rel not in allowed
-
-    return pred
-
-
-def _only(*files: str):
-    def pred(rel: str) -> bool:
-        return rel in files
-
-    return pred
-
-
-DETERMINISM_PATTERNS = [
-    (re.compile(r"(?<![\w:.>])s?rand\s*\("),
-     "libc rand()/srand() breaks run-to-run determinism; use the seeded "
-     "RNG in tensor/rng.cc"),
-    (re.compile(r"std::random_device"),
-     "std::random_device is nondeterministic entropy; derive streams from "
-     "the experiment seed via tensor/rng.cc"),
-    (re.compile(r"(?<![\w:.>])time\s*\("),
-     "wall-clock time() in library code breaks bitwise reproducibility; "
-     "seed-derived randomness only"),
-    (re.compile(r"(?<![\w:.>])clock\s*\("),
-     "clock() in library code breaks bitwise reproducibility"),
-    (re.compile(r"gettimeofday"),
-     "gettimeofday in library code breaks bitwise reproducibility"),
-    (re.compile(r"system_clock"),
-     "std::chrono::system_clock is wall-clock time; use steady_clock for "
-     "durations, never for values that feed computation"),
-]
-
-POOL_PATTERNS = [
-    (re.compile(r"new\s+(?:float|double)\s*\["),
-     "raw float-array new[] bypasses the tensor pool; allocate a Tensor "
-     "(or extend tensor/pool.*)"),
-    (re.compile(r"(?<![\w:.>])(?:malloc|calloc|realloc|free)\s*\("),
-     "malloc/free bypasses the pooled, aligned, leak-accounted tensor "
-     "storage"),
-    (re.compile(r"::operator\s+(?:new|delete)"),
-     "::operator new/delete is reserved to the pool's raw_alloc/raw_free"),
-    (re.compile(r"std::vector<\s*float\s*,"),
-     "std::vector<float, Alloc> is hand-rolled tensor storage; only "
-     "tensor/tensor.* may bind storage to PoolAllocator"),
-    (re.compile(r"PoolAllocator"),
-     "PoolAllocator must not leak outside tensor/{pool,tensor}.*"),
-    (re.compile(r"(?<![\w:.>])aligned_alloc\s*\("),
-     "aligned_alloc bypasses the pool; use Tensor storage"),
-]
-
-SLEEP_PATTERNS = [
-    (re.compile(r"sleep_for\s*\("),
-     "sleep_for on a pool worker serializes every queued dispatch behind "
-     "the nap; schedule a deferred callback through common/timer_queue.* "
-     "instead"),
-    (re.compile(r"sleep_until\s*\("),
-     "sleep_until blocks a pool worker; use common/timer_queue.*"),
-    (re.compile(r"(?<![\w:.>])(?:usleep|nanosleep)\s*\("),
-     "libc sleeps block a pool worker; use common/timer_queue.*"),
-]
-
-THREAD_PATTERNS = [
-    (re.compile(r"std::thread\b"),
-     "raw std::thread escapes the ThreadPool; TSan-lane coverage and "
-     "deterministic partitioning only hold for pool workers"),
-    (re.compile(r"std::jthread\b"),
-     "raw std::jthread escapes the ThreadPool"),
-    (re.compile(r"std::async\b"),
-     "std::async spawns unpooled threads; submit to ThreadPool instead"),
-    (re.compile(r"pthread_create"),
-     "pthread_create escapes the ThreadPool"),
-]
-
-ASSERT_PATTERNS = [
-    (re.compile(r"\bassert\s*\("),
-     "assert() compiles out in release builds; library invariants must use "
-     "CALIBRE_CHECK* so corrupted state can never produce results"),
-    (re.compile(r"#\s*include\s*<(?:cassert|assert\.h)>"),
-     "<cassert> has no place in library code; use common/check.h"),
-]
-
-STREAMING_PATTERNS = [
-    (re.compile(r"std::vector<\s*(?:fl::)?ClientUpdate\b"),
-     "the runner must fold arriving updates through "
-     "Algorithm::make_aggregator; buffering decoded ClientUpdates "
-     "reintroduces O(cohort * model) server memory at scale"),
-    (re.compile(r"(?:\.|->)aggregate\s*\("),
-     "the runner may not call batch aggregate(); use "
-     "make_aggregator()->fold()/finish() so memory stays O(model) — batch "
-     "semantics are preserved by the BatchAggregatorAdapter default"),
-    (re.compile(r"\b[Ss]hard\w*(?:\[[^\]]*\])?\s*"
-                r"(?:(?:\.|->)\s*\w+\s*(?:\[[^\]]*\])?\s*)*"
-                r"(?:\.|->)\s*finish\s*\("),
-     "a shard-local aggregator must merge() into the round root before any "
-     "finish(); finishing a shard partial commits a partial average and "
-     "silently breaks the sharded-fold bit-identity contract"),
-]
-
-RESIDUAL_PATTERNS = [
-    (re.compile(r"\b\w*residual\w*", re.IGNORECASE),
-     "error-feedback residual state is per-client and must survive client "
-     "re-selection gaps; it lives in the algos::ClientStore inside "
-     "fl/update_codec.*, never in the runner's per-round containers"),
-    (re.compile(
-        r"std::(?:unordered_)?map<\s*int\s*,\s*std::vector<\s*float\b"),
-     "hand-rolled per-client float state; per-client state goes through "
-     "algos::ClientStore so sharded locking and re-selection survival stay "
-     "uniform"),
-]
-
-
-def _fl_except_update_codec(rel: str) -> bool:
-    return rel.startswith("src/fl/") and rel not in (
-        "src/fl/update_codec.h", "src/fl/update_codec.cc")
-
-
-PATTERN_RULES = [
-    ("streaming-fold", _only("src/fl/runner.cc", "src/fl/shard_fold.cc"),
-     STREAMING_PATTERNS),
-    ("residual-in-store", _fl_except_update_codec, RESIDUAL_PATTERNS),
-    ("determinism-rng",
-     _src_except("src/tensor/rng.cc", "src/tensor/rng.h"),
-     DETERMINISM_PATTERNS),
-    ("pool-bypass",
-     _src_except("src/tensor/pool.h", "src/tensor/pool.cc",
-                 "src/tensor/tensor.h", "src/tensor/tensor.cc"),
-     POOL_PATTERNS),
-    ("thread-funnel",
-     _src_except("src/common/thread_pool.h", "src/common/thread_pool.cc"),
-     THREAD_PATTERNS),
-    ("blocking-sleep",
-     _src_except("src/common/timer_queue.h", "src/common/timer_queue.cc"),
-     SLEEP_PATTERNS),
-    ("check-not-assert", _in_src, ASSERT_PATTERNS),
-]
-
-# serde-count-guard ---------------------------------------------------------
-
-READ_COUNT_RE = re.compile(
-    r"\b(\w+)\s*=\s*(?:\w+(?:\.|->))?read_u(?:8|16|32|64)\s*\(\s*\)")
-
-
-def _alloc_use_re(var: str) -> re.Pattern:
-    v = re.escape(var)
-    return re.compile(
-        r"(?:"
-        rf"\.\s*(?:resize|reserve)\s*\(\s*{v}\b"       # x.resize(count ...
-        rf"|(?:std::)?(?:vector|string)\s*<[^;()]*>\s*\w*\s*[({{]\s*{v}\b"
-        rf"|(?:std::)?string\s+\w+\s*[({{]\s*{v}\b"    # std::string s(count
-        rf"|new\b[^;]*\[\s*{v}\s*\]"                   # new T[count]
-        r")")
-
-
-def check_serde_count_guard(rel: str, lines: List[str]) -> List[Finding]:
-    if not rel.startswith("src/comm/"):
-        return []
-    findings = []
-    for idx, line in enumerate(lines):
-        m = READ_COUNT_RE.search(line)
-        if not m:
-            continue
-        var = m.group(1)
-        use_re = _alloc_use_re(var)
-        guarded = False
-        # Scan forward to the end of the enclosing scope (approximated by a
-        # fixed window; count-decode-allocate sequences are local by style).
-        for j in range(idx + 1, min(idx + 40, len(lines))):
-            if "CALIBRE_CHECK" in lines[j] and re.search(
-                    rf"\b{re.escape(var)}\b", lines[j]):
-                guarded = True
-            if use_re.search(lines[j]):
-                if not guarded:
-                    findings.append(Finding(
-                        rel, j + 1, "serde-count-guard",
-                        f"allocation sized by untrusted wire count '{var}' "
-                        f"(read at line {idx + 1}) without a CALIBRE_CHECK* "
-                        "validating it against the remaining bytes first"))
-                break
-    return findings
-
-
-def check_pragma_once(rel: str, raw_text: str) -> List[Finding]:
-    if not rel.endswith(".h"):
-        return []
-    if "#pragma once" in raw_text:
-        return []
-    return [Finding(rel, 1, "pragma-once",
-                    "header is missing #pragma once")]
-
-
-ALL_RULE_IDS = [rid for rid, _, _ in PATTERN_RULES] + [
-    "serde-count-guard", "pragma-once"]
-
-
-# ---------------------------------------------------------------------------
-
-
-def lint_file(root: str, rel: str) -> List[Finding]:
-    path = os.path.join(root, rel)
-    with open(path, "r", encoding="utf-8", errors="replace") as fh:
-        raw = fh.read()
-    stripped = strip_comments_and_strings(raw)
-    lines = stripped.split("\n")
-
-    findings: List[Finding] = []
-    for rule_id, scope, patterns in PATTERN_RULES:
-        if not scope(rel):
-            continue
-        for regex, message in patterns:
-            for idx, line in enumerate(lines):
-                if regex.search(line):
-                    findings.append(Finding(rel, idx + 1, rule_id, message))
-    findings.extend(check_serde_count_guard(rel, lines))
-    findings.extend(check_pragma_once(rel, raw))
-    return findings
-
-
-def collect_files(root: str) -> List[str]:
-    rels = []
-    for top in SCANNED_DIRS:
-        top_path = os.path.join(root, top)
-        if not os.path.isdir(top_path):
-            continue
-        for dirpath, dirnames, filenames in os.walk(top_path):
-            dirnames.sort()
-            for name in sorted(filenames):
-                if name.endswith(SOURCE_EXTS):
-                    full = os.path.join(dirpath, name)
-                    rels.append(os.path.relpath(full, root).replace(
-                        os.sep, "/"))
-    return rels
-
-
-def lint_tree(root: str) -> List[Finding]:
-    findings: List[Finding] = []
-    for rel in collect_files(root):
-        findings.extend(lint_file(root, rel))
-    return findings
-
-
-# ---------------------------------------------------------------------------
-# Self-test against the seeded fixtures.
-
-EXPECT_RE = re.compile(r"//\s*expect-lint:\s*([\w-]+)")
-
-
-def run_self_test(fixture_root: str) -> bool:
-    if not os.path.isdir(fixture_root):
-        print(f"calibre_lint self-test: fixture dir {fixture_root} missing",
-              file=sys.stderr)
-        return False
-
-    expected: Dict[str, set] = {}
-    for rel in collect_files(fixture_root):
-        with open(os.path.join(fixture_root, rel), encoding="utf-8") as fh:
-            expected[rel] = set(EXPECT_RE.findall(fh.read()))
-
-    fired: Dict[str, set] = {rel: set() for rel in expected}
-    for f in lint_tree(fixture_root):
-        fired.setdefault(f.path, set()).add(f.rule)
-
-    ok = True
-    for rel in sorted(expected):
-        want, got = expected[rel], fired.get(rel, set())
-        if want != got:
-            ok = False
-            print(f"calibre_lint self-test FAILED for {rel}: expected rules "
-                  f"{sorted(want) or '(none)'}, fired "
-                  f"{sorted(got) or '(none)'}", file=sys.stderr)
-
-    exercised = set().union(*expected.values()) if expected else set()
-    for rule_id in ALL_RULE_IDS:
-        if rule_id not in exercised:
-            ok = False
-            print(f"calibre_lint self-test FAILED: rule '{rule_id}' has no "
-                  "fixture proving it fires (add one under "
-                  "tests/lint_fixtures/)", file=sys.stderr)
-
-    if ok:
-        print(f"calibre_lint self-test: {len(ALL_RULE_IDS)} rules verified "
-              f"against {len(expected)} fixtures")
-    return ok
-
-
-# ---------------------------------------------------------------------------
-
-
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
-    default_root = os.path.dirname(
-        os.path.dirname(os.path.abspath(__file__)))
-    parser.add_argument("--repo-root", default=default_root)
-    parser.add_argument("--no-self-test", action="store_true",
-                        help="skip the fixture self-test")
-    parser.add_argument("--fixtures-only", action="store_true",
-                        help="run only the fixture self-test")
-    args = parser.parse_args()
-
-    root = os.path.abspath(args.repo_root)
-    fixture_root = os.path.join(root, "tests", "lint_fixtures")
-
-    if not args.no_self_test:
-        if not run_self_test(fixture_root):
-            return 1
-    if args.fixtures_only:
-        return 0
-
-    findings = lint_tree(root)
-    for f in findings:
-        print(f"{f.path}:{f.line}: [{f.rule}] {f.message}")
-    if findings:
-        print(f"calibre_lint: {len(findings)} finding(s)", file=sys.stderr)
-        return 1
-    print(f"calibre_lint: clean ({len(collect_files(root))} files, "
-          f"{len(ALL_RULE_IDS)} rules)")
-    return 0
-
+from calibre_analyze import driver  # noqa: E402
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(driver.main())

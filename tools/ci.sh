@@ -19,14 +19,18 @@ declare -a STEP_NAMES=()
 declare -a STEP_RESULTS=()
 overall=0
 
+declare -a STEP_SECONDS=()
+
 run_step() {
   local name="$1"
   shift
   echo
   echo "==== $name: $* ===="
+  local t0=$SECONDS
   "$@"
   local rc=$?
   STEP_NAMES+=("$name")
+  STEP_SECONDS+=("$((SECONDS - t0))")
   if [ $rc -eq 0 ]; then
     STEP_RESULTS+=("PASS")
   else
@@ -69,18 +73,26 @@ else
     run_step "lane.$lane" ctest --test-dir "$BUILD_DIR" \
       --output-on-failure -R "^$lane\."
   done
-  run_step "lint.calibre" ctest --test-dir "$BUILD_DIR" \
-    --output-on-failure -R '^lint\.calibre$'
+  # Lint lane: the calibre_analyze passes (full run + one entry per
+  # whole-program pass, each printing per-pass timing via ctest -V on the
+  # full run), the analyzer's own unit tests, then clang-tidy. Every python
+  # entry runs under `python3 -W error` (tests/CMakeLists.txt): any Python
+  # warning fails the lane.
+  for lint_step in calibre layering locks determinism cli; do
+    run_step "lint.$lint_step" ctest --test-dir "$BUILD_DIR" \
+      --output-on-failure -R "^lint\.$lint_step\$"
+  done
   run_step "lint.tidy" ctest --test-dir "$BUILD_DIR" \
     --output-on-failure -R '^lint\.tidy$'
 fi
 
 echo
 echo "==== ci summary ===="
-printf '%-14s %s\n' "step" "result"
-printf '%-14s %s\n' "----" "------"
+printf '%-18s %-8s %s\n' "step" "seconds" "result"
+printf '%-18s %-8s %s\n' "----" "-------" "------"
 for i in "${!STEP_NAMES[@]}"; do
-  printf '%-14s %s\n' "${STEP_NAMES[$i]}" "${STEP_RESULTS[$i]}"
+  printf '%-18s %-8s %s\n' "${STEP_NAMES[$i]}" "${STEP_SECONDS[$i]}" \
+    "${STEP_RESULTS[$i]}"
 done
 if [ $overall -eq 0 ]; then
   echo "ci: all steps passed"
